@@ -1,0 +1,131 @@
+"""Ablation benchmarks for the design choices DESIGN.md Sec 6 lists.
+
+Not figures from the paper -- these isolate individual WiscSort design
+decisions and verify the claims the paper makes about them in passing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import parse_ms, run_once
+from repro.bench import (
+    ablation_buffer_size,
+    ablation_compression,
+    ablation_dram_budget,
+    ablation_pointer_size,
+    ablation_write_pool,
+)
+
+
+def test_ablation_write_pool(benchmark, bench_scale):
+    """Pool sizing matters: PMEM writes peak near 5 threads (Sec 3.8)."""
+    table = run_once(benchmark, ablation_write_pool, scale=bench_scale)
+    print()
+    print(table.render())
+    times = {row[0]: parse_ms(row[1]) for row in table.rows}
+    best = min(times, key=times.get)
+    assert best in (5, 8)
+    # Both ends of the sweep are clearly worse than the optimum.
+    assert times[1] > 1.5 * times[best]
+    assert times[32] > 1.2 * times[best]
+
+
+def test_ablation_pointer_size(benchmark, bench_scale):
+    """5B pointers cut run-file write traffic ~7x vs EMS; 8B ~5x
+    (paper Sec 3.3 footnote)."""
+    table = run_once(benchmark, ablation_pointer_size, scale=bench_scale)
+    print()
+    print(table.render())
+    rows = {row[0]: row for row in table.rows}
+    red5 = float(str(rows[5][3]).rstrip("x"))
+    red8 = float(str(rows[8][3]).rstrip("x"))
+    assert 6.0 <= red5 <= 7.5
+    assert 4.5 <= red8 <= 6.0
+    # Wider pointers cost a little time, not a lot.
+    assert parse_ms(rows[8][1]) <= 1.1 * parse_ms(rows[5][1])
+
+
+def test_ablation_dram_budget(benchmark, bench_scale):
+    """The OnePass/MergePass crossover sits at budget == IndexMap size."""
+    table = run_once(benchmark, ablation_dram_budget, scale=bench_scale)
+    print()
+    print(table.render())
+    rows = {row[0]: (row[1], parse_ms(row[2])) for row in table.rows}
+    assert rows["0.50"][0] == "merge"
+    assert rows["1.00"][0] == "one"
+    # MergePass costs extra versus OnePass.
+    assert rows["0.50"][1] > rows["1.00"][1]
+
+
+def test_ablation_buffer_size(benchmark, bench_scale):
+    """Paper Sec 3.8: "The size of the write buffer has no performance
+    significance"."""
+    table = run_once(benchmark, ablation_buffer_size, scale=bench_scale)
+    print()
+    print(table.render())
+    times = [parse_ms(row[1]) for row in table.rows]
+    assert max(times) <= 1.05 * min(times)
+
+
+def test_ablation_compression(benchmark, bench_scale):
+    """Sec 5: compression is worthwhile only when I/O savings beat CPU
+    cost -- on PMEM with zlib it is not, and the prediction agrees with
+    the measurement."""
+    table = run_once(benchmark, ablation_compression, scale=bench_scale)
+    print()
+    print(table.render())
+    rows = {row[0]: row for row in table.rows}
+    # Uniform gensort keys barely compress.
+    assert float(rows["uniform keys"][3]) < 1.3
+    # Skewed keys compress well...
+    assert float(rows["skewed keys"][3]) > 1.8
+    # ...yet the criterion says "not worthwhile" on PMEM, and indeed
+    # compression does not beat the plain run.
+    for label in ("uniform keys", "skewed keys"):
+        assert rows[label][4] == "not worthwhile"
+        assert parse_ms(rows[label][2]) >= 0.95 * parse_ms(rows[label][1])
+
+
+def test_ablation_natural_runs(benchmark, bench_scale):
+    """Natural-run elision (MONTRES/NVMSorting idea, Sec 6): a win on
+    write-asymmetric devices, ~neutral on PMEM -- quantifying why the
+    paper keeps WiscSort distribution-agnostic."""
+    from repro.bench import ablation_natural_runs
+
+    table = run_once(benchmark, ablation_natural_runs, scale=bench_scale)
+    print()
+    print(table.render())
+    rows = {(r[0], r[1]): r for r in table.rows}
+    # Fully presorted input on BARD: elision clearly wins.
+    bard = rows[("bard-device", "100%")]
+    assert parse_ms(bard[3]) < parse_ms(bard[2])
+    # Random input: identical behaviour (no natural chunks detected).
+    for device in ("pmem", "bard-device"):
+        r = rows[(device, "0%")]
+        assert r[4] == 0
+        assert parse_ms(r[3]) == pytest.approx(parse_ms(r[2]), rel=1e-6)
+    # PMEM stays within a few percent either way (neutral).
+    pm = rows[("pmem", "100%")]
+    assert parse_ms(pm[3]) <= 1.1 * parse_ms(pm[2])
+
+
+def test_ablation_merge_fanin(benchmark, bench_scale):
+    """Multi-phase merging: EMS pays (1+M) x dataset in writes; WiscSort's
+    intermediate phases move only key-pointer entries (Sec 2.1/2.4.1)."""
+    from repro.bench import ablation_merge_fanin
+
+    table = run_once(benchmark, ablation_merge_fanin, scale=bench_scale)
+    print()
+    print(table.render())
+    rows = [dict(zip(table.headers, r)) for r in table.rows]
+    for r in rows:
+        # EMS write traffic follows the paper's (1 + M) formula.
+        assert float(r["ems writes/dataset"]) == pytest.approx(
+            1 + r["ems M"], rel=0.05
+        )
+    # More phases -> strictly more EMS time; WiscSort barely moves.
+    ems_times = [parse_ms(r["ems ms"]) for r in rows]
+    assert ems_times == sorted(ems_times, reverse=True)
+    wisc_times = [parse_ms(r["wiscsort ms"]) for r in rows]
+    assert max(wisc_times) <= 1.5 * min(wisc_times)

@@ -1,0 +1,31 @@
+"""Figure 1: problems of different sorting approaches on PMEM.
+
+Paper: 20 GB / 200M records of (10 B key, 90 B value).  In-place sample
+sort is ~2x slower than external merge sort; WiscSort is fastest; and
+in-place sorting on DRAM is ~10x faster than in-place sorting on PMEM.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import parse_ms, run_once
+from repro.bench import fig01_motivation
+
+
+def test_fig01_motivation(benchmark, bench_scale):
+    table = run_once(benchmark, fig01_motivation, scale=bench_scale)
+    print()
+    print(table.render())
+
+    times = dict(zip(table.column("system"), map(parse_ms, table.column("time (ms, simulated)"))))
+    sample_pmem = times["in-place sample sort (PMEM)"]
+    ems = times["external merge sort"]
+    wisc = times["wiscsort"]
+    sample_dram = times["in-place sample sort (DRAM)"]
+
+    # EMS ~2x faster than in-place sample sort (Sec 2.4.1).
+    assert 1.4 <= sample_pmem / ems <= 3.0
+    # WiscSort fastest of the PMEM systems (2-3x over EMS, Fig 1/4).
+    assert wisc < ems
+    assert 1.7 <= ems / wisc <= 4.0
+    # In-place on DRAM ~10x faster than in-place on PMEM.
+    assert 5.0 <= sample_pmem / sample_dram <= 15.0

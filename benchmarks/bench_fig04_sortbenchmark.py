@@ -1,0 +1,50 @@
+"""Figure 4: WiscSort vs external merge sort on sortbenchmark workloads.
+
+Paper: 40-200 GB inputs; OnePass up to 3x and MergePass up to 2x faster
+than the concurrency-optimised EMS; the speedup is roughly constant
+across file sizes; the OnePass->MergePass knee falls where the IndexMap
+stops fitting the 20 GB DRAM cap (between 120 and 160 GB).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import parse_ms, parse_speedup, run_once
+from repro.bench import fig04_sortbenchmark
+
+
+def test_fig04_sortbenchmark(benchmark, bench_scale):
+    table = run_once(benchmark, fig04_sortbenchmark, scale=bench_scale)
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+    wisc_rows = [r for r in rows if r["system"] == "wiscsort"]
+    ems_rows = [r for r in rows if r["system"] == "ems"]
+
+    # Pass selection knee: OnePass through 120 GB, MergePass beyond.
+    passes = {r["paper GB"]: r["pass"] for r in wisc_rows}
+    assert passes[40] == "one" and passes[120] == "one"
+    assert passes[160] == "merge" and passes[200] == "merge"
+
+    # Speedups: OnePass ~3x band, MergePass ~2x band.
+    for r in wisc_rows:
+        s = parse_speedup(r["speedup"])
+        if r["pass"] == "one":
+            assert 2.0 <= s <= 4.0, (r["paper GB"], s)
+        else:
+            assert 1.5 <= s <= 3.0, (r["paper GB"], s)
+
+    # Speedup roughly constant within each pass type (<= 25% spread).
+    one = [parse_speedup(r["speedup"]) for r in wisc_rows if r["pass"] == "one"]
+    assert max(one) / min(one) <= 1.25
+
+    # EMS total write time is ~2x WiscSort OnePass's (paper Sec 4.1).
+    ems40 = next(r for r in ems_rows if r["paper GB"] == 40)
+    wisc40 = next(r for r in wisc_rows if r["paper GB"] == 40)
+    ems_writes = parse_ms(ems40["RUN write"]) + parse_ms(ems40["MERGE write"])
+    wisc_writes = parse_ms(wisc40["RUN write"]) + parse_ms(wisc40["MERGE write"])
+    assert 1.8 <= ems_writes / wisc_writes <= 2.2
+
+    # Totals scale roughly linearly with input size for both systems.
+    ems_total = {r["paper GB"]: parse_ms(r["total"]) for r in ems_rows}
+    assert 4.0 <= ems_total[200] / ems_total[40] <= 6.5

@@ -1,0 +1,39 @@
+"""Figure 5: resource usage of EMS vs WiscSort OnePass (40 GB sort).
+
+Paper: both systems run each I/O operation at (near) the peak bandwidth
+of its access class -- the thread-pool controller's job -- and WiscSort
+consumes less total traffic thanks to strided key reads and random value
+reads.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import fig05_resources_onepass
+
+
+def test_fig05_resources_onepass(benchmark, bench_scale):
+    table = run_once(benchmark, fig05_resources_onepass, scale=bench_scale)
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+
+    # Every I/O phase runs at >= 85% of its access-class peak bandwidth.
+    for r in rows:
+        eff = float(r["peak-class eff."].rstrip("%")) / 100
+        assert eff >= 0.85, (r["system"], r["tag"], eff)
+
+    def internal(system):
+        return sum(
+            float(r["internal MB"]) for r in rows if r["system"] == system
+        )
+
+    # WiscSort moves less device traffic than EMS in total.
+    assert internal("wiscsort-onepass") < internal("ems")
+
+    # EMS moves the dataset 4x (read+write in run and merge); WiscSort
+    # ~3.2x internal (strided keys + amplified random values + one write).
+    dataset_mb = 40_000 / bench_scale  # 40 GB = 40,000 MB, scaled
+    assert internal("ems") >= 3.9 * dataset_mb
+    assert internal("wiscsort-onepass") <= 3.5 * dataset_mb

@@ -1,0 +1,45 @@
+"""Figure 6: resource usage of EMS vs WiscSort MergePass (160 GB sort).
+
+Paper: MergePass loads far fewer bytes in its merge phase -- with the
+160 GB dataset, WiscSort's MERGE read time is ~7x smaller than EMS's,
+because only key-pointer IndexMaps (15 B/record) stream through the read
+buffer instead of whole 100 B records; and MERGE writes dominate
+MergePass's total time.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import parse_ms, run_once
+from repro.bench import fig06_resources_mergepass
+
+
+def test_fig06_resources_mergepass(benchmark, bench_scale):
+    table = run_once(benchmark, fig06_resources_mergepass, scale=bench_scale)
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+
+    def busy(system, tag):
+        for r in rows:
+            if r["system"] == system and r["tag"] == tag:
+                return parse_ms(r["busy ms"])
+        return 0.0
+
+    # MERGE read ~7x smaller for MergePass (paper: "7x smaller").
+    ratio = busy("ems", "MERGE read") / busy("wiscsort-mergepass", "MERGE read")
+    assert 4.0 <= ratio <= 10.0
+
+    # MERGE write dominates WiscSort MergePass (paper Sec 4.1).
+    wisc_tags = [r for r in rows if r["system"] == "wiscsort-mergepass"]
+    merge_write = busy("wiscsort-mergepass", "MERGE write")
+    assert merge_write == max(parse_ms(r["busy ms"]) for r in wisc_tags)
+
+    # EMS total write time ~1.5x MergePass's (paper Sec 4.1).
+    ems_writes = busy("ems", "RUN write") + busy("ems", "MERGE write")
+    wisc_writes = busy("wiscsort-mergepass", "RUN write") + merge_write
+    assert 1.3 <= ems_writes / wisc_writes <= 2.2
+
+    # I/O efficiency stays high for every phase of both systems.
+    for r in rows:
+        assert float(r["peak-class eff."].rstrip("%")) >= 85

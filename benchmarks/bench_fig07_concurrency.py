@@ -1,0 +1,48 @@
+"""Figure 7: concurrency & interference optimisations (400M records).
+
+Paper orderings this bench asserts:
+
+* within every family, no-io-overlap < io-overlap < no-sync (time);
+* EMS no-io-overlap ~25% faster than EMS no-sync;
+* WiscSort OnePass ~7x and MergePass ~4x faster than single-threaded
+  PMSort; MergePass no-io-overlap ~33% faster than the best PMSort+.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import parse_ms, run_once
+from repro.bench import fig07_concurrency
+
+
+def test_fig07_concurrency(benchmark, bench_scale):
+    table = run_once(benchmark, fig07_concurrency, scale=bench_scale)
+    print()
+    print(table.render())
+
+    times = {
+        row[0]: parse_ms(row[1]) for row in table.rows
+    }
+
+    # Family orderings (Fig 2c < 2b < 2a).
+    assert (
+        times["wiscsort-mp no-io-overlap"]
+        < times["wiscsort-mp io-overlap"]
+        < times["wiscsort-mp no-sync"]
+    )
+    assert times["ems no-io-overlap"] < times["ems no-sync"]
+    assert times["pmsort+ io-overlap"] < times["pmsort+ no-sync"]
+
+    # Controlled EMS vs uncontrolled EMS: ~10-35% gap.
+    gap = times["ems no-sync"] / times["ems no-io-overlap"]
+    assert 1.05 <= gap <= 1.45
+
+    # PMSort single-thread vs WiscSort (paper: 7x OnePass, 4x MergePass).
+    assert 5.0 <= times["pmsort single-thread"] / times["wiscsort onepass"] <= 10.0
+    assert 3.0 <= times["pmsort single-thread"] / times["wiscsort-mp no-io-overlap"] <= 7.0
+
+    # MergePass no-io-overlap vs hypothetical best PMSort+ (~33% faster).
+    best_pmsort_plus = min(times["pmsort+ no-sync"], times["pmsort+ io-overlap"])
+    assert 1.15 <= best_pmsort_plus / times["wiscsort-mp no-io-overlap"] <= 1.6
+
+    # Key-value separation alone helps: PMSort+ beats equivalent EMS.
+    assert times["pmsort+ no-sync"] < times["ems no-sync"]

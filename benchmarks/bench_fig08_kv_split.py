@@ -1,0 +1,39 @@
+"""Figure 8: key-value splitting benefit across V:K ratios.
+
+Paper: OnePass beats EMS at *every* value size; MergePass beats EMS only
+when V:K > 1 (it loses at V <= K because small random value reads are
+inefficient); the gap grows with the value size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import parse_speedup, run_once
+from repro.bench import fig08_kv_split
+
+
+def test_fig08_kv_split(benchmark, bench_scale):
+    table = run_once(benchmark, fig08_kv_split, scale=bench_scale)
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+    by_value = {r["value B"]: r for r in rows}
+
+    # OnePass outperforms EMS regardless of the V:K ratio.
+    for r in rows:
+        assert parse_speedup(r["onepass speedup"]) > 1.0, r["value B"]
+
+    # MergePass outperforms EMS iff V:K > 1 (key is 10 B).
+    assert parse_speedup(by_value[10]["mergepass speedup"]) < 1.0
+    for v in (50, 90, 256, 502):
+        assert parse_speedup(by_value[v]["mergepass speedup"]) > 1.0, v
+
+    # The gap grows with the value size for both passes.
+    one = [parse_speedup(r["onepass speedup"]) for r in rows]
+    merge = [parse_speedup(r["mergepass speedup"]) for r in rows]
+    assert one == sorted(one)
+    assert merge == sorted(merge)
+
+    # Large-value speedups approach the paper's 3x (OnePass) / 2x+ bands.
+    assert parse_speedup(by_value[502]["onepass speedup"]) >= 2.5
+    assert parse_speedup(by_value[502]["mergepass speedup"]) >= 2.0

@@ -1,0 +1,33 @@
+"""Figure 9: loading the IndexMap via strided vs sequential reads.
+
+Paper: strided gather of keys beats sequentially reading whole records
+(PMSort-style) at every V:K ratio, reaching ~3x for 502 B values; the
+benefit shrinks as the value size approaches the key size.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import parse_speedup, run_once
+from repro.bench import fig09_strided_vs_seq
+
+
+def test_fig09_strided_vs_seq(benchmark, bench_scale):
+    table = run_once(benchmark, fig09_strided_vs_seq, scale=bench_scale)
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+    by_value = {r["value B"]: parse_speedup(r["strided speedup"]) for r in rows}
+
+    # Strided gather wins at every V:K ratio (R property).
+    for v, s in by_value.items():
+        assert s > 1.0, (v, s)
+
+    # Benefit grows with the value size, reaching ~3x at V=502.
+    speedups = [parse_speedup(r["strided speedup"]) for r in rows]
+    assert speedups == sorted(speedups)
+    assert 2.5 <= by_value[502] <= 3.6
+
+    # Benefit is modest when key and value sizes are close (paper: the
+    # sequential/strided difference is "reduced" around V=50-90).
+    assert by_value[50] <= 2.0

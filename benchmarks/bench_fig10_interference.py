@@ -1,0 +1,49 @@
+"""Figure 10: robustness under background I/O interference.
+
+Paper: background *writers* hurt far more than background readers
+(writes scale poorly on PMEM); WiscSort remains ~2x faster than EMS
+regardless of the interference intensity; WiscSort's random reads make
+it *more* sensitive to background random readers than EMS.
+
+Known deviation (recorded in EXPERIMENTS.md): the paper reports up to
+14x slowdown with 8 background writers; our interference model tops out
+around 3-4x.  The orderings and monotonic trends all hold.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import parse_ms, parse_speedup, run_once
+from repro.bench import fig10_interference
+
+
+def test_fig10_interference(benchmark, bench_scale):
+    table = run_once(benchmark, fig10_interference, scale=bench_scale)
+    print()
+    print(table.render())
+
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+
+    def slowdown(kind, clients, system):
+        for r in rows:
+            if r["kind"] == kind and r["clients"] == clients:
+                return parse_speedup(r[f"{system} slowdown"])
+        raise KeyError((kind, clients))
+
+    # Slowdown grows monotonically with client count for both kinds.
+    for kind in ("read", "write"):
+        for system in ("wiscsort", "ems"):
+            series = [slowdown(kind, c, system) for c in (0, 1, 2, 4, 8)]
+            assert series == sorted(series), (kind, system, series)
+
+    # Writers hurt much more than readers at every client count.
+    for system in ("wiscsort", "ems"):
+        assert slowdown("write", 8, system) > 1.5 * slowdown("read", 8, system)
+
+    # WiscSort (random reads) degrades more than EMS under background
+    # readers (paper: 45% vs 25% at 8 random readers).
+    assert slowdown("read", 8, "wiscsort") > slowdown("read", 8, "ems")
+
+    # WiscSort stays ~2x faster than EMS at every interference level.
+    for r in rows:
+        ratio = parse_ms(r["ems ms"]) / parse_ms(r["wiscsort ms"])
+        assert ratio >= 1.7, (r["kind"], r["clients"], ratio)

@@ -1,0 +1,61 @@
+"""Figure 11: sorting on emulated future BRAID devices (100M records).
+
+Paper:
+* 11a BD-Device (slow random reads): EMS is best; WiscSort pays a huge
+  price for relying on random reads in both phases; in-place sample sort
+  sits in between (one-time random-access cost).
+* 11b BRD-Device (rand == seq == write): OnePass is best; sample sort
+  beats both EMS and MergePass; EMS (which writes everything twice) is
+  slowest; MergePass with and without interference-aware scheduling
+  perform similarly (no I property).
+* 11c BARD-Device (writes 500 ns/line slower): writes dominate; OnePass
+  achieves the lowest time; sample sort beats MergePass; EMS is ~2x
+  slower than WiscSort; IO-overlap ~= no-overlap (no I property).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import parse_ms, run_once
+from repro.bench import fig11_future_devices
+
+
+def test_fig11_future_devices(benchmark, bench_scale):
+    table = run_once(benchmark, fig11_future_devices, scale=bench_scale)
+    print()
+    print(table.render())
+
+    times = {}
+    for device, system, ms in table.rows:
+        times[(device, system)] = parse_ms(ms)
+
+    def t(device, system):
+        return times[(device, system)]
+
+    # --- 11a: BD-Device ---
+    assert t("bd-device", "ems") < t("bd-device", "sample sort")
+    assert t("bd-device", "sample sort") < t("bd-device", "wiscsort onepass")
+    assert t("bd-device", "ems") < t("bd-device", "wiscsort mergepass")
+    # WiscSort pays a *huge* price: >= 2x EMS.
+    assert t("bd-device", "wiscsort onepass") >= 2.0 * t("bd-device", "ems")
+
+    # --- 11b: BRD-Device ---
+    assert t("brd-device", "wiscsort onepass") < t("brd-device", "sample sort")
+    assert t("brd-device", "sample sort") < t("brd-device", "wiscsort mergepass")
+    assert t("brd-device", "wiscsort mergepass") < t("brd-device", "ems")
+    # No interference -> IO overlap is at least as good as no overlap.
+    assert (
+        t("brd-device", "wiscsort mergepass io-overlap")
+        <= t("brd-device", "wiscsort mergepass") * 1.05
+    )
+
+    # --- 11c: BARD-Device ---
+    assert t("bard-device", "wiscsort onepass") == min(
+        v for (d, _), v in times.items() if d == "bard-device"
+    )
+    assert t("bard-device", "sample sort") < t("bard-device", "wiscsort mergepass")
+    ems_vs_wisc = t("bard-device", "ems") / t("bard-device", "wiscsort onepass")
+    assert 1.8 <= ems_vs_wisc <= 3.2
+    assert (
+        t("bard-device", "wiscsort mergepass io-overlap")
+        <= t("bard-device", "wiscsort mergepass") * 1.05
+    )

@@ -1,0 +1,26 @@
+"""Table 1: sorting systems' compliance with the BRAID model."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import tab01_compliance
+
+
+def test_tab01_compliance(benchmark):
+    table = run_once(benchmark, tab01_compliance)
+    print()
+    print(table.render())
+
+    rows = {row[0]: row[1:] for row in table.rows}
+    # WiscSort complies with all five properties.
+    assert rows["wiscsort"] == ["yes"] * 5
+    # The I+D-aware EMS used in the evaluation has exactly I and D.
+    assert rows["external merge sort"] == ["-", "-", "-", "yes", "yes"]
+    # Naive EMS complies with nothing.
+    assert rows["external merge sort (naive)"] == ["-"] * 5
+    # PMSort: B and A only (Sec 2.4.3 / Table 1).
+    assert rows["pmsort"] == ["yes", "-", "yes", "-", "-"]
+    # In-place sample sort: B and R.
+    assert rows["in-place sample sort"] == ["yes", "yes", "-", "-", "-"]
+    # Modified-key sort [44]: A only.
+    assert rows["modified-key sort"] == ["-", "-", "yes", "-", "-"]

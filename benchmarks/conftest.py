@@ -1,0 +1,36 @@
+"""Benchmark harness configuration.
+
+Each benchmark module reproduces one table/figure: it runs the
+experiment once under pytest-benchmark (the workloads are deterministic
+simulations -- repetition adds nothing), prints the table the paper
+reports, and asserts the paper's qualitative shape.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scale divisor applied to the paper's record counts (see DESIGN.md).
+BENCH_SCALE = 1_000
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def parse_ms(cell: str) -> float:
+    return float(cell)
+
+
+def parse_speedup(cell: str) -> float:
+    return float(str(cell).rstrip("x"))

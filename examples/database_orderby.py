@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""ORDER BY on a non-indexed column, the paper's motivating workload.
+
+Relational databases fall back to external sorting for ORDER BY queries
+on non-indexed keys whose input exceeds memory (paper Sec 1).  This
+example builds a row-oriented "orders" table on simulated PMEM, then
+executes
+
+    SELECT * FROM orders ORDER BY order_total;
+
+with WiscSort, under a DRAM budget small enough that the engine must
+spill -- and shows how key-value separation keeps the spill cheap.
+
+Run:  python examples/database_orderby.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ExternalMergeSort,
+    Machine,
+    RecordFormat,
+    SortConfig,
+    WiscSort,
+    pmem_profile,
+)
+from repro.units import KiB, MiB, fmt_bytes, fmt_seconds
+
+#: Row layout: 8B order_total (big-endian, the sort key) followed by a
+#: 120B payload (customer, address, line items...).  Row-oriented binary
+#: formats like this are exactly the paper's target (Sec 2.5).
+ROW_FORMAT = RecordFormat(key_size=8, value_size=120, pointer_size=5)
+
+
+def build_orders_table(machine: Machine, n_rows: int):
+    """Materialise a table whose sort key is uniformly distributed."""
+    rng = np.random.default_rng(7)
+    rows = np.zeros((n_rows, ROW_FORMAT.record_size), dtype=np.uint8)
+    # order_total as big-endian u64 cents: byte order == numeric order.
+    totals = rng.integers(100, 5_000_000, size=n_rows, dtype=np.uint64)
+    rows[:, :8] = totals.byteswap().view(np.uint8).reshape(n_rows, 8)
+    rows[:, 8:] = rng.integers(0, 256, size=(n_rows, 120), dtype=np.uint8)
+    table = machine.fs.create("orders.tbl")
+    table.poke(0, rows.reshape(-1))
+    return table
+
+
+def order_by(system_cls, n_rows: int, dram_budget: int, **kwargs):
+    machine = Machine(profile=pmem_profile(), dram_budget=dram_budget)
+    table = build_orders_table(machine, n_rows)
+    config = SortConfig(read_buffer=2 * MiB, write_buffer=1 * MiB)
+    system = system_cls(ROW_FORMAT, config=config, **kwargs)
+    result = system.run(machine, table)
+    return system, result
+
+
+def main() -> None:
+    n_rows = 300_000
+    # DRAM holds only ~1.5 MB beyond the buffers: WiscSort's 13 B/row
+    # IndexMap (3.9 MB total) does not fit, forcing MergePass -- the
+    # regime where key-value separation matters most.
+    dram_budget = 3 * MiB
+
+    print(f"table: {n_rows} rows x {ROW_FORMAT.record_size}B "
+          f"({fmt_bytes(n_rows * ROW_FORMAT.record_size)}), "
+          f"DRAM budget {fmt_bytes(dram_budget)}\n")
+    print("query: SELECT * FROM orders ORDER BY order_total;\n")
+
+    wisc_system, wisc = order_by(WiscSort, n_rows, dram_budget)
+    _, ems = order_by(ExternalMergeSort, n_rows, dram_budget)
+
+    pass_used = "MergePass" if wisc_system.used_merge_pass else "OnePass"
+    print(f"WiscSort ({pass_used}): {fmt_seconds(wisc.total_time)}  "
+          f"writes {fmt_bytes(wisc.user_written)}")
+    print(f"External merge sort:  {fmt_seconds(ems.total_time)}  "
+          f"writes {fmt_bytes(ems.user_written)}")
+    print(f"\nWiscSort answers the query {ems.total_time / wisc.total_time:.2f}x "
+          "faster because its spill files hold 13-byte key-pointer entries "
+          "instead of 128-byte rows.")
+
+
+if __name__ == "__main__":
+    main()

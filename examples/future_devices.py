@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Choosing a sorting strategy for a future BRAID device.
+
+The BRAID model (Sec 2.3) spans devices with very different property
+mixes.  This example calibrates each device with the microbenchmark
+suite (Sec 3.8), runs every sorting strategy on it, and reports which
+one a deployment should pick -- reproducing the Sec 4.5 conclusions:
+
+* poor random reads (BD)   -> classic external merge sort;
+* symmetric fast (BRD)     -> WiscSort OnePass;
+* write-asymmetric (BARD)  -> WiscSort (writes dominate, halve them).
+
+Run:  python examples/future_devices.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ExternalMergeSort,
+    HostModel,
+    Machine,
+    RecordFormat,
+    SampleSort,
+    WiscSort,
+    calibrate_device,
+    generate_dataset,
+    PROFILE_FACTORIES,
+)
+from repro.units import fmt_seconds
+
+
+def best_strategy(profile, n_records: int):
+    fmt = RecordFormat()
+    systems = {
+        "external merge sort": ExternalMergeSort(fmt),
+        "in-place sample sort": SampleSort(fmt),
+        "wiscsort": WiscSort(fmt),
+    }
+    times = {}
+    for name, system in systems.items():
+        machine = Machine(profile=profile)
+        data = generate_dataset(machine, "input", n_records, fmt, seed=1)
+        times[name] = system.run(machine, data, validate=False).total_time
+    return times
+
+
+def main() -> None:
+    n = 50_000
+    host = HostModel()
+    for device_name in ("pmem", "bd-device", "brd-device", "bard-device"):
+        profile = PROFILE_FACTORIES[device_name]()
+        calibration = calibrate_device(profile, host)
+        print(f"=== {device_name} ===")
+        print(f"  {profile.describe()}")
+        print(f"  calibrated pools: seq-read={calibration.seq_read.best_threads}, "
+              f"rand-read={calibration.rand_read.best_threads}, "
+              f"write={calibration.write.best_threads}")
+        times = best_strategy(profile, n)
+        winner = min(times, key=times.get)
+        for name, t in sorted(times.items(), key=lambda kv: kv[1]):
+            marker = "  <-- best" if name == winner else ""
+            print(f"  {name:22s} {fmt_seconds(t)}{marker}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

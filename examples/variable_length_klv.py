@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Sorting variable-length records (Key-Length-Value encoding).
+
+Real key-value workloads rarely have fixed-size values; the paper
+handles them with KLV encoding (Sec 2.5, 3.7.3): a fixed-size key, a
+length field, then the value.  The IndexMap gains a vlength attribute
+and the RUN phase becomes a serial header walk (value lengths are only
+discoverable by reading each header).
+
+This example sorts a workload with values between 16 B and 400 B --
+the skew found in production KV stores (small keys, mixed values) --
+and shows the serial-scan cost showing up in "RUN read".
+
+Run:  python examples/variable_length_klv.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    KLVFormat,
+    Machine,
+    WiscSortKLV,
+    generate_klv_dataset,
+    pmem_profile,
+)
+from repro.units import fmt_bytes, fmt_seconds
+
+
+def main() -> None:
+    fmt = KLVFormat(key_size=10, len_size=4, pointer_size=5)
+    machine = Machine(profile=pmem_profile())
+    n = 50_000
+    data = generate_klv_dataset(
+        machine, "kvstore.dump", n, fmt, min_value=16, max_value=400, seed=3
+    )
+    print(f"input: {n} KLV records, {fmt_bytes(data.size)} "
+          f"(values 16-400B, 10B keys)\n")
+
+    system = WiscSortKLV(fmt)
+    result = system.run(machine, data)  # validates: sorted permutation
+
+    print(f"{result.system}: {fmt_seconds(result.total_time)}")
+    for tag, busy in result.phases.items():
+        share = 100 * busy / result.total_time
+        print(f"  {tag:12s} {fmt_seconds(busy):>12s}  ({share:4.1f}%)")
+    print(f"\npass used: {'MergePass' if system.used_merge_pass else 'OnePass'}")
+    print(f"records validated: {result.n_records}")
+    print("\nNote the serial RUN read: with unknown value lengths a single "
+          "reader thread must walk the headers (Sec 3.7.3), so the gather "
+          "runs at single-thread sequential bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Baseline sorting systems the paper compares against.
+
+* :class:`~repro.baselines.external_merge_sort.ExternalMergeSort` --
+  classic record-moving external merge sort, in the three concurrency
+  flavours of Fig 2 (the NO_IO_OVERLAP flavour is the paper's
+  "competitive" I+D-aware comparison point).
+* :class:`~repro.baselines.pmsort.PMSort` /
+  :class:`~repro.baselines.pmsort.PMSortPlus` -- the single-threaded
+  key-value-separating PM sort of Hua et al. [43] and the paper's own
+  multi-threaded extensions.
+* :class:`~repro.baselines.sample_sort.SampleSort` -- in-place
+  concurrent sample sort (IPS4o-style) operating directly on the device.
+"""
+
+from repro.baselines.external_merge_sort import ExternalMergeSort
+from repro.baselines.modified_key_sort import ModifiedKeySort
+from repro.baselines.pmsort import PMSort, PMSortPlus
+from repro.baselines.sample_sort import SampleSort, SampleSortCostModel
+
+__all__ = [
+    "ExternalMergeSort",
+    "ModifiedKeySort",
+    "PMSort",
+    "PMSortPlus",
+    "SampleSort",
+    "SampleSortCostModel",
+]

@@ -1,0 +1,49 @@
+"""Experiment harness: one entry per paper table/figure.
+
+Each ``fig*``/``tab*`` function builds the workload, runs the systems,
+and returns a :class:`~repro.metrics.report.BenchTable` with the same
+rows/series the paper reports.  The ``benchmarks/`` pytest modules print
+these tables and assert the paper's qualitative shape.
+"""
+
+from repro.bench.ablations import (
+    ablation_buffer_size,
+    ablation_natural_runs,
+    ablation_compression,
+    ablation_dram_budget,
+    ablation_merge_fanin,
+    ablation_pointer_size,
+    ablation_write_pool,
+)
+from repro.bench.experiments import (
+    fig01_motivation,
+    fig04_sortbenchmark,
+    fig05_resources_onepass,
+    fig06_resources_mergepass,
+    fig07_concurrency,
+    fig08_kv_split,
+    fig09_strided_vs_seq,
+    fig10_interference,
+    fig11_future_devices,
+    tab01_compliance,
+)
+
+__all__ = [
+    "ablation_buffer_size",
+    "ablation_natural_runs",
+    "ablation_compression",
+    "ablation_dram_budget",
+    "ablation_merge_fanin",
+    "ablation_pointer_size",
+    "ablation_write_pool",
+    "fig01_motivation",
+    "fig04_sortbenchmark",
+    "fig05_resources_onepass",
+    "fig06_resources_mergepass",
+    "fig07_concurrency",
+    "fig08_kv_split",
+    "fig09_strided_vs_seq",
+    "fig10_interference",
+    "fig11_future_devices",
+    "tab01_compliance",
+]

@@ -1,0 +1,10 @@
+"""Device characterisation microbenchmarks (paper Sec 3.8).
+
+"In our system, a microbenchmark determines the device's peak bandwidth
+capabilities and scaling behavior. The controller then utilizes this
+information at run time to determine the thread pool sizes."
+"""
+
+from repro.calibrate.microbench import CalibrationResult, calibrate_device
+
+__all__ = ["CalibrationResult", "calibrate_device"]

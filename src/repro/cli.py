@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``sort``        sort a generated dataset with a chosen system and print
+                the phase breakdown and resource timeline.
+``calibrate``   run the device microbenchmark suite on a profile.
+``bench``       run one paper experiment (fig01 ... fig11, tab01, or an
+                ablation) and print its table.
+``profiles``    list the available device profiles.
+
+Examples::
+
+    python -m repro sort --records 200000 --system wiscsort --device pmem
+    python -m repro calibrate --device bard-device
+    python -m repro bench fig08 --scale 2000
+    python -m repro profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro import bench as bench_module
+from repro.baselines import (
+    ExternalMergeSort,
+    ModifiedKeySort,
+    PMSort,
+    PMSortPlus,
+    SampleSort,
+)
+from repro.calibrate import calibrate_device
+from repro.core.base import ConcurrencyModel, SortConfig
+from repro.core.wiscsort import WiscSort
+from repro.device.host import HostModel
+from repro.device.profiles import PROFILE_FACTORIES
+from repro.machine import Machine
+from repro.metrics.timeline import render_timeline
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.units import fmt_bytes, fmt_seconds
+
+#: name -> constructor(fmt, config) for the ``sort`` command.
+SYSTEMS: Dict[str, Callable] = {
+    "wiscsort": lambda fmt, config: WiscSort(fmt, config=config),
+    "wiscsort-merge": lambda fmt, config: WiscSort(
+        fmt, config=config, force_merge_pass=True
+    ),
+    "ems": lambda fmt, config: ExternalMergeSort(fmt, config=config),
+    "pmsort": lambda fmt, config: PMSort(fmt, config=config),
+    "pmsort+": lambda fmt, config: PMSortPlus(fmt, config=config),
+    "sample-sort": lambda fmt, config: SampleSort(fmt),
+    "modified-key-sort": lambda fmt, config: ModifiedKeySort(fmt, config=config),
+}
+
+#: Experiment registry for the ``bench`` command.
+EXPERIMENTS: Dict[str, Callable] = {
+    "tab01": bench_module.tab01_compliance,
+    "fig01": bench_module.fig01_motivation,
+    "fig04": bench_module.fig04_sortbenchmark,
+    "fig05": bench_module.fig05_resources_onepass,
+    "fig06": bench_module.fig06_resources_mergepass,
+    "fig07": bench_module.fig07_concurrency,
+    "fig08": bench_module.fig08_kv_split,
+    "fig09": bench_module.fig09_strided_vs_seq,
+    "fig10": bench_module.fig10_interference,
+    "fig11": bench_module.fig11_future_devices,
+    "ablation-write-pool": bench_module.ablation_write_pool,
+    "ablation-pointer": bench_module.ablation_pointer_size,
+    "ablation-dram": bench_module.ablation_dram_budget,
+    "ablation-buffers": bench_module.ablation_buffer_size,
+    "ablation-compression": bench_module.ablation_compression,
+    "ablation-natural-runs": bench_module.ablation_natural_runs,
+    "ablation-merge-fanin": bench_module.ablation_merge_fanin,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WiscSort reproduction (PVLDB 16(9), 2023)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sort = sub.add_parser("sort", help="sort a generated dataset")
+    p_sort.add_argument("--records", type=int, default=100_000)
+    p_sort.add_argument("--key-size", type=int, default=10)
+    p_sort.add_argument("--value-size", type=int, default=90)
+    p_sort.add_argument("--system", choices=sorted(SYSTEMS), default="wiscsort")
+    p_sort.add_argument(
+        "--device", choices=sorted(PROFILE_FACTORIES), default="pmem"
+    )
+    p_sort.add_argument(
+        "--concurrency",
+        choices=[m.value for m in ConcurrencyModel],
+        default=ConcurrencyModel.NO_IO_OVERLAP.value,
+    )
+    p_sort.add_argument("--seed", type=int, default=42)
+    p_sort.add_argument("--dram-budget", type=int, default=None,
+                        help="DRAM cap in bytes (forces MergePass when small)")
+    p_sort.add_argument("--no-validate", action="store_true")
+    p_sort.add_argument("--timeline", action="store_true",
+                        help="print the resource-usage sparkline plot")
+
+    p_cal = sub.add_parser("calibrate", help="probe a device profile")
+    p_cal.add_argument(
+        "--device", choices=sorted(PROFILE_FACTORIES), default="pmem"
+    )
+
+    p_bench = sub.add_parser("bench", help="run one paper experiment")
+    p_bench.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_bench.add_argument("--scale", type=int, default=1_000,
+                         help="divide the paper's record counts by this")
+
+    sub.add_parser("profiles", help="list available device profiles")
+    return parser
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    profile = PROFILE_FACTORIES[args.device]()
+    machine = Machine(profile=profile, dram_budget=args.dram_budget)
+    fmt = RecordFormat(key_size=args.key_size, value_size=args.value_size)
+    data = generate_dataset(machine, "input", args.records, fmt, seed=args.seed)
+    config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
+    system = SYSTEMS[args.system](fmt, config)
+    result = system.run(machine, data, validate=not args.no_validate)
+    print(f"device : {profile.describe()}")
+    print(f"input  : {args.records} records x {fmt.record_size}B "
+          f"({fmt_bytes(data.size)})")
+    print(f"system : {result.system}")
+    print(f"total  : {fmt_seconds(result.total_time)} (simulated)")
+    for tag, busy in result.phases.items():
+        print(f"  {tag:16s} {fmt_seconds(busy)}")
+    print(f"reads  : {fmt_bytes(result.internal_read)} internal")
+    print(f"writes : {fmt_bytes(result.internal_written)} internal")
+    if not args.no_validate:
+        print("output : validated (sorted permutation of the input)")
+    if args.timeline:
+        print()
+        print(render_timeline(machine))
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    profile = PROFILE_FACTORIES[args.device]()
+    result = calibrate_device(profile, HostModel(), use_cache=False)
+    for line in result.table():
+        print(line)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    fn = EXPERIMENTS[args.experiment]
+    table = fn() if args.experiment == "tab01" else fn(scale=args.scale)
+    print(table.render())
+    return 0
+
+
+def cmd_profiles(_args: argparse.Namespace) -> int:
+    for name in sorted(PROFILE_FACTORIES):
+        print(PROFILE_FACTORIES[name]().describe())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "sort": cmd_sort,
+        "calibrate": cmd_calibrate,
+        "bench": cmd_bench,
+        "profiles": cmd_profiles,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""WiscSort core: the paper's primary contribution.
+
+Public pieces:
+
+* :class:`~repro.core.wiscsort.WiscSort` -- the BRAID-compliant external
+  sort (OnePass / MergePass, Sec 3).
+* :class:`~repro.core.klv_sort.WiscSortKLV` -- the variable-length-value
+  variant (Sec 3.7.3).
+* :class:`~repro.core.controller.ThreadPoolController` -- pool sizing
+  from device calibration (Sec 3.4).
+* :class:`~repro.core.base.SortConfig` / concurrency models (Fig 2).
+"""
+
+from repro.core.base import ConcurrencyModel, SortConfig, SortResult, SortSystem
+from repro.core.controller import ThreadPoolController
+from repro.core.indexmap import IndexMap
+from repro.core.natural_runs import NaturalRunWiscSort, find_natural_runs, sortedness
+from repro.core.wiscsort import WiscSort
+from repro.core.klv_sort import WiscSortKLV
+
+__all__ = [
+    "ConcurrencyModel",
+    "SortConfig",
+    "SortResult",
+    "SortSystem",
+    "ThreadPoolController",
+    "IndexMap",
+    "NaturalRunWiscSort",
+    "find_natural_runs",
+    "sortedness",
+    "WiscSort",
+    "WiscSortKLV",
+]

@@ -1,0 +1,182 @@
+"""IndexMap compression (paper Sec 5, future work).
+
+"one could compress the IndexMap files before they are written to the
+BRAID device ... Compression will be worthwhile only if the cost of
+reads and decompression is smaller than that of compression and writes.
+Compression also places new demands on the CPU."
+
+We implement exactly that tradeoff: IndexMap runs are compressed with
+zlib in fixed-entry *frames* (so the merge phase can still stream them
+window-by-window), the real compressed bytes are written, and the CPU
+cost of (de)compression is charged against the host model.
+:func:`estimate_benefit` evaluates the paper's worthwhileness formula
+for a given device and measured ratio, and the ablation benchmark
+exercises it on both incompressible (uniform gensort) and compressible
+(low-cardinality key) workloads.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.kway import RunCursor
+from repro.device.host import HostModel
+from repro.device.profile import DeviceProfile
+from repro.errors import ConfigError, SimulationError
+from repro.units import GB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+    from repro.storage.file import SimFile
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """Throughput/shape constants of the (de)compressor.
+
+    Defaults approximate single-core zlib level 1 on key-pointer data.
+    """
+
+    compress_bw_per_core: float = 0.5 * GB
+    decompress_bw_per_core: float = 1.5 * GB
+    level: int = 1
+    frame_entries: int = 4096
+
+    def __post_init__(self):
+        if not 1 <= self.level <= 9:
+            raise ConfigError("zlib level must be in [1, 9]")
+        if self.frame_entries < 1:
+            raise ConfigError("frame_entries must be >= 1")
+
+    def compress_seconds(self, nbytes: int) -> float:
+        """Single-core CPU time to compress ``nbytes`` of input."""
+        return nbytes / self.compress_bw_per_core
+
+    def decompress_seconds(self, nbytes: int) -> float:
+        """Single-core CPU time to decompress to ``nbytes`` of output."""
+        return nbytes / self.decompress_bw_per_core
+
+
+def estimate_benefit(
+    profile: DeviceProfile,
+    host: HostModel,
+    model: CompressionModel,
+    ratio: float,
+    cores: int = 1,
+) -> float:
+    """Net simulated seconds saved per input byte by compressing a run.
+
+    Positive means worthwhile.  A run file is written once and read once
+    (run write + merge read); compression shrinks both transfers by
+    ``1 - 1/ratio`` but costs CPU on both sides.  This is the paper's
+    Sec 5 criterion made explicit.
+    """
+    if ratio <= 0:
+        raise ConfigError("ratio must be positive")
+    write_bw = profile.write.peak
+    read_bw = profile.seq_read.peak
+    saved_io = (1 - 1 / ratio) * (1 / write_bw + 1 / read_bw)
+    cpu_cost = (
+        model.compress_seconds(1) + model.decompress_seconds(1)
+    ) / max(1, min(cores, host.ncores))
+    return saved_io - cpu_cost
+
+
+@dataclass
+class FrameInfo:
+    """Location of one compressed frame inside a run file."""
+
+    offset: int
+    compressed_bytes: int
+    n_entries: int
+
+
+class CompressedRunWriter:
+    """Compress IndexMap bytes into frames and emit the write plan.
+
+    The caller (WiscSort's run phase) performs the actual timed ops:
+    one compute op for compression, one sequential write of the
+    compressed payload.
+    """
+
+    def __init__(self, model: CompressionModel):
+        self.model = model
+
+    def build_frames(
+        self, entry_bytes: np.ndarray, entry_size: int
+    ) -> Tuple[np.ndarray, List[FrameInfo], float]:
+        """Returns (payload, frame_table, achieved_ratio)."""
+        if entry_bytes.size % entry_size:
+            raise SimulationError("buffer is not a whole number of entries")
+        n = entry_bytes.size // entry_size
+        frames: List[FrameInfo] = []
+        chunks: List[np.ndarray] = []
+        offset = 0
+        step = self.model.frame_entries
+        raw = entry_bytes.tobytes()
+        for start in range(0, n, step):
+            stop = min(n, start + step)
+            piece = raw[start * entry_size : stop * entry_size]
+            comp = zlib.compress(piece, self.model.level)
+            chunks.append(np.frombuffer(comp, dtype=np.uint8))
+            frames.append(FrameInfo(offset, len(comp), stop - start))
+            offset += len(comp)
+        payload = (
+            np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.uint8)
+        )
+        ratio = entry_bytes.size / payload.size if payload.size else 1.0
+        return payload, frames, ratio
+
+
+class CompressedRunCursor(RunCursor):
+    """A RunCursor over a frame-compressed run file.
+
+    ``refill_op`` reads the next whole frame; ``accept`` decompresses it
+    (real zlib) and returns a compute op the driver must yield to charge
+    the decompression cost.
+    """
+
+    def __init__(
+        self,
+        run_file: "SimFile",
+        frames: List[FrameInfo],
+        entry_size: int,
+        key_size: int,
+        machine: "Machine",
+        model: CompressionModel,
+    ):
+        # window_bytes is irrelevant: frames define the window.
+        super().__init__(run_file, entry_size, key_size, entry_size)
+        self.frames = frames
+        self.machine = machine
+        self.model = model
+        self._next_frame = 0
+
+    @property
+    def file_exhausted(self) -> bool:  # type: ignore[override]
+        return self._next_frame >= len(self.frames)
+
+    def refill_op(self, tag: str, threads: int = 1):
+        if not self.needs_refill:
+            raise SimulationError("refill_op called on a non-empty cursor")
+        frame = self.frames[self._next_frame]
+        self._next_frame += 1
+        self.bytes_loaded += frame.compressed_bytes
+        return self.file.read(
+            frame.offset, frame.compressed_bytes, tag=tag, threads=threads
+        )
+
+    def accept(self, data: np.ndarray):  # type: ignore[override]
+        raw = zlib.decompress(data.tobytes())
+        self.window = np.frombuffer(raw, dtype=np.uint8).reshape(
+            -1, self.entry_size
+        ).copy()
+        return self.machine.compute(
+            self.model.decompress_seconds(len(raw)),
+            tag="MERGE decompress",
+            cores=1,
+        )

@@ -1,0 +1,69 @@
+"""Thread-pool controller (paper Sec 3.4).
+
+Determines the pool size for each operation class from device
+calibration.  On the paper's PMEM testbed this resolves to 16-32 read
+threads and ~5 write threads; on other BRAID devices the controller
+adapts automatically because it consumes measured scaling curves, not
+hard-coded constants.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.calibrate.microbench import CalibrationResult, calibrate_device
+from repro.core.base import ConcurrencyModel, SortConfig
+from repro.device.profile import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+
+class ThreadPoolController:
+    """Pool-size oracle for one machine's device.
+
+    ``NO_SYNC`` runs bypass the controller by design (Fig 2a): pools are
+    *uncontrolled* -- every operation uses as many threads as there are
+    cores, which is exactly what hurts on devices whose write bandwidth
+    degrades beyond a few threads.
+    """
+
+    def __init__(self, machine: "Machine", config: SortConfig):
+        self.machine = machine
+        self.config = config
+        self.calibration: CalibrationResult = calibrate_device(
+            machine.profile, machine.host
+        )
+
+    # ------------------------------------------------------------------
+    def read_threads(self, pattern: Pattern = Pattern.SEQ) -> int:
+        """Pool size for reads of the given access pattern."""
+        if self.config.concurrency is ConcurrencyModel.NO_SYNC:
+            return self.machine.host.ncores
+        if self.config.read_threads is not None:
+            return self.config.read_threads
+        if pattern is Pattern.SEQ:
+            return self.calibration.seq_read.best_threads
+        return self.calibration.rand_read.best_threads
+
+    def write_threads(self) -> int:
+        """Pool size for writes (PMEM: small -- writes do not scale)."""
+        if self.config.concurrency is ConcurrencyModel.NO_SYNC:
+            return self.machine.host.ncores
+        if self.config.write_threads is not None:
+            return self.config.write_threads
+        return self.calibration.write.best_threads
+
+    def sort_cores(self) -> int:
+        """Cores used by in-memory sorting."""
+        if self.config.sort_cores is not None:
+            return self.config.sort_cores
+        return self.machine.host.ncores
+
+    def describe(self) -> str:
+        return (
+            f"pools(device={self.calibration.device_name}): "
+            f"seq-read={self.read_threads(Pattern.SEQ)}, "
+            f"rand-read={self.read_threads(Pattern.RAND)}, "
+            f"write={self.write_threads()}, sort={self.sort_cores()}"
+        )

@@ -1,0 +1,164 @@
+"""K-way merge machinery shared by all merge-based sorting systems.
+
+The merge phase of every system (external merge sort over record runs,
+WiscSort/PMSort over IndexMap runs) follows the paper's cursor protocol
+(Sec 3.7, steps 6-9): the read buffer is split evenly among the run
+files, cursors track the current window of each run, exhausted windows
+are refilled, and when a run drains its buffer share is redistributed.
+
+For simulation efficiency the merge is executed in *batches* rather than
+record-at-a-time: all windowed entries whose key is <= the smallest
+"window-end" key across still-readable runs are globally safe to emit
+(any unread entry of run *j* is >= the last key currently windowed from
+run *j*).  Batching changes nothing about the output or the I/O pattern
+-- it only aggregates the per-record CPU cost into one op.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.records.format import key_sort_indices, leq_mask, min_key
+from repro.storage.file import SimFile
+from repro.units import ceil_div
+
+
+class RunCursor:
+    """Window over one sorted run file of fixed-size entries.
+
+    The driver loop must uphold the protocol::
+
+        while not cursor.done:
+            if cursor.needs_refill:
+                data = yield cursor.refill_op(tag, threads)
+                cursor.accept(data)
+            ...
+    """
+
+    def __init__(
+        self,
+        run_file: SimFile,
+        entry_size: int,
+        key_size: int,
+        window_bytes: int,
+    ):
+        if entry_size < key_size:
+            raise SimulationError("entry_size must be >= key_size")
+        self.file = run_file
+        self.entry_size = entry_size
+        self.key_size = key_size
+        self.window_entries = max(1, window_bytes // entry_size)
+        self.pos = 0
+        self.window = np.zeros((0, entry_size), dtype=np.uint8)
+        self.bytes_loaded = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def file_exhausted(self) -> bool:
+        return self.pos >= self.file.size
+
+    @property
+    def done(self) -> bool:
+        return self.file_exhausted and self.window.shape[0] == 0
+
+    @property
+    def needs_refill(self) -> bool:
+        return self.window.shape[0] == 0 and not self.file_exhausted
+
+    def grow_window(self, extra_bytes: int) -> None:
+        """Absorb buffer space released by a drained neighbour (Sec 3.7)."""
+        self.window_entries += max(0, extra_bytes // self.entry_size)
+
+    def refill_op(self, tag: str, threads: int = 1):
+        """Build the sequential read op for the next window."""
+        if not self.needs_refill:
+            raise SimulationError("refill_op called on a non-empty cursor")
+        nbytes = min(self.window_entries * self.entry_size, self.file.size - self.pos)
+        op = self.file.read(self.pos, nbytes, tag=tag, threads=threads)
+        self.pos += nbytes
+        self.bytes_loaded += nbytes
+        return op
+
+    def accept(self, data: np.ndarray) -> None:
+        """Install the bytes returned by a refill op as the new window."""
+        if data.size % self.entry_size:
+            raise SimulationError("window is not a whole number of entries")
+        self.window = data.reshape(-1, self.entry_size)
+
+    # ------------------------------------------------------------------
+    def last_key(self) -> np.ndarray:
+        return self.window[-1, : self.key_size]
+
+    def count_leq(self, bound: np.ndarray) -> int:
+        """How many windowed entries have key <= bound (window is sorted)."""
+        if self.window.shape[0] == 0:
+            return 0
+        return int(leq_mask(self.window[:, : self.key_size], bound).sum())
+
+    def take(self, count: int) -> np.ndarray:
+        taken = self.window[:count]
+        self.window = self.window[count:]
+        return taken
+
+
+def merge_step(cursors: List[RunCursor]) -> Tuple[np.ndarray, int]:
+    """Emit one batch of globally-safe entries from the cursor set.
+
+    Preconditions: every non-done cursor has a non-empty window.
+    Returns ``(entries, ways)`` where ``entries`` is a key-sorted matrix
+    of emitted rows and ``ways`` the number of runs still participating
+    (for merge-cost accounting).  Raises if nothing can be emitted
+    (which the protocol makes impossible -- see below).
+    """
+    live = [c for c in cursors if c.window.shape[0]]
+    if not live:
+        return np.zeros((0, cursors[0].entry_size if cursors else 0), dtype=np.uint8), 0
+    bounds = [c.last_key() for c in live if not c.file_exhausted]
+    pieces = []
+    if bounds:
+        threshold = min_key(np.stack(bounds))
+        for cursor in live:
+            count = cursor.count_leq(threshold)
+            if count:
+                pieces.append(cursor.take(count))
+    else:
+        # Every file fully windowed: drain everything.
+        for cursor in live:
+            pieces.append(cursor.take(cursor.window.shape[0]))
+    if not pieces:
+        # Impossible: the cursor that defines the threshold always has
+        # its whole window <= threshold.
+        raise SimulationError("merge_step emitted nothing")
+    merged = np.concatenate(pieces, axis=0)
+    key_size = live[0].key_size
+    order = key_sort_indices(merged[:, :key_size])
+    return merged[order], len(live)
+
+
+def redistribute_on_drain(cursors: List[RunCursor]) -> None:
+    """Hand a freshly-drained cursor's buffer share to live neighbours.
+
+    "the read buffer space allotted to this IndexMap will be transferred
+    to a neighboring IndexMaps evenly" (Sec 3.7, step 9).
+    """
+    live = [c for c in cursors if not c.done]
+    drained = [c for c in cursors if c.done and c.window_entries > 0]
+    if not live or not drained:
+        return
+    freed_entries = sum(c.window_entries for c in drained)
+    for c in drained:
+        c.window_entries = 0
+    share = ceil_div(freed_entries, len(live))
+    for c in live:
+        c.window_entries += share
+
+
+def window_bytes_per_run(read_buffer: int, n_runs: int, entry_size: int) -> int:
+    """Split the read buffer evenly among runs, aligned to entries."""
+    if n_runs < 1:
+        raise SimulationError("need at least one run")
+    per_run = read_buffer // n_runs
+    return max(entry_size, (per_run // entry_size) * entry_size)

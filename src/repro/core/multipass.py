@@ -1,0 +1,50 @@
+"""Multi-phase merge planning.
+
+"large amounts of data or small DRAM sizes may necessitate multiple
+merge phases since a record from each run file might not fit in
+available memory" (paper Sec 2.1); external merge sort produces
+``(1 + M)`` times the dataset in device traffic, with M merge phases
+(Sec 2.4.1, M = 1 in dominant cases).
+
+The fan-in of one merge phase is bounded by how many run windows the
+read buffer can hold while staying efficient: below a minimum window
+size, every refill is a tiny read and cursor overhead dominates.  When
+the run count exceeds the fan-in, runs are merged in groups into
+intermediate runs, repeatedly, until one final phase remains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.errors import ConfigError
+
+#: Smallest useful per-run window, in entries.
+MIN_WINDOW_ENTRIES = 16
+
+
+def max_fanin(read_buffer: int, entry_size: int) -> int:
+    """How many runs one merge phase can window at once."""
+    if entry_size < 1:
+        raise ConfigError("entry_size must be >= 1")
+    fanin = read_buffer // (entry_size * MIN_WINDOW_ENTRIES)
+    return max(2, fanin)
+
+
+def merge_rounds(n_runs: int, fanin: int) -> int:
+    """Number of merge phases M needed for ``n_runs`` at ``fanin``."""
+    if fanin < 2:
+        raise ConfigError("fanin must be >= 2")
+    if n_runs <= 1:
+        return min(1, n_runs)
+    rounds = 0
+    while n_runs > 1:
+        n_runs = -(-n_runs // fanin)
+        rounds += 1
+    return rounds
+
+
+def grouped(names: Sequence[str], fanin: int) -> Iterator[List[str]]:
+    """Split run names into consecutive groups of at most ``fanin``."""
+    for start in range(0, len(names), fanin):
+        yield list(names[start : start + fanin])

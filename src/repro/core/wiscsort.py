@@ -1,0 +1,458 @@
+"""WiscSort: BRAID-compliant external sorting (paper Sec 3).
+
+The algorithm follows Fig 3's data-flow exactly:
+
+OnePass (IndexMap fits in DRAM):
+  1. *RUN read*    -- strided gather of keys, pointers generated on the fly
+  2. *RUN sort*    -- concurrent in-place sort of the IndexMap
+  3. *RECORD read* -- concurrent random reads of values into the write buffer
+  4. *RUN write*   -- sequential flush of the write buffer to the output
+
+MergePass (IndexMap exceeds DRAM):
+  1-2 as above per chunk, then
+  5. *RUN write*   -- persist each sorted IndexMap chunk as a run file
+  6. *MERGE read*  -- window the IndexMap files into the read buffer
+  7. *MERGE other* -- find minima, enqueue pointers on the offset queue
+  8. *RECORD read* -- batch-gather values once the offset queue fills
+  9. *MERGE write* -- flush the write buffer to the output
+
+Reads and writes never overlap under the default NO_IO_OVERLAP model;
+the IO_OVERLAP and NO_SYNC variants exist to reproduce Fig 7's ablation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.core.base import ConcurrencyModel, SortConfig, SortSystem
+from repro.core.controller import ThreadPoolController
+from repro.core.indexmap import IndexMap
+from repro.core.kway import (
+    RunCursor,
+    merge_step,
+    redistribute_on_drain,
+    window_bytes_per_run,
+)
+from repro.core.scheduler import pipelined_batches, run_ops_parallel
+from repro.device.profile import Pattern
+from repro.errors import ConfigError
+from repro.records.format import RecordFormat
+from repro.records.validate import validate_sorted_file
+from repro.units import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+    from repro.storage.file import SimFile
+
+
+class WiscSort(SortSystem):
+    """The paper's sorting system for fixed-size records."""
+
+    def __init__(
+        self,
+        fmt: Optional[RecordFormat] = None,
+        config: Optional[SortConfig] = None,
+        force_merge_pass: bool = False,
+        merge_chunk_entries: Optional[int] = None,
+        output_name: str = "wiscsort.out",
+        compression: Optional["CompressionModel"] = None,
+    ):
+        self.fmt = fmt if fmt is not None else RecordFormat()
+        self.config = config if config is not None else SortConfig()
+        self.force_merge_pass = force_merge_pass
+        self.merge_chunk_entries = merge_chunk_entries
+        self.output_name = output_name
+        #: Optional Sec 5 extension: compress IndexMap run files.
+        self.compression = compression
+        self._run_frames: dict = {}
+        self.achieved_compression_ratio: Optional[float] = None
+        self.used_merge_pass: Optional[bool] = None
+        #: Number of merge phases M of the last run (0 for OnePass).
+        self.merge_passes: int = 0
+        mode = "merge" if force_merge_pass else "auto"
+        self.name = f"wiscsort[{self.config.concurrency}:{mode}]"
+
+    # ------------------------------------------------------------------
+    def _validate(self, machine, input_file, output_file) -> int:
+        return validate_sorted_file(input_file, output_file, self.fmt)
+
+    def _execute(self, machine: "Machine", input_file: "SimFile") -> "SimFile":
+        fmt = self.fmt
+        if input_file.size % fmt.record_size:
+            raise ConfigError(
+                f"input size {input_file.size} not a multiple of record size"
+            )
+        n = input_file.size // fmt.record_size
+        if n > fmt.max_addressable_records():
+            raise ConfigError(
+                f"{n} records exceed {fmt.pointer_size}-byte pointer range"
+            )
+        controller = ThreadPoolController(machine, self.config)
+        output = machine.fs.create(self.output_name)
+        chunk = self._plan_chunk(machine, n)
+        self.used_merge_pass = chunk < n
+        if not self.used_merge_pass:
+            machine.run(
+                self._one_pass(machine, input_file, output, controller, n),
+                name="wiscsort-onepass",
+            )
+        else:
+            machine.run(
+                self._merge_pass(machine, input_file, output, controller, n, chunk),
+                name="wiscsort-mergepass",
+            )
+        return output
+
+    def _plan_chunk(self, machine: "Machine", n: int) -> int:
+        """Entries per IndexMap chunk; == n selects OnePass."""
+        if n == 0:
+            return 0
+        entry = self.fmt.index_entry_size
+        full_map = n * entry
+        # The paper's criterion: OnePass iff the whole IndexMap fits in
+        # the available DRAM (Sec 3.6 / 4.1 -- buffers are accounted
+        # separately from the 20 GB IndexMap cap).
+        fits = machine.dram.would_fit(full_map)
+        if fits and not self.force_merge_pass:
+            return n
+        if self.merge_chunk_entries is not None:
+            chunk = self.merge_chunk_entries
+        elif machine.dram.budget is not None:
+            # Same criterion as the OnePass check: each chunk's IndexMap
+            # fills the DRAM cap (buffers are accounted separately).
+            avail = machine.dram.available or 0
+            chunk = max(1, avail // entry)
+        else:
+            chunk = ceil_div(n, 4)
+        return max(1, min(chunk, max(1, n - 1) if self.force_merge_pass else n))
+
+    # ------------------------------------------------------------------
+    # OnePass
+    # ------------------------------------------------------------------
+    def _one_pass(self, machine, input_file, output, controller, n: int):
+        fmt = self.fmt
+        if n == 0:
+            return
+        imap = yield from self._load_sorted_chunk(
+            machine, input_file, controller, first_record=0, count=n
+        )
+        yield from self._scatter_gather_out(
+            machine, input_file, output, controller, imap
+        )
+
+    def _load_sorted_chunk(self, machine, input_file, controller, first_record, count):
+        """Steps 1-2: strided key gather + concurrent in-place sort."""
+        fmt = self.fmt
+        read_pool = controller.read_threads(Pattern.RAND)
+        keys = yield input_file.read_strided(
+            offset=first_record * fmt.record_size,
+            count=count,
+            stride=fmt.record_size,
+            access_size=fmt.key_size,
+            tag="RUN read",
+            threads=read_pool,
+        )
+        # Pointer generation on the fly (Sec 3.7 step 1).
+        yield machine.compute(
+            machine.host.touch_seconds(count),
+            tag="RUN read",
+            cores=controller.sort_cores(),
+        )
+        imap = IndexMap.for_fixed_records(
+            keys, first_record, fmt.record_size, fmt.pointer_size
+        )
+        yield machine.sort_compute(count, tag="RUN sort", cores=controller.sort_cores())
+        return imap.sorted()
+
+    def _scatter_gather_out(self, machine, input_file, output, controller, imap):
+        """Steps 3-4: batched random value gathers + sequential writes."""
+        fmt = self.fmt
+        batch_records = max(1, self.config.write_buffer // fmt.record_size)
+        gather_pool = controller.read_threads(Pattern.RAND)
+        write_pool = controller.write_threads()
+        model = self.config.concurrency
+        n = len(imap)
+        starts = list(range(0, n, batch_records))
+
+        def produce(start):
+            part = imap.slice(start, min(n, start + batch_records))
+            return input_file.read_gather(
+                part.pointers, fmt.record_size, tag="RECORD read",
+                threads=gather_pool,
+            )
+
+        def consume(start, data):
+            offset = start * fmt.record_size
+            return output.write(
+                offset, data.reshape(-1), tag="RUN write", threads=write_pool
+            )
+
+        yield from pipelined_batches(machine, model, starts, produce, consume)
+
+    # ------------------------------------------------------------------
+    # MergePass
+    # ------------------------------------------------------------------
+    def _merge_pass(self, machine, input_file, output, controller, n, chunk):
+        from repro.core.multipass import grouped, max_fanin, merge_rounds
+
+        run_names = yield from self._run_phase(
+            machine, input_file, controller, n, chunk
+        )
+        # Multiple merge phases (Sec 2.1) when the IndexMap run count
+        # exceeds the read buffer's fan-in.  Intermediate phases merge
+        # *entries only* -- values are gathered exactly once, in the
+        # final phase, which is key-value separation's second dividend.
+        fanin = max_fanin(self.config.read_buffer, self.fmt.index_entry_size)
+        self.merge_passes = merge_rounds(len(run_names), fanin)
+        round_no = 0
+        while len(run_names) > fanin:
+            round_no += 1
+            next_names: List[str] = []
+            for gi, group in enumerate(grouped(run_names, fanin)):
+                if len(group) == 1:
+                    next_names.append(group[0])
+                    continue
+                inter_name = f"{self.output_name}.indexmerge{round_no}.{gi}"
+                machine.fs.create(inter_name)
+                yield from self._merge_entries_to(
+                    machine, machine.fs.open(inter_name), controller, group
+                )
+                for name in group:
+                    machine.fs.delete(name)
+                next_names.append(inter_name)
+            run_names = next_names
+        yield from self._merge_phase(
+            machine, input_file, output, controller, run_names
+        )
+        for name in run_names:
+            machine.fs.delete(name)
+
+    def _merge_entries_to(self, machine, out_file, controller, run_names):
+        """Intermediate merge phase: merge IndexMap runs entry-wise.
+
+        No value gathering happens here -- only key-pointer entries
+        stream through the read buffer and out to the intermediate run.
+        """
+        fmt = self.fmt
+        entry = fmt.index_entry_size
+        window = window_bytes_per_run(self.config.read_buffer, len(run_names), entry)
+        cursors = [self._make_cursor(machine, name, window) for name in run_names]
+        read_pool = controller.read_threads(Pattern.SEQ)
+        write_pool = controller.write_threads()
+        flush_bytes = self.config.write_buffer
+        pending: List[np.ndarray] = []
+        pending_bytes = 0
+        while any(not c.done for c in cursors):
+            refills = [c for c in cursors if c.needs_refill]
+            if refills:
+                per_op = max(1, read_pool // len(refills))
+                ops = [c.refill_op(tag="MERGE read", threads=per_op) for c in refills]
+                datas = yield from run_ops_parallel(machine, ops)
+                cpu_ops = []
+                for cursor, data in zip(refills, datas):
+                    cpu_op = cursor.accept(data)
+                    if cpu_op is not None:
+                        cpu_ops.append(cpu_op)
+                if cpu_ops:
+                    yield from run_ops_parallel(machine, cpu_ops)
+            emitted, ways = merge_step(cursors)
+            if emitted.shape[0]:
+                yield machine.compute(
+                    machine.host.merge_compare_seconds(emitted.shape[0], ways),
+                    tag="MERGE other",
+                    cores=1,
+                )
+                pending.append(emitted)
+                pending_bytes += emitted.size
+                if pending_bytes >= flush_bytes:
+                    flat = np.concatenate(pending, axis=0)
+                    pending, pending_bytes = [], 0
+                    yield out_file.append(
+                        flat.reshape(-1), tag="MERGE write", threads=write_pool
+                    )
+            redistribute_on_drain(cursors)
+        if pending:
+            flat = np.concatenate(pending, axis=0)
+            yield out_file.append(
+                flat.reshape(-1), tag="MERGE write", threads=write_pool
+            )
+
+    def _make_cursor(self, machine, name, window):
+        """A cursor for one IndexMap run, compressed or plain."""
+        fmt = self.fmt
+        entry = fmt.index_entry_size
+        if self.compression is not None and name in self._run_frames:
+            from repro.core.compression import CompressedRunCursor
+
+            return CompressedRunCursor(
+                machine.fs.open(name),
+                self._run_frames[name],
+                entry,
+                fmt.key_size,
+                machine,
+                self.compression,
+            )
+        return RunCursor(machine.fs.open(name), entry, fmt.key_size, window)
+
+    def _run_phase(self, machine, input_file, controller, n, chunk):
+        """Steps 1, 2 and 5 repeated per chunk."""
+        fmt = self.fmt
+        write_pool = controller.write_threads()
+        run_names: List[str] = []
+        firsts = list(range(0, n, chunk))
+        model = self.config.concurrency
+        pending_write = None
+        for i, first in enumerate(firsts):
+            count = min(chunk, n - first)
+            imap = yield from self._load_sorted_chunk(
+                machine, input_file, controller, first, count
+            )
+            run_name = f"{self.output_name}.indexmap.{i}"
+            run_file = machine.fs.create(run_name)
+            run_names.append(run_name)
+            payload = imap.to_bytes()
+            if self.compression is not None:
+                from repro.core.compression import CompressedRunWriter
+
+                writer = CompressedRunWriter(self.compression)
+                raw_bytes = payload.size
+                payload, frames, ratio = writer.build_frames(
+                    payload, fmt.index_entry_size
+                )
+                self._run_frames[run_name] = frames
+                self.achieved_compression_ratio = ratio
+                yield machine.compute(
+                    self.compression.compress_seconds(raw_bytes),
+                    tag="RUN compress",
+                    cores=controller.sort_cores(),
+                )
+            write_op = run_file.write(
+                0, payload, tag="RUN write", threads=write_pool
+            )
+            if model is not ConcurrencyModel.NO_IO_OVERLAP:
+                # IO_OVERLAP: deliberately overlap this chunk's
+                # IndexMap write with the next chunk's key gather.
+                # NO_SYNC: uncoordinated workers overlap phases the
+                # same way (straggler writes under neighbour reads).
+                from repro.sim.engine import Join, Spawn
+                from repro.core.scheduler import _op_runner
+
+                if pending_write is not None:
+                    yield Join(pending_write)
+                pending_write = yield Spawn(_op_runner(write_op), "imap-write")
+            else:
+                yield write_op
+        if pending_write is not None:
+            from repro.sim.engine import Join
+
+            yield Join(pending_write)
+        return run_names
+
+    def _merge_phase(self, machine, input_file, output, controller, run_names):
+        """Steps 6-9: cursor merge + offset queue + batched gathers."""
+        fmt = self.fmt
+        entry = fmt.index_entry_size
+        k = len(run_names)
+        window = window_bytes_per_run(self.config.read_buffer, k, entry)
+        cursors = [self._make_cursor(machine, name, window) for name in run_names]
+        yield from self._merge_loop(
+            machine, input_file, output, controller, cursors
+        )
+
+    def _merge_loop(self, machine, input_file, output, controller, cursors):
+        """The cursor-driven merge over any mix of run cursors."""
+        fmt = self.fmt
+        read_pool = controller.read_threads(Pattern.SEQ)
+        gather_pool = controller.read_threads(Pattern.RAND)
+        write_pool = controller.write_threads()
+        model = self.config.concurrency
+        queue_capacity = max(1, self.config.write_buffer // fmt.record_size)
+        pending_entries: List[np.ndarray] = []
+        pending_count = 0
+        out_offset = 0
+
+        def flush_batches(final: bool):
+            """Generator: drain full offset-queue batches to the output."""
+            nonlocal pending_entries, pending_count, out_offset
+            while pending_count >= queue_capacity or (final and pending_count):
+                take = queue_capacity if pending_count >= queue_capacity else pending_count
+                flat = np.concatenate(pending_entries, axis=0)
+                batch, rest = flat[:take], flat[take:]
+                pending_entries = [rest] if rest.shape[0] else []
+                pending_count = rest.shape[0]
+                imap = IndexMap.from_bytes(
+                    batch.reshape(-1), fmt.key_size, fmt.pointer_size
+                )
+                gather_op = input_file.read_gather(
+                    imap.pointers, fmt.record_size, tag="RECORD read",
+                    threads=gather_pool,
+                )
+                write_at = out_offset
+                out_offset += take * fmt.record_size
+
+                if model is ConcurrencyModel.NO_IO_OVERLAP:
+                    data = yield gather_op
+                    yield output.write(
+                        write_at, data.reshape(-1), tag="MERGE write",
+                        threads=write_pool,
+                    )
+                elif model is ConcurrencyModel.IO_OVERLAP:
+                    data = yield gather_op
+                    write_op = output.write(
+                        write_at, data.reshape(-1), tag="MERGE write",
+                        threads=write_pool,
+                    )
+                    # Write proceeds while the loop returns to produce
+                    # the next batch; collected by the caller.
+                    from repro.core.scheduler import _op_runner
+                    from repro.sim.engine import Spawn
+
+                    proc = yield Spawn(_op_runner(write_op), "merge-write")
+                    overlap_writes.append(proc)
+                else:  # NO_SYNC: gather and write the same batch overlap
+                    data = gather_op.on_complete(gather_op)
+                    gather_op.on_complete = None
+                    write_op = output.write(
+                        write_at, data.reshape(-1), tag="MERGE write",
+                        threads=write_pool,
+                    )
+                    yield from run_ops_parallel(machine, [gather_op, write_op])
+
+        overlap_writes: List = []
+        while any(not c.done for c in cursors):
+            refills = [c for c in cursors if c.needs_refill]
+            if refills:
+                per_op_threads = max(1, read_pool // len(refills))
+                ops = [
+                    c.refill_op(tag="MERGE read", threads=per_op_threads)
+                    for c in refills
+                ]
+                datas = yield from run_ops_parallel(machine, ops)
+                cpu_ops = []
+                for cursor, data in zip(refills, datas):
+                    cpu_op = cursor.accept(data)
+                    if cpu_op is not None:
+                        cpu_ops.append(cpu_op)
+                if cpu_ops:
+                    # Frame decompression (compressed IndexMap runs only).
+                    yield from run_ops_parallel(machine, cpu_ops)
+            emitted, ways = merge_step(cursors)
+            if emitted.shape[0] == 0:
+                continue
+            # Step 7: single-threaded min-finding / enqueueing cost.
+            yield machine.compute(
+                machine.host.merge_compare_seconds(emitted.shape[0], ways),
+                tag="MERGE other",
+                cores=1,
+            )
+            pending_entries.append(emitted)
+            pending_count += emitted.shape[0]
+            yield from flush_batches(final=False)
+            redistribute_on_drain(cursors)
+        yield from flush_batches(final=True)
+        if overlap_writes:
+            from repro.sim.engine import Join
+
+            yield Join(overlap_writes)

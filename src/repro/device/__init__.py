@@ -1,0 +1,50 @@
+"""BRAID device model.
+
+This package turns the paper's BRAID properties into simulation
+parameters:
+
+* **B**yte addressability -- :attr:`DeviceProfile.byte_addressable` and
+  :attr:`DeviceProfile.granularity` drive access amplification.
+* Higher **R**andom-read performance -- separate sequential/random read
+  :class:`ScalingCurve` instances plus a calibrated strided-gather table.
+* **A**symmetric read-write cost -- independent read and write curves.
+* Read-write **I**nterference -- :class:`InterferenceModel` multipliers.
+* **D**evice-constrained concurrency -- the shape of each curve
+  (bandwidth vs. in-flight threads, non-monotone for writes).
+
+:class:`BraidRateModel` translates the active op population into
+instantaneous rates for the fluid scheduler.
+"""
+
+from repro.device.curves import ScalingCurve, InterferenceModel
+from repro.device.profile import DeviceProfile, Pattern
+from repro.device.host import HostModel
+from repro.device.device import BraidRateModel, make_io_op
+from repro.device.stats import DeviceStats
+from repro.device.profiles import (
+    pmem_profile,
+    dram_profile,
+    block_ssd_profile,
+    bd_device_profile,
+    brd_device_profile,
+    bard_device_profile,
+    PROFILE_FACTORIES,
+)
+
+__all__ = [
+    "ScalingCurve",
+    "InterferenceModel",
+    "DeviceProfile",
+    "Pattern",
+    "HostModel",
+    "BraidRateModel",
+    "make_io_op",
+    "DeviceStats",
+    "pmem_profile",
+    "dram_profile",
+    "block_ssd_profile",
+    "bd_device_profile",
+    "brd_device_profile",
+    "bard_device_profile",
+    "PROFILE_FACTORIES",
+]

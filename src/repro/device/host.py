@@ -1,0 +1,83 @@
+"""Host-side (CPU and memory bus) cost model.
+
+Device bandwidth alone does not decide the experiments: the paper's
+"RUN other" / "MERGE other" components are CPU work (extracting keys,
+copying records between buffers, finding minima across run cursors).
+This module centralises those constants so they are calibrated in one
+place (values in DESIGN.md Sec 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import GB, NS
+
+
+@dataclass
+class HostModel:
+    """CPU core count and per-byte/per-element cost constants.
+
+    Attributes
+    ----------
+    ncores:
+        Physical cores (the paper's testbed has 16; reads scale up to
+        this, Sec 3.8).
+    copy_bw_per_core:
+        DRAM-to-DRAM memcpy throughput of a single core.
+    bus_bw:
+        Aggregate memory-bus bandwidth shared by all host-side traffic.
+    io_cpu_bw:
+        Bytes of device I/O one fully-busy core can drive per second
+        (load/store instruction throughput for AVX accesses).
+    sort_ns:
+        In-memory sort cost: ``sort_ns * n * log2(n)`` ns of CPU work to
+        sort n items (IPS4o-style concurrent sample sort when spread
+        over multiple cores).
+    compare_ns:
+        One key comparison during merging.
+    touch_ns:
+        Per-record bookkeeping (pointer generation, cursor advance).
+    """
+
+    ncores: int = 16
+    copy_bw_per_core: float = 6.0 * GB
+    bus_bw: float = 38.4 * GB
+    io_cpu_bw: float = 12.0 * GB
+    sort_ns: float = 1.0
+    compare_ns: float = 3.0
+    touch_ns: float = 2.0
+
+    def __post_init__(self):
+        if self.ncores < 1:
+            raise ConfigError("ncores must be >= 1")
+        for name in ("copy_bw_per_core", "bus_bw", "io_cpu_bw"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+
+    def sort_seconds(self, n_items: int) -> float:
+        """Total CPU-seconds to sort ``n_items`` (before parallel split)."""
+        if n_items <= 1:
+            return 0.0
+        return self.sort_ns * NS * n_items * math.log2(n_items)
+
+    def merge_compare_seconds(self, n_items: int, ways: int) -> float:
+        """CPU-seconds to find minima for ``n_items`` across ``ways`` runs.
+
+        A loser-tree / heap performs ~log2(ways) comparisons per emitted
+        record, plus fixed per-record bookkeeping.
+        """
+        if n_items <= 0:
+            return 0.0
+        comparisons = max(1.0, math.log2(max(2, ways)))
+        return n_items * (self.compare_ns * comparisons + self.touch_ns) * NS
+
+    def touch_seconds(self, n_items: int) -> float:
+        """CPU-seconds of per-record bookkeeping (no comparisons)."""
+        return max(0, n_items) * self.touch_ns * NS
+
+    def copy_seconds_single_core(self, nbytes: int) -> float:
+        """Time for one core to memcpy ``nbytes`` (ignoring bus contention)."""
+        return nbytes / self.copy_bw_per_core

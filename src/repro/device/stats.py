@@ -1,0 +1,169 @@
+"""Bandwidth/CPU timelines and per-tag traffic accounting.
+
+A :class:`DeviceStats` instance registers as an interval observer on the
+fluid scheduler: for every constant-rate interval it accumulates
+
+* a bandwidth timeline ``(t0, t1, read_B/s, write_B/s, cores_used)``
+  (the data behind the paper's Figs 5-6 resource-usage plots),
+* internal device traffic per direction,
+* per-tag totals: busy wall-clock (union of intervals where any op of
+  the tag was active), internal traffic and first/last activity time.
+
+User-byte counters per tag are credited by the machine when ops are
+submitted (the observer only sees internal work).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.device.host import HostModel
+
+
+@dataclass
+class TagStats:
+    """Aggregate statistics for one op tag (e.g. ``"RUN read"``)."""
+
+    busy_time: float = 0.0
+    internal_bytes: float = 0.0
+    user_bytes: float = 0.0
+    op_count: int = 0
+    first_active: float = float("inf")
+    last_active: float = 0.0
+    #: Dominant direction/pattern of the tag's ops ("read"/"write" and
+    #: "seq"/"rand"/"strided"); last submission wins, which is fine
+    #: because tags are homogeneous by construction.
+    direction: str = ""
+    pattern: str = ""
+
+    @property
+    def window(self) -> float:
+        """Wall-clock span between first and last activity."""
+        if self.first_active > self.last_active:
+            return 0.0
+        return self.last_active - self.first_active
+
+
+class DeviceStats:
+    """Collects timelines and per-tag aggregates for one machine run."""
+
+    def __init__(self, host: HostModel):
+        self.host = host
+        self.timeline: List[Tuple[float, float, float, float, float]] = []
+        self.bytes_read_internal = 0.0
+        self.bytes_written_internal = 0.0
+        self.tags: Dict[str, TagStats] = defaultdict(TagStats)
+
+    # ------------------------------------------------------------------
+    def observe(self, t0: float, t1: float, ops: list) -> None:
+        """Interval observer callback (registered on the fluid scheduler)."""
+        dt = t1 - t0
+        if dt <= 0:
+            return
+        read_rate = 0.0
+        write_rate = 0.0
+        cores = 0.0
+        active_tags = set()
+        for op in ops:
+            if op.tag:
+                active_tags.add(op.tag)
+            if op.kind == "io":
+                delta = op.rate * dt
+                if op.attrs["direction"] == "read":
+                    read_rate += op.rate
+                    self.bytes_read_internal += delta
+                else:
+                    write_rate += op.rate
+                    self.bytes_written_internal += delta
+                if op.tag:
+                    self.tags[op.tag].internal_bytes += delta
+                cores += op.rate / self.host.io_cpu_bw
+            elif op.kind == "cpu":
+                mode = op.attrs.get("mode", "compute")
+                if mode == "compute":
+                    cores += op.rate
+                else:
+                    cores += op.rate / self.host.copy_bw_per_core
+        for tag in active_tags:
+            stats = self.tags[tag]
+            stats.busy_time += dt
+            stats.first_active = min(stats.first_active, t0)
+            stats.last_active = max(stats.last_active, t1)
+        self.timeline.append((t0, t1, read_rate, write_rate, cores))
+
+    # ------------------------------------------------------------------
+    def credit_submission(
+        self, tag: str, user_bytes: float, direction: str = "", pattern: str = ""
+    ) -> None:
+        """Record user payload for a submitted op (called by the machine)."""
+        if not tag:
+            return
+        stats = self.tags[tag]
+        stats.user_bytes += user_bytes
+        stats.op_count += 1
+        if direction:
+            stats.direction = direction
+        if pattern:
+            stats.pattern = pattern
+
+    # ------------------------------------------------------------------
+    def tag_table(self) -> List[Tuple[str, TagStats]]:
+        """Tags ordered by first activity, for phase-breakdown reports."""
+        return sorted(self.tags.items(), key=lambda kv: kv[1].first_active)
+
+    def peak_read_bw(self) -> float:
+        """Highest observed instantaneous read bandwidth."""
+        return max((row[2] for row in self.timeline), default=0.0)
+
+    def peak_write_bw(self) -> float:
+        """Highest observed instantaneous write bandwidth."""
+        return max((row[3] for row in self.timeline), default=0.0)
+
+    def mean_cores(self) -> float:
+        """Time-weighted average CPU cores in use."""
+        total = 0.0
+        weight = 0.0
+        for t0, t1, _, _, cores in self.timeline:
+            total += cores * (t1 - t0)
+            weight += t1 - t0
+        return total / weight if weight else 0.0
+
+    def coarse_timeline(self, buckets: int = 40) -> List[Tuple[float, float, float, float]]:
+        """Resample the timeline into ``buckets`` equal windows.
+
+        Returns ``(t_mid, read_B/s, write_B/s, cores)`` rows, suitable
+        for compact textual resource-usage plots.
+        """
+        if not self.timeline:
+            return []
+        start = self.timeline[0][0]
+        end = self.timeline[-1][1]
+        if end <= start:
+            return []
+        width = (end - start) / buckets
+        acc = [[0.0, 0.0, 0.0] for _ in range(buckets)]
+        for t0, t1, rbw, wbw, cores in self.timeline:
+            lo = t0
+            while lo < t1 - 1e-15:
+                idx = min(buckets - 1, int((lo - start) / width))
+                hi = min(t1, start + (idx + 1) * width)
+                if hi <= lo:
+                    # Floating point put ``lo`` exactly on (or a hair
+                    # past) the bucket edge; step into the next bucket
+                    # instead of spinning.
+                    idx = min(buckets - 1, idx + 1)
+                    hi = min(t1, start + (idx + 1) * width)
+                    if hi <= lo:
+                        break
+                dt = hi - lo
+                acc[idx][0] += rbw * dt
+                acc[idx][1] += wbw * dt
+                acc[idx][2] += cores * dt
+                lo = hi
+        rows = []
+        for i, (r, w, c) in enumerate(acc):
+            mid = start + (i + 0.5) * width
+            rows.append((mid, r / width, w / width, c / width))
+        return rows

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel was driven into an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The event loop ran out of events while processes were still blocked."""
+
+
+class StorageError(ReproError):
+    """Invalid operation against the simulated filesystem or a file."""
+
+
+class FileNotFoundInSimError(StorageError):
+    """The named simulated file does not exist."""
+
+
+class FileExistsInSimError(StorageError):
+    """A simulated file with that name already exists."""
+
+
+class OutOfSpaceError(StorageError):
+    """The simulated device has no capacity left for the request."""
+
+
+class DramBudgetError(ReproError):
+    """A DRAM allocation exceeded the configured budget."""
+
+
+class RecordFormatError(ReproError):
+    """Malformed record data or inconsistent record geometry."""
+
+
+class ValidationError(ReproError):
+    """Sort-output validation (valsort) failed."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration values."""

@@ -1,0 +1,143 @@
+"""The Machine: one simulated host + one BRAID device.
+
+A :class:`Machine` bundles the event engine, the BRAID rate model, the
+device statistics recorder, a simulated filesystem and a DRAM budget.
+Sorting systems and workload generators are written against this facade.
+
+Typical usage::
+
+    machine = Machine(profile=pmem_profile())
+    input_file = machine.fs.create("input")
+    ...                      # generate workload into input_file
+    def job():
+        data = yield input_file.read(0, 4096, tag="RUN read")
+        yield machine.compute(0.001, tag="RUN sort", cores=16)
+        yield input_file.write(0, data, tag="RUN write")
+    machine.run(job(), name="demo")
+    print(machine.engine.now)         # simulated seconds elapsed
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.device.device import BraidRateModel, make_io_op
+from repro.device.host import HostModel
+from repro.device.profile import DeviceProfile, Pattern
+from repro.device.profiles import pmem_profile
+from repro.device.stats import DeviceStats
+from repro.sim.engine import Engine, SimGenerator
+from repro.sim.fluid import FluidOp
+from repro.sim.primitives import Barrier, Semaphore, SimQueue
+from repro.storage.dram import DramTracker
+from repro.storage.filesystem import SimFS
+
+
+class Machine:
+    """A simulated single-socket host with one byte-addressable device."""
+
+    def __init__(
+        self,
+        profile: Optional[DeviceProfile] = None,
+        host: Optional[HostModel] = None,
+        dram_budget: Optional[int] = None,
+    ):
+        self.profile = profile if profile is not None else pmem_profile()
+        self.host = host if host is not None else HostModel()
+        self.rate_model = BraidRateModel(self.profile, self.host)
+        self.engine = Engine(self.rate_model)
+        self.stats = DeviceStats(self.host)
+        self.engine.fluid.interval_observers.append(self.stats.observe)
+        self.fs = SimFS(self)
+        self.dram = DramTracker(dram_budget)
+
+    # ------------------------------------------------------------------
+    # Op builders
+    # ------------------------------------------------------------------
+    def io(
+        self,
+        direction: str,
+        pattern: Pattern,
+        nbytes: int,
+        tag: str,
+        accesses: int = 1,
+        stride: int = 0,
+        threads: int = 1,
+        host_bytes: int | None = None,
+    ) -> FluidOp:
+        """A device I/O op; work derived from the profile's cost model."""
+        op = make_io_op(
+            self.profile,
+            direction,
+            pattern,
+            nbytes,
+            tag,
+            accesses=accesses,
+            stride=stride,
+            threads=threads,
+            host_bytes=host_bytes,
+        )
+        self.stats.credit_submission(tag, nbytes, direction, pattern.value)
+        return op
+
+    def io_raw(
+        self,
+        work: float,
+        direction: str,
+        pattern: Pattern,
+        user_bytes: int,
+        tag: str,
+        threads: int = 1,
+    ) -> FluidOp:
+        """A device I/O op with explicitly precomputed internal work."""
+        host_ratio = (user_bytes / work) if work > 0 else 0.0
+        op = FluidOp(
+            work,
+            kind="io",
+            tag=tag,
+            direction=direction,
+            pattern=pattern,
+            threads=threads,
+            host_ratio=host_ratio,
+            user_bytes=user_bytes,
+        )
+        self.stats.credit_submission(tag, user_bytes, direction, pattern.value)
+        return op
+
+    def compute(self, cpu_seconds: float, tag: str, cores: int = 1) -> FluidOp:
+        """Pure CPU work, spread over up to ``cores`` cores."""
+        return FluidOp(cpu_seconds, kind="cpu", tag=tag, mode="compute", cores=cores)
+
+    def copy(self, nbytes: int, tag: str, cores: int = 1) -> FluidOp:
+        """A DRAM-to-DRAM memcpy of ``nbytes`` using up to ``cores`` cores."""
+        return FluidOp(float(nbytes), kind="cpu", tag=tag, mode="copy", cores=cores)
+
+    def sort_compute(self, n_items: int, tag: str, cores: int = 1) -> FluidOp:
+        """In-memory sort cost for ``n_items`` (IPS4o-style when cores>1)."""
+        return self.compute(self.host.sort_seconds(n_items), tag, cores=cores)
+
+    # ------------------------------------------------------------------
+    # Execution and synchronisation helpers
+    # ------------------------------------------------------------------
+    def run(self, gen: SimGenerator, name: str = "main") -> Any:
+        """Run a root process to completion; returns its result.
+
+        Stops as soon as the root process finishes, so perpetual
+        background processes (multi-tenant interference clients) do not
+        keep the clock running.
+        """
+        proc = self.engine.spawn(gen, name)
+        return self.engine.run_until(proc)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def barrier(self, parties: int) -> Barrier:
+        return Barrier(self.engine, parties)
+
+    def semaphore(self, count: int = 1) -> Semaphore:
+        return Semaphore(self.engine, count)
+
+    def queue(self, maxsize: Optional[int] = None) -> SimQueue:
+        return SimQueue(self.engine, maxsize)

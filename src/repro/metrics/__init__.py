@@ -1,0 +1,14 @@
+"""Reporting helpers: text tables, phase breakdowns, I/O efficiency."""
+
+from repro.metrics.efficiency import io_efficiency_rows
+from repro.metrics.report import BenchTable, format_table, speedup
+from repro.metrics.timeline import render_timeline, sparkline
+
+__all__ = [
+    "BenchTable",
+    "format_table",
+    "speedup",
+    "io_efficiency_rows",
+    "render_timeline",
+    "sparkline",
+]

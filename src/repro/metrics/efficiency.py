@@ -1,0 +1,38 @@
+"""I/O-efficiency accounting (the annotation in the paper's Figs 5-6).
+
+"I/O efficiency compares actual time to ideal time for data operation.
+Ideal time = operation size / peak bandwidth."  We compute, per phase
+tag, the internal traffic it moved, the peak bandwidth of its access
+class, and the ratio of ideal to busy time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.device.profile import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+
+def io_efficiency_rows(machine: "Machine") -> List[Tuple[str, float, float, float]]:
+    """Per-tag ``(tag, internal_GB, ideal_s, efficiency)`` rows.
+
+    Efficiency is ideal/actual in (0, 1]; compute-only tags are skipped.
+    """
+    rows = []
+    profile = machine.profile
+    for tag, stats in machine.stats.tag_table():
+        if not stats.direction or stats.internal_bytes <= 0:
+            continue
+        if stats.direction == "write":
+            peak = profile.write.peak
+        elif stats.pattern == Pattern.SEQ.value:
+            peak = profile.seq_read.peak
+        else:
+            peak = profile.rand_read.peak
+        ideal = stats.internal_bytes / peak
+        efficiency = min(1.0, ideal / stats.busy_time) if stats.busy_time > 0 else 0.0
+        rows.append((tag, stats.internal_bytes / 1e9, ideal, efficiency))
+    return rows

@@ -1,0 +1,58 @@
+"""Plain-text tables for benchmark output.
+
+The benchmark harness prints the same rows/series each paper figure
+reports; these helpers keep the formatting consistent and dependency
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """How many times faster ``candidate`` is than ``baseline``."""
+    if candidate <= 0:
+        raise ValueError("candidate time must be positive")
+    return baseline / candidate
+
+
+@dataclass
+class BenchTable:
+    """One reproduced table/figure: title, headers, rows, commentary."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        parts = [f"== {self.title} ==", format_table(self.headers, self.rows)]
+        for note in self.notes:
+            parts.append(f"   note: {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]

@@ -1,0 +1,53 @@
+"""Textual bandwidth/CPU timeline plots (the visual half of Figs 5-6).
+
+Renders a machine's recorded resource usage as aligned sparkline rows:
+read bandwidth, write bandwidth and CPU cores over simulated time, with
+the per-class peaks marked -- the same information as the paper's
+resource-usage figures, in monospace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+#: Eight-level vertical bar glyphs (empty -> full).
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float], peak: float) -> str:
+    """Map values in [0, peak] to bar glyphs (values above peak clamp)."""
+    if peak <= 0:
+        return " " * len(values)
+    chars = []
+    for value in values:
+        level = min(1.0, max(0.0, value / peak))
+        chars.append(_BARS[round(level * (len(_BARS) - 1))])
+    return "".join(chars)
+
+
+def render_timeline(machine: "Machine", width: int = 72) -> str:
+    """Multi-row resource-usage plot for one finished run."""
+    rows = machine.stats.coarse_timeline(buckets=width)
+    if not rows:
+        return "(no activity recorded)"
+    reads = [r[1] for r in rows]
+    writes = [r[2] for r in rows]
+    cores = [r[3] for r in rows]
+    read_peak = max(machine.profile.seq_read.peak, machine.profile.rand_read.peak)
+    write_peak = machine.profile.write.peak
+    ncores = float(machine.host.ncores)
+    t_end = machine.now
+    lines = [
+        f"resource usage over {t_end * 1e3:.3f} simulated ms "
+        f"({width} buckets; bar height = share of peak)",
+        f"read  bw |{sparkline(reads, read_peak)}| peak "
+        f"{read_peak / 1e9:.1f} GB/s, max seen {max(reads) / 1e9:.1f}",
+        f"write bw |{sparkline(writes, write_peak)}| peak "
+        f"{write_peak / 1e9:.1f} GB/s, max seen {max(writes) / 1e9:.1f}",
+        f"cpu cores|{sparkline(cores, ncores)}| of {int(ncores)}, "
+        f"max seen {max(cores):.1f}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Late-materialization query operators over IndexMaps (paper Sec 5).
+
+"WiscSort converts a row-oriented database to a column-oriented one on
+the fly, this enables provisions to provide late materialization if
+required.  For example, a range of sorted key values can be generated
+*on demand* with the help of IndexMap files; or two IndexMap files can
+be used to perform joins on relations without moving entire values
+associated with them."
+
+This package implements those provisions:
+
+* :class:`~repro.query.sorted_index.SortedIndex` -- build a persisted,
+  sorted IndexMap once; serve ``top_k`` and ``range_scan`` queries by
+  gathering only the qualifying values.
+* :func:`~repro.query.join.indexmap_join` -- sort-merge join two
+  relations on their keys using only their IndexMaps, materialising
+  values exclusively for matching rows.
+"""
+
+from repro.query.join import JoinResult, indexmap_join
+from repro.query.sorted_index import QueryResult, SortedIndex
+
+__all__ = ["SortedIndex", "QueryResult", "indexmap_join", "JoinResult"]

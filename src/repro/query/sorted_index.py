@@ -1,0 +1,178 @@
+"""A persisted sorted IndexMap serving on-demand queries.
+
+Building the index costs one WiscSort-style RUN phase (strided key
+gather + concurrent sort + sequential IndexMap write).  Queries then
+gather *only the qualifying values* with concurrent random reads --
+late materialization.  The comparison point for every query is the
+eager alternative: fully sorting the relation first (the paper's Sec 5
+motivation for rethinking HTAP operators on BRAID).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.base import SortConfig
+from repro.core.controller import ThreadPoolController
+from repro.core.indexmap import IndexMap
+from repro.device.profile import Pattern
+from repro.errors import ConfigError
+from repro.records.format import RecordFormat, leq_mask
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+    from repro.storage.file import SimFile
+
+
+@dataclass
+class QueryResult:
+    """Rows returned by a query plus its simulated cost."""
+
+    records: np.ndarray  # (n, record_size) uint8, in key order
+    elapsed: float
+    bytes_gathered: int
+    extras: dict = field(default_factory=dict)
+
+
+class SortedIndex:
+    """Sorted key-pointer index over a fixed-size-record relation."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        relation: "SimFile",
+        fmt: Optional[RecordFormat] = None,
+        config: Optional[SortConfig] = None,
+        persist: bool = True,
+    ):
+        self.machine = machine
+        self.relation = relation
+        self.fmt = fmt if fmt is not None else RecordFormat()
+        self.config = config if config is not None else SortConfig()
+        if relation.size % self.fmt.record_size:
+            raise ConfigError("relation size not a multiple of record size")
+        self.n_records = relation.size // self.fmt.record_size
+        self.persist = persist
+        self._controller = ThreadPoolController(machine, self.config)
+        self.imap: Optional[IndexMap] = None
+        self.build_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> "SortedIndex":
+        """RUN-phase style index construction (Sec 3.7 steps 1-2 [+5])."""
+        t0 = self.machine.now
+        self.machine.run(self._build_proc(), name="index-build")
+        self.build_time = self.machine.now - t0
+        return self
+
+    def _build_proc(self):
+        fmt = self.fmt
+        machine = self.machine
+        controller = self._controller
+        keys = yield self.relation.read_strided(
+            0,
+            self.n_records,
+            stride=fmt.record_size,
+            access_size=fmt.key_size,
+            tag="INDEX build read",
+            threads=controller.read_threads(Pattern.RAND),
+        )
+        yield machine.compute(
+            machine.host.touch_seconds(self.n_records),
+            tag="INDEX build read",
+            cores=controller.sort_cores(),
+        )
+        imap = IndexMap.for_fixed_records(
+            keys, 0, fmt.record_size, fmt.pointer_size
+        )
+        yield machine.sort_compute(
+            self.n_records, tag="INDEX build sort", cores=controller.sort_cores()
+        )
+        self.imap = imap.sorted()
+        if self.persist:
+            index_file = machine.fs.create(f"{self.relation.name}.indexmap")
+            yield index_file.write(
+                0,
+                self.imap.to_bytes(),
+                tag="INDEX build write",
+                threads=controller.write_threads(),
+            )
+
+    def _require_built(self) -> IndexMap:
+        if self.imap is None:
+            raise ConfigError("call build() before querying")
+        return self.imap
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_k(self, k: int) -> QueryResult:
+        """The k smallest-keyed rows, fully materialised.
+
+        TOP-K with an input exceeding memory is one of the paper's
+        motivating database workloads (Sec 1); late materialization
+        gathers exactly k values instead of sorting the whole relation.
+        """
+        if k < 0:
+            raise ConfigError("k must be >= 0")
+        imap = self._require_built()
+        part = imap.slice(0, min(k, len(imap)))
+        return self._gather(part, tag="QUERY top-k")
+
+    def range_scan(self, low: bytes, high: bytes) -> QueryResult:
+        """All rows with ``low <= key <= high``, in key order."""
+        if low > high:
+            raise ConfigError("low must be <= high")
+        imap = self._require_built()
+        low_arr = self._as_key(low)
+        high_arr = self._as_key(high)
+        # Sorted keys: the qualifying rows form a contiguous slice.
+        below_low = int(
+            leq_mask(imap.keys, low_arr).sum()
+            - self._count_equal(imap.keys, low_arr)
+        )
+        upto_high = int(leq_mask(imap.keys, high_arr).sum())
+        part = imap.slice(below_low, upto_high)
+        return self._gather(part, tag="QUERY range")
+
+    def _as_key(self, key: bytes) -> np.ndarray:
+        if len(key) != self.fmt.key_size:
+            raise ConfigError(
+                f"key must be {self.fmt.key_size} bytes, got {len(key)}"
+            )
+        return np.frombuffer(key, dtype=np.uint8)
+
+    @staticmethod
+    def _count_equal(keys: np.ndarray, bound: np.ndarray) -> int:
+        return int(np.all(keys == bound.reshape(1, -1), axis=1).sum())
+
+    def _gather(self, part: IndexMap, tag: str) -> QueryResult:
+        machine = self.machine
+        fmt = self.fmt
+        t0 = machine.now
+        holder = {}
+
+        def proc():
+            if len(part) == 0:
+                holder["records"] = np.zeros((0, fmt.record_size), dtype=np.uint8)
+                return
+            data = yield self.relation.read_gather(
+                part.pointers,
+                fmt.record_size,
+                tag=tag,
+                threads=self._controller.read_threads(Pattern.RAND),
+            )
+            holder["records"] = data
+
+        machine.run(proc(), name=tag)
+        return QueryResult(
+            records=holder["records"],
+            elapsed=machine.now - t0,
+            bytes_gathered=len(part) * fmt.record_size,
+        )

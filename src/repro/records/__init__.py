@@ -1,0 +1,40 @@
+"""Record formats, workload generation and output validation.
+
+Implements the sortbenchmark-style fixed-size binary records the paper
+evaluates on (10 B keys + 90 B values by default), the Key-Length-Value
+(KLV) encoding for variable-length values (Sec 2.5), a gensort-workalike
+generator, and a valsort-workalike validator (sorted order + permutation
+check).
+"""
+
+from repro.records.format import (
+    RecordFormat,
+    key_columns,
+    key_sort_indices,
+    keys_ascending,
+    record_sort_indices,
+)
+from repro.records.gensort import generate_dataset, make_records
+from repro.records.klv import KLVFormat, decode_klv, encode_klv, generate_klv_dataset
+from repro.records.validate import (
+    validate_sorted_file,
+    validate_sorted_klv,
+    validate_sorted_records,
+)
+
+__all__ = [
+    "RecordFormat",
+    "key_columns",
+    "key_sort_indices",
+    "keys_ascending",
+    "record_sort_indices",
+    "generate_dataset",
+    "make_records",
+    "KLVFormat",
+    "encode_klv",
+    "decode_klv",
+    "generate_klv_dataset",
+    "validate_sorted_file",
+    "validate_sorted_klv",
+    "validate_sorted_records",
+]

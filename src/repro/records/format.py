@@ -1,0 +1,146 @@
+"""Fixed-size record geometry and byte-exact key ordering.
+
+Keys are arbitrary binary strings compared lexicographically as unsigned
+bytes (gensort semantics).  To sort them exactly and fast we convert the
+key bytes to big-endian uint64 columns and use :func:`numpy.lexsort`,
+which is stable and handles embedded zero bytes correctly (numpy's ``S``
+dtype would not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import RecordFormatError
+from repro.units import ceil_div
+
+
+@dataclass(frozen=True)
+class RecordFormat:
+    """Geometry of a fixed-size sortbenchmark record.
+
+    The default matches the paper's workloads: 10-byte key, 90-byte
+    value, 5-byte pointers in IndexMaps (a 5-byte pointer addresses 2^40
+    record offsets, Sec 3.3 footnote).
+    """
+
+    key_size: int = 10
+    value_size: int = 90
+    pointer_size: int = 5
+
+    def __post_init__(self):
+        if self.key_size < 1:
+            raise RecordFormatError("key_size must be >= 1")
+        if self.value_size < 0:
+            raise RecordFormatError("value_size must be >= 0")
+        if self.pointer_size < 1 or self.pointer_size > 8:
+            raise RecordFormatError("pointer_size must be in [1, 8]")
+
+    @property
+    def record_size(self) -> int:
+        return self.key_size + self.value_size
+
+    @property
+    def index_entry_size(self) -> int:
+        """Bytes per IndexMap entry: key + pointer."""
+        return self.key_size + self.pointer_size
+
+    def file_bytes(self, n_records: int) -> int:
+        return n_records * self.record_size
+
+    def max_addressable_records(self) -> int:
+        """How many record slots a pointer of this width can address."""
+        return 1 << (8 * self.pointer_size)
+
+    def describe(self) -> str:
+        return (
+            f"{self.key_size}B key + {self.value_size}B value "
+            f"({self.record_size}B records, {self.pointer_size}B pointers)"
+        )
+
+
+def key_columns(keys: np.ndarray) -> List[np.ndarray]:
+    """Convert an ``(n, k)`` uint8 key matrix to big-endian u64 columns.
+
+    The returned columns are most-significant first: comparing rows by
+    these columns in order is exactly unsigned lexicographic comparison
+    of the original byte strings.
+    """
+    if keys.ndim != 2:
+        raise RecordFormatError(f"keys must be 2-D, got shape {keys.shape}")
+    n, k = keys.shape
+    width = ceil_div(max(k, 1), 8) * 8
+    padded = np.zeros((n, width), dtype=np.uint8)
+    if k:
+        padded[:, :k] = keys
+    cols = []
+    for j in range(width // 8):
+        chunk = np.ascontiguousarray(padded[:, j * 8 : (j + 1) * 8])
+        cols.append(chunk.view(">u8").reshape(n))
+    return cols
+
+
+def key_sort_indices(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort of binary keys (rows of an ``(n, k)`` uint8 matrix)."""
+    cols = key_columns(keys)
+    # lexsort treats the LAST key as primary, so feed columns reversed.
+    return np.lexsort(tuple(reversed(cols)))
+
+
+def record_sort_indices(records: np.ndarray, key_size: int) -> np.ndarray:
+    """Stable argsort of fixed-size records by their leading key bytes."""
+    if records.ndim != 2:
+        raise RecordFormatError("records must be a 2-D uint8 matrix")
+    if key_size > records.shape[1]:
+        raise RecordFormatError("key_size exceeds record size")
+    return key_sort_indices(records[:, :key_size])
+
+
+def keys_ascending(keys: np.ndarray) -> bool:
+    """True iff consecutive rows are in non-decreasing key order."""
+    if keys.shape[0] <= 1:
+        return True
+    cols = key_columns(keys)
+    n = keys.shape[0]
+    # undecided[i] True while rows i and i+1 compare equal so far.
+    undecided = np.ones(n - 1, dtype=bool)
+    for col in cols:
+        left, right = col[:-1], col[1:]
+        if np.any(undecided & (left > right)):
+            return False
+        undecided &= left == right
+        if not undecided.any():
+            return True
+    return True
+
+
+def leq_mask(keys: np.ndarray, bound: np.ndarray) -> np.ndarray:
+    """Boolean mask: row key <= ``bound`` (unsigned lexicographic).
+
+    ``bound`` is a single key as a 1-D uint8 array of the same width.
+    """
+    if keys.ndim != 2:
+        raise RecordFormatError("keys must be 2-D")
+    bound = np.asarray(bound, dtype=np.uint8).reshape(1, -1)
+    if bound.shape[1] != keys.shape[1]:
+        raise RecordFormatError("bound width must match key width")
+    cols = key_columns(keys)
+    bcols = [c[0] for c in key_columns(bound)]
+    n = keys.shape[0]
+    less = np.zeros(n, dtype=bool)
+    undecided = np.ones(n, dtype=bool)
+    for col, b in zip(cols, bcols):
+        less |= undecided & (col < b)
+        undecided &= col == b
+    return less | undecided
+
+
+def min_key(candidates: np.ndarray) -> np.ndarray:
+    """Lexicographic minimum row of an ``(n, k)`` uint8 key matrix."""
+    if candidates.ndim != 2 or candidates.shape[0] == 0:
+        raise RecordFormatError("need a non-empty 2-D key matrix")
+    order = key_sort_indices(candidates)
+    return candidates[order[0]]

@@ -1,0 +1,125 @@
+"""Key-Length-Value (KLV) encoding for variable-length values.
+
+Sec 2.5 / 3.7.3 of the paper: "a fixed size key is followed by the
+length of the value and the value itself."  The length field is a
+little-endian unsigned integer of ``len_size`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from repro.errors import RecordFormatError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+    from repro.storage.file import SimFile
+
+
+@dataclass(frozen=True)
+class KLVFormat:
+    """Geometry of a KLV stream: fixed key, variable value."""
+
+    key_size: int = 10
+    len_size: int = 4
+    pointer_size: int = 5
+
+    def __post_init__(self):
+        if self.key_size < 1:
+            raise RecordFormatError("key_size must be >= 1")
+        if self.len_size < 1 or self.len_size > 8:
+            raise RecordFormatError("len_size must be in [1, 8]")
+        if self.pointer_size < 1 or self.pointer_size > 8:
+            raise RecordFormatError("pointer_size must be in [1, 8]")
+
+    @property
+    def header_size(self) -> int:
+        """Bytes before the value: key + length field."""
+        return self.key_size + self.len_size
+
+    @property
+    def index_entry_size(self) -> int:
+        """IndexMap entry for KLV: key + pointer + value length (Sec 3.7.3)."""
+        return self.key_size + self.pointer_size + self.len_size
+
+    def max_value_size(self) -> int:
+        return (1 << (8 * self.len_size)) - 1
+
+
+def encode_klv(
+    keys: np.ndarray, values: List[np.ndarray], fmt: KLVFormat
+) -> np.ndarray:
+    """Serialise parallel key/value collections into one KLV byte stream."""
+    if keys.ndim != 2 or keys.shape[1] != fmt.key_size:
+        raise RecordFormatError(
+            f"keys must be (n, {fmt.key_size}), got {keys.shape}"
+        )
+    if keys.shape[0] != len(values):
+        raise RecordFormatError("keys and values must have equal counts")
+    chunks: List[np.ndarray] = []
+    max_len = fmt.max_value_size()
+    for key, value in zip(keys, values):
+        value = np.ascontiguousarray(value, dtype=np.uint8).reshape(-1)
+        if value.size > max_len:
+            raise RecordFormatError(
+                f"value of {value.size}B exceeds len field max {max_len}B"
+            )
+        header = np.empty(fmt.header_size, dtype=np.uint8)
+        header[: fmt.key_size] = key
+        length = int(value.size)
+        for i in range(fmt.len_size):
+            header[fmt.key_size + i] = (length >> (8 * i)) & 0xFF
+        chunks.append(header)
+        chunks.append(value)
+    if not chunks:
+        return np.zeros(0, dtype=np.uint8)
+    return np.concatenate(chunks)
+
+
+def decode_klv(stream: np.ndarray, fmt: KLVFormat) -> List[Tuple[bytes, bytes]]:
+    """Parse a KLV byte stream into ``(key, value)`` pairs."""
+    stream = np.ascontiguousarray(stream, dtype=np.uint8).reshape(-1)
+    out: List[Tuple[bytes, bytes]] = []
+    pos = 0
+    total = stream.size
+    while pos < total:
+        if pos + fmt.header_size > total:
+            raise RecordFormatError(f"truncated KLV header at offset {pos}")
+        key = stream[pos : pos + fmt.key_size].tobytes()
+        length = 0
+        for i in range(fmt.len_size):
+            length |= int(stream[pos + fmt.key_size + i]) << (8 * i)
+        pos += fmt.header_size
+        if pos + length > total:
+            raise RecordFormatError(f"truncated KLV value at offset {pos}")
+        out.append((key, stream[pos : pos + length].tobytes()))
+        pos += length
+    return out
+
+
+def generate_klv_dataset(
+    machine: "Machine",
+    name: str,
+    n_records: int,
+    fmt: KLVFormat | None = None,
+    min_value: int = 20,
+    max_value: int = 200,
+    seed: int = 0,
+) -> "SimFile":
+    """Create a simulated file with random variable-length KLV records."""
+    fmt = fmt if fmt is not None else KLVFormat()
+    if min_value < 0 or max_value < min_value:
+        raise RecordFormatError("need 0 <= min_value <= max_value")
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 256, size=(n_records, fmt.key_size), dtype=np.uint8)
+    lengths = rng.integers(min_value, max_value + 1, size=n_records)
+    values = [
+        rng.integers(0, 256, size=int(length), dtype=np.uint8) for length in lengths
+    ]
+    stream = encode_klv(keys, values, fmt)
+    f = machine.fs.create(name)
+    f.poke(0, stream)
+    return f

@@ -1,0 +1,304 @@
+"""Generator-based discrete-event engine.
+
+Simulated threads are plain Python generators that ``yield`` command
+objects; the engine interprets each command, blocks or resumes the
+process, and advances the simulated clock.  Supported commands:
+
+* :class:`~repro.sim.fluid.FluidOp` -- timed work; resumes when complete
+  with the op itself (or the value of ``op.on_complete(op)`` if set).
+* :class:`Sleep` -- resume after a fixed simulated delay.
+* :class:`Spawn` -- create a child process; resumes immediately with the
+  new :class:`Process`.
+* :class:`Join` -- wait for one process or a list of processes; resumes
+  with the result (or list of results).
+* :class:`Now` -- resumes immediately with the current simulated time.
+* any object exposing ``_sim_execute(engine, process)`` -- used by the
+  synchronisation primitives in :mod:`repro.sim.primitives`.
+
+The engine is single-threaded and deterministic: ready processes run in
+FIFO order and ties in event time break by insertion sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.fluid import FluidOp, FluidScheduler, RateModel
+
+SimGenerator = Generator[Any, Any, Any]
+
+
+class Sleep:
+    """Command: suspend the issuing process for ``dt`` simulated seconds."""
+
+    __slots__ = ("dt",)
+
+    def __init__(self, dt: float):
+        if dt < 0:
+            raise ValueError(f"Sleep duration must be >= 0, got {dt}")
+        self.dt = dt
+
+
+class Spawn:
+    """Command: create a child process running ``gen``."""
+
+    __slots__ = ("gen", "name")
+
+    def __init__(self, gen: SimGenerator, name: str = ""):
+        self.gen = gen
+        self.name = name
+
+
+class Join:
+    """Command: block until the target process(es) finish.
+
+    Resumes with the single result when joining one process, or a list
+    of results (in argument order) when joining an iterable.
+    """
+
+    __slots__ = ("targets", "single")
+
+    def __init__(self, targets: "Process | Iterable[Process]"):
+        if isinstance(targets, Process):
+            self.targets = [targets]
+            self.single = True
+        else:
+            self.targets = list(targets)
+            self.single = False
+
+
+class Now:
+    """Command: resume immediately with the current simulated time."""
+
+    __slots__ = ()
+
+
+class Process:
+    """A simulated thread of control wrapping a generator."""
+
+    __slots__ = ("gen", "name", "pid", "done", "result", "_callbacks", "_resume_value")
+
+    def __init__(self, gen: SimGenerator, name: str, pid: int):
+        self.gen = gen
+        self.name = name
+        self.pid = pid
+        self.done = False
+        self.result: Any = None
+        self._callbacks: list[Callable[["Process"], None]] = []
+        self._resume_value: Any = None
+
+    def add_done_callback(self, fn: Callable[["Process"], None]) -> None:
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"Process({self.name!r}, pid={self.pid}, {state})"
+
+
+class Engine:
+    """The event loop: owns the clock, ready queue and fluid scheduler."""
+
+    def __init__(self, rate_model: RateModel):
+        self.now = 0.0
+        self.fluid = FluidScheduler(rate_model)
+        self._ready: deque[Process] = deque()
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = itertools.count()
+        self._pids = itertools.count(1)
+        self._blocked = 0
+        self._live_processes = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def spawn(self, gen: SimGenerator, name: str = "") -> Process:
+        """Register ``gen`` as a new ready process."""
+        proc = Process(gen, name or f"proc-{next(self._pids)}", next(self._pids))
+        self._live_processes += 1
+        self._ready.append(proc)
+        return proc
+
+    def resume(self, proc: Process, value: Any = None) -> None:
+        """Make a blocked process ready again (used by primitives)."""
+        self._blocked -= 1
+        proc._resume_value = value
+        self._ready.append(proc)
+
+    def block(self) -> None:
+        """Account for a process that a primitive has parked."""
+        self._blocked += 1
+
+    def call_at(self, t: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at absolute simulated time ``t``."""
+        if t < self.now:
+            raise SimulationError(f"cannot schedule in the past ({t} < {self.now})")
+        heapq.heappush(self._heap, (t, next(self._seq), fn))
+
+    def run(self) -> float:
+        """Run until no work remains; returns the final simulated time."""
+        while True:
+            self._drain_ready()
+            if self._settle_and_complete():
+                continue
+            if not self._advance():
+                break
+        if self._blocked:
+            raise DeadlockError(
+                f"simulation ended with {self._blocked} blocked process(es)"
+            )
+        return self.now
+
+    def run_until(self, proc: Process) -> Any:
+        """Run until ``proc`` finishes, even if other work remains.
+
+        Used when perpetual background processes (multi-tenant clients)
+        share the engine: the clock stops advancing the moment the
+        watched process completes, and in-flight background ops are
+        simply abandoned.  Raises if the engine runs dry first.
+        """
+        while not proc.done:
+            self._drain_ready()
+            if proc.done:
+                break
+            if self._settle_and_complete():
+                continue
+            if not self._advance():
+                raise DeadlockError(f"engine ran out of events before {proc!r} finished")
+        return proc.result
+
+    def run_process(self, gen: SimGenerator, name: str = "") -> Any:
+        """Spawn ``gen``, run to completion, return its result."""
+        proc = self.spawn(gen, name)
+        self.run()
+        if not proc.done:
+            raise SimulationError(f"{proc!r} did not finish")
+        return proc.result
+
+    # ------------------------------------------------------------------
+    # Event loop internals
+    # ------------------------------------------------------------------
+    def _drain_ready(self) -> None:
+        while self._ready:
+            self._step(self._ready.popleft())
+
+    def _settle_and_complete(self) -> bool:
+        """Re-rate if needed and wake zero-time completions.
+
+        Returns True when progress was made at the current instant.
+        """
+        if not self.fluid.dirty:
+            return False
+        self.fluid.settle(self.now)
+        self.fluid.rerate(self.now)
+        done = self.fluid.pop_completed(self.now)
+        if done:
+            for op in done:
+                self._complete_op(op)
+            return True
+        return False
+
+    def _advance(self) -> bool:
+        """Advance the clock to the next event; False when nothing remains."""
+        t_fluid = self.fluid.next_completion(self.now)
+        t_heap = self._heap[0][0] if self._heap else None
+        if t_fluid is None and t_heap is None:
+            if self.fluid.active:
+                raise DeadlockError(
+                    "all in-flight ops are stalled at rate 0 and no timed "
+                    "events remain"
+                )
+            return False
+        if t_heap is None or (t_fluid is not None and t_fluid <= t_heap):
+            target = t_fluid
+        else:
+            target = t_heap
+        assert target is not None and target >= self.now
+        self.now = target
+        self.fluid.settle(self.now)
+        for op in self.fluid.pop_completed(self.now):
+            self._complete_op(op)
+        while self._heap and self._heap[0][0] <= self.now + 1e-15:
+            _, _, item = heapq.heappop(self._heap)
+            if isinstance(item, Process):
+                self._blocked -= 1
+                self._ready.append(item)
+            else:
+                item()
+        return True
+
+    def _complete_op(self, op: FluidOp) -> None:
+        proc = op._waiter
+        op._waiter = None
+        value = op.on_complete(op) if op.on_complete is not None else op
+        if proc is not None:
+            self.resume(proc, value)
+
+    def _step(self, proc: Process) -> None:
+        value, proc._resume_value = proc._resume_value, None
+        try:
+            command = proc.gen.send(value)
+        except StopIteration as stop:
+            self._live_processes -= 1
+            proc._finish(stop.value)
+            return
+        self._dispatch(command, proc)
+
+    def _dispatch(self, command: Any, proc: Process) -> None:
+        if isinstance(command, FluidOp):
+            command._waiter = proc
+            self._blocked += 1
+            self.fluid.add(command, self.now)
+            if command.finished_at is not None:
+                # Zero-work op completed instantly.
+                self._complete_op(command)
+        elif isinstance(command, Sleep):
+            self._blocked += 1
+            heapq.heappush(self._heap, (self.now + command.dt, next(self._seq), proc))
+        elif isinstance(command, Spawn):
+            child = self.spawn(command.gen, command.name)
+            proc._resume_value = child
+            self._ready.append(proc)
+        elif isinstance(command, Join):
+            self._join(command, proc)
+        elif isinstance(command, Now):
+            proc._resume_value = self.now
+            self._ready.append(proc)
+        elif hasattr(command, "_sim_execute"):
+            command._sim_execute(self, proc)
+        else:
+            raise SimulationError(
+                f"{proc!r} yielded an unsupported command: {command!r}"
+            )
+
+    def _join(self, command: Join, proc: Process) -> None:
+        pending = [t for t in command.targets if not t.done]
+        if not pending:
+            results = [t.result for t in command.targets]
+            proc._resume_value = results[0] if command.single else results
+            self._ready.append(proc)
+            return
+        self._blocked += 1
+        remaining = {"n": len(pending)}
+
+        def on_done(_finished: Process) -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                results = [t.result for t in command.targets]
+                self.resume(proc, results[0] if command.single else results)
+
+        for target in pending:
+            target.add_done_callback(on_done)

@@ -1,0 +1,200 @@
+"""Fluid-flow work scheduling.
+
+In-flight work items (:class:`FluidOp`) progress simultaneously at rates
+assigned by a :class:`RateModel`.  Whenever the set of active ops changes,
+the scheduler re-rates every op and computes the next completion time.
+This is the standard processor-sharing "fluid" approximation used by
+storage and network simulators: instead of modelling individual requests,
+each op is a flow whose instantaneous rate depends on who else is active.
+
+Rate semantics: an op carries ``work`` in arbitrary units (bytes for I/O,
+cpu-seconds for compute) and the model assigns a rate in units/second.
+The model also exposes max-min *progressive filling* over shared
+resources (see :class:`repro.device.host.HostModel`), but the kernel only
+requires the ``assign`` callable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Ops whose remaining work falls below this fraction of their original
+#: work (or below an absolute epsilon) are considered complete.  Guards
+#: against floating-point residue keeping an op alive forever.
+_EPSILON = 1e-9
+
+_op_counter = itertools.count()
+
+
+class FluidOp:
+    """A unit of timed work processed by the fluid scheduler.
+
+    Parameters
+    ----------
+    work:
+        Total amount of work (bytes for I/O ops, cpu-seconds for compute
+        ops).  Must be non-negative; zero-work ops complete immediately.
+    kind:
+        Free-form string consumed by the rate model, e.g. ``"io"`` or
+        ``"cpu"``.
+    tag:
+        Category label used for statistics attribution (e.g. ``"RUN
+        read"``).  Not interpreted by the kernel.
+    attrs:
+        Arbitrary attributes the rate model understands (direction,
+        access pattern, host-traffic ratio, ...).
+    """
+
+    __slots__ = (
+        "work",
+        "kind",
+        "tag",
+        "attrs",
+        "remaining",
+        "rate",
+        "started_at",
+        "finished_at",
+        "seq",
+        "_waiter",
+        "on_complete",
+    )
+
+    def __init__(self, work: float, kind: str, tag: str = "", **attrs):
+        if work < 0:
+            raise ValueError(f"FluidOp work must be >= 0, got {work}")
+        self.work = float(work)
+        self.kind = kind
+        self.tag = tag
+        self.attrs = attrs
+        self.remaining = float(work)
+        self.rate = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.seq = next(_op_counter)
+        self._waiter = None  # Process resumed on completion (set by Engine)
+        self.on_complete: Optional[Callable[["FluidOp"], object]] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed simulated time, valid once the op has finished."""
+        if self.started_at is None or self.finished_at is None:
+            raise SimulationError("op has not completed yet")
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FluidOp(kind={self.kind!r}, tag={self.tag!r}, "
+            f"work={self.work:.3g}, remaining={self.remaining:.3g})"
+        )
+
+
+class RateModel:
+    """Assigns instantaneous rates to the set of active ops.
+
+    Subclasses implement :meth:`assign`.  The kernel calls it every time
+    the active-op population changes; between calls rates are constant.
+    """
+
+    def assign(self, ops: Iterable[FluidOp]) -> Dict[FluidOp, float]:
+        raise NotImplementedError
+
+
+class UniformRateModel(RateModel):
+    """Trivial model: every op progresses at a fixed rate.
+
+    Useful for kernel unit tests where device semantics are irrelevant.
+    """
+
+    def __init__(self, rate: float = 1.0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def assign(self, ops: Iterable[FluidOp]) -> Dict[FluidOp, float]:
+        return {op: self.rate for op in ops}
+
+
+class FluidScheduler:
+    """Tracks active ops, advances their work, finds next completion.
+
+    The owning :class:`~repro.sim.engine.Engine` drives this object:
+    ``settle`` debits work done since the last settle, ``rerate`` asks the
+    model for fresh rates, and ``next_completion`` reports when the
+    earliest op will finish under current rates.
+    """
+
+    def __init__(self, model: RateModel):
+        self.model = model
+        self.active: set[FluidOp] = set()
+        self._last_settled = 0.0
+        self.dirty = False
+        #: Observers called as fn(t0, t1, ops) for every constant-rate
+        #: interval, used by bandwidth timeline recorders.
+        self.interval_observers: list[Callable[[float, float, list], None]] = []
+
+    def add(self, op: FluidOp, now: float) -> None:
+        if op.remaining <= 0:
+            # Zero-work op: mark complete instantly; caller handles wakeup.
+            op.started_at = now
+            op.finished_at = now
+            return
+        op.started_at = now
+        self.active.add(op)
+        self.dirty = True
+
+    def settle(self, now: float) -> None:
+        """Debit work accomplished between the last settle and ``now``."""
+        dt = now - self._last_settled
+        if dt < 0:
+            raise SimulationError(f"time went backwards: {dt}")
+        if dt > 0 and self.active:
+            for observer in self.interval_observers:
+                observer(self._last_settled, now, list(self.active))
+            for op in self.active:
+                op.remaining -= op.rate * dt
+        self._last_settled = now
+
+    def rerate(self, now: float) -> None:
+        """Recompute rates for all active ops from the model."""
+        if self.active:
+            rates = self.model.assign(self.active)
+            for op in self.active:
+                rate = rates.get(op, 0.0)
+                if rate < 0:
+                    raise SimulationError(f"model returned negative rate for {op}")
+                op.rate = rate
+        self.dirty = False
+
+    def pop_completed(self, now: float) -> list[FluidOp]:
+        """Remove and return ops whose work is (numerically) exhausted."""
+        done = [
+            op
+            for op in self.active
+            if op.remaining <= _EPSILON * max(1.0, op.work)
+        ]
+        for op in done:
+            op.remaining = 0.0
+            op.finished_at = now
+            self.active.discard(op)
+        if done:
+            self.dirty = True
+        return done
+
+    def next_completion(self, now: float) -> Optional[float]:
+        """Earliest absolute time an active op completes, or ``None``.
+
+        Ops with zero rate never complete on their own; if *every* active
+        op is stalled the scheduler reports ``None`` and the engine will
+        raise a deadlock error unless some other event intervenes.
+        """
+        best: Optional[float] = None
+        for op in self.active:
+            if op.rate <= 0:
+                continue
+            t = now + op.remaining / op.rate
+            if best is None or t < best:
+                best = t
+        return best

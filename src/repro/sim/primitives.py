@@ -1,0 +1,192 @@
+"""Synchronisation primitives for simulated threads.
+
+All primitives are bound to an :class:`~repro.sim.engine.Engine` at
+construction.  Blocking operations return command objects that must be
+``yield``-ed from a process; non-blocking operations (``release``,
+``try_get``) are ordinary method calls.
+
+Example::
+
+    barrier = Barrier(engine, parties=4)
+
+    def worker():
+        ...
+        yield barrier.wait()        # rendezvous with the other workers
+        ...
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+
+
+class _AcquireCommand:
+    __slots__ = ("sem",)
+
+    def __init__(self, sem: "Semaphore"):
+        self.sem = sem
+
+    def _sim_execute(self, engine, proc) -> None:
+        if self.sem._count > 0:
+            self.sem._count -= 1
+            proc._resume_value = None
+            engine._ready.append(proc)
+        else:
+            engine.block()
+            self.sem._waiters.append(proc)
+
+
+class Semaphore:
+    """Counting semaphore.
+
+    ``yield sem.acquire()`` blocks while the count is zero;
+    ``sem.release()`` is a plain call and wakes one waiter if any.
+    """
+
+    def __init__(self, engine, count: int = 1):
+        if count < 0:
+            raise ValueError("semaphore count must be >= 0")
+        self._engine = engine
+        self._count = count
+        self._waiters: deque = deque()
+
+    @property
+    def value(self) -> int:
+        return self._count
+
+    def acquire(self) -> _AcquireCommand:
+        return _AcquireCommand(self)
+
+    def release(self) -> None:
+        if self._waiters:
+            proc = self._waiters.popleft()
+            self._engine.resume(proc, None)
+        else:
+            self._count += 1
+
+
+class _BarrierCommand:
+    __slots__ = ("barrier",)
+
+    def __init__(self, barrier: "Barrier"):
+        self.barrier = barrier
+
+    def _sim_execute(self, engine, proc) -> None:
+        bar = self.barrier
+        bar._arrived += 1
+        if bar._arrived == bar.parties:
+            # Last arrival releases everyone; the barrier is cyclic.
+            bar._arrived = 0
+            bar.generation += 1
+            waiters, bar._waiters = bar._waiters, []
+            for waiter in waiters:
+                engine.resume(waiter, None)
+            proc._resume_value = None
+            engine._ready.append(proc)
+        else:
+            engine.block()
+            bar._waiters.append(proc)
+
+
+class Barrier:
+    """Cyclic barrier for a fixed number of parties."""
+
+    def __init__(self, engine, parties: int):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self._engine = engine
+        self.parties = parties
+        self.generation = 0
+        self._arrived = 0
+        self._waiters: list = []
+
+    def wait(self) -> _BarrierCommand:
+        return _BarrierCommand(self)
+
+
+class _PutCommand:
+    __slots__ = ("queue", "item")
+
+    def __init__(self, queue: "SimQueue", item: Any):
+        self.queue = queue
+        self.item = item
+
+    def _sim_execute(self, engine, proc) -> None:
+        q = self.queue
+        if q.maxsize is not None and len(q._items) >= q.maxsize:
+            engine.block()
+            q._put_waiters.append((proc, self.item))
+            return
+        q._deliver(engine, self.item)
+        proc._resume_value = None
+        engine._ready.append(proc)
+
+
+class _GetCommand:
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: "SimQueue"):
+        self.queue = queue
+
+    def _sim_execute(self, engine, proc) -> None:
+        q = self.queue
+        if q._items:
+            item = q._items.popleft()
+            q._refill(engine)
+            proc._resume_value = item
+            engine._ready.append(proc)
+        else:
+            engine.block()
+            q._get_waiters.append(proc)
+
+
+class SimQueue:
+    """Bounded FIFO queue between simulated threads.
+
+    ``yield q.put(item)`` blocks when full; ``yield q.get()`` blocks when
+    empty.  ``maxsize=None`` means unbounded.
+    """
+
+    def __init__(self, engine, maxsize: Optional[int] = None):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1 or None")
+        self._engine = engine
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._get_waiters: deque = deque()
+        self._put_waiters: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> _PutCommand:
+        return _PutCommand(self, item)
+
+    def get(self) -> _GetCommand:
+        return _GetCommand(self)
+
+    def try_get(self) -> Any:
+        """Non-blocking get; raises if the queue is empty."""
+        if not self._items:
+            raise SimulationError("try_get on empty SimQueue")
+        item = self._items.popleft()
+        self._refill(self._engine)
+        return item
+
+    def _deliver(self, engine, item: Any) -> None:
+        """Hand ``item`` to a blocked getter, or store it."""
+        if self._get_waiters:
+            proc = self._get_waiters.popleft()
+            engine.resume(proc, item)
+        else:
+            self._items.append(item)
+
+    def _refill(self, engine) -> None:
+        """After a slot freed, admit one blocked putter (if any)."""
+        if self._put_waiters:
+            proc, item = self._put_waiters.popleft()
+            self._deliver(engine, item)
+            engine.resume(proc, None)

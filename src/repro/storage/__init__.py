@@ -1,0 +1,13 @@
+"""Simulated storage stack: a filesystem of byte arrays on one device.
+
+Files hold *real* bytes (numpy arrays) so sorting output can be
+validated, while every read/write returns a timed
+:class:`~repro.sim.fluid.FluidOp` that a simulated thread must ``yield``
+to account for device time.
+"""
+
+from repro.storage.dram import DramTracker
+from repro.storage.file import SimFile
+from repro.storage.filesystem import SimFS
+
+__all__ = ["SimFS", "SimFile", "DramTracker"]

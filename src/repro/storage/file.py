@@ -1,0 +1,235 @@
+"""A simulated file on a BRAID device.
+
+Data movement is performed eagerly with numpy (correctness), while the
+returned :class:`~repro.sim.fluid.FluidOp` carries the timing cost the
+issuing process must ``yield``.  The read ops hand their payload back as
+the resume value, so simulated threads read naturally::
+
+    data = yield simfile.read(0, 4096, tag="RUN read")
+
+Pooled operations: ``threads=N`` tells the rate model the op stands for
+N device threads working in parallel, which is how the sort
+implementations express thread-pool-sized I/O without spawning N
+simulated processes per buffer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.device.device import make_io_op
+from repro.device.profile import Pattern
+from repro.errors import StorageError
+from repro.sim.fluid import FluidOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.filesystem import SimFS
+
+
+class SimFile:
+    """A growable byte file stored on a simulated device."""
+
+    def __init__(self, fs: "SimFS", name: str):
+        self._fs = fs
+        self.name = name
+        self._data = np.zeros(0, dtype=np.uint8)
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # Raw (untimed) access, for test fixtures and validation only
+    # ------------------------------------------------------------------
+    def peek(self, offset: int = 0, nbytes: int | None = None) -> np.ndarray:
+        """Untimed read of file contents (no device cost charged)."""
+        if nbytes is None:
+            nbytes = self.size - offset
+        self._check_extent(offset, nbytes)
+        return self._data[offset : offset + nbytes].copy()
+
+    def poke(self, offset: int, data: np.ndarray | bytes) -> None:
+        """Untimed write (workload generation / fixtures)."""
+        arr = _as_u8(data)
+        new_size = max(self.size, offset + arr.size)
+        if new_size > self.size:
+            self._fs.charge_growth(new_size - self.size)
+        self._ensure_capacity(new_size)
+        self._data[offset : offset + arr.size] = arr
+        self.size = new_size
+
+    # ------------------------------------------------------------------
+    # Timed operations (yield the returned op from a simulated thread)
+    # ------------------------------------------------------------------
+    def read(
+        self, offset: int, nbytes: int, tag: str, threads: int = 1
+    ) -> FluidOp:
+        """Sequential read; resumes with a copy of the bytes."""
+        self._check_extent(offset, nbytes)
+        payload = self._data[offset : offset + nbytes].copy()
+        op = self._machine_io("read", Pattern.SEQ, nbytes, tag, threads=threads)
+        op.on_complete = lambda _op: payload
+        return op
+
+    def write(
+        self, offset: int, data: np.ndarray | bytes, tag: str, threads: int = 1
+    ) -> FluidOp:
+        """Sequential write at ``offset`` (extends the file if needed)."""
+        arr = _as_u8(data)
+        self.poke(offset, arr)
+        return self._machine_io("write", Pattern.SEQ, arr.size, tag, threads=threads)
+
+    def append(self, data: np.ndarray | bytes, tag: str, threads: int = 1) -> FluidOp:
+        """Sequential write at the current end of file."""
+        return self.write(self.size, data, tag, threads=threads)
+
+    def read_strided(
+        self,
+        offset: int,
+        count: int,
+        stride: int,
+        access_size: int,
+        tag: str,
+        threads: int = 1,
+    ) -> FluidOp:
+        """Gather ``count`` fixed-size fields at a regular stride.
+
+        This is WiscSort's key gather: only ``count * access_size`` user
+        bytes cross the bus, while the device pays the calibrated
+        strided-gather cost.  Resumes with a ``(count, access_size)``
+        uint8 matrix.
+        """
+        if count == 0:
+            payload = np.zeros((0, access_size), dtype=np.uint8)
+            op = self._machine_io(
+                "read", Pattern.STRIDED, 0, tag, accesses=1, stride=stride, threads=threads
+            )
+            op.on_complete = lambda _op: payload
+            return op
+        if stride < access_size:
+            raise StorageError("stride smaller than access size")
+        last = offset + (count - 1) * stride + access_size
+        self._check_extent(offset, last - offset)
+        starts = offset + np.arange(count, dtype=np.int64) * stride
+        payload = self._data[starts[:, None] + np.arange(access_size)]
+        op = self._machine_io(
+            "read",
+            Pattern.STRIDED,
+            count * access_size,
+            tag,
+            accesses=count,
+            stride=stride,
+            threads=threads,
+        )
+        op.on_complete = lambda _op: payload
+        return op
+
+    def read_gather(
+        self,
+        offsets: np.ndarray | Sequence[int],
+        access_size: int,
+        tag: str,
+        threads: int = 1,
+    ) -> FluidOp:
+        """Random reads of fixed-size records at arbitrary offsets.
+
+        Resumes with a ``(len(offsets), access_size)`` uint8 matrix in
+        the order of ``offsets``.
+        """
+        starts = np.asarray(offsets, dtype=np.int64)
+        if starts.size == 0:
+            payload = np.zeros((0, access_size), dtype=np.uint8)
+            op = self._machine_io("read", Pattern.RAND, 0, tag, threads=threads)
+            op.on_complete = lambda _op: payload
+            return op
+        if starts.min() < 0 or int(starts.max()) + access_size > self.size:
+            raise StorageError(
+                f"gather outside file {self.name!r} (size {self.size})"
+            )
+        payload = self._data[starts[:, None] + np.arange(access_size)]
+        op = self._machine_io(
+            "read",
+            Pattern.RAND,
+            int(starts.size) * access_size,
+            tag,
+            accesses=int(starts.size),
+            threads=threads,
+        )
+        op.on_complete = lambda _op: payload
+        return op
+
+    def read_gather_var(
+        self,
+        offsets: np.ndarray | Sequence[int],
+        lengths: np.ndarray | Sequence[int],
+        tag: str,
+        threads: int = 1,
+    ) -> FluidOp:
+        """Random reads of variable-length spans (KLV value gathers).
+
+        Resumes with a single concatenated uint8 buffer in input order.
+        """
+        starts = np.asarray(offsets, dtype=np.int64)
+        sizes = np.asarray(lengths, dtype=np.int64)
+        if starts.shape != sizes.shape:
+            raise StorageError("offsets and lengths must have equal shape")
+        machine = self._fs.machine
+        if starts.size == 0:
+            op = machine.io_raw(0.0, "read", Pattern.RAND, 0, tag, threads=threads)
+            op.on_complete = lambda _op: np.zeros(0, dtype=np.uint8)
+            return op
+        ends = starts + sizes
+        if starts.min() < 0 or int(ends.max()) > self.size:
+            raise StorageError(f"variable gather outside file {self.name!r}")
+        pieces = [self._data[s:e] for s, e in zip(starts, ends)]
+        payload = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.uint8)
+        work = machine.profile.random_batch_work(sizes)
+        op = machine.io_raw(
+            work, "read", Pattern.RAND, int(sizes.sum()), tag, threads=threads
+        )
+        op.on_complete = lambda _op: payload
+        return op
+
+    # ------------------------------------------------------------------
+    def _machine_io(
+        self,
+        direction: str,
+        pattern: Pattern,
+        nbytes: int,
+        tag: str,
+        accesses: int = 1,
+        stride: int = 0,
+        threads: int = 1,
+    ) -> FluidOp:
+        return self._fs.machine.io(
+            direction,
+            pattern,
+            nbytes,
+            tag,
+            accesses=accesses,
+            stride=stride,
+            threads=threads,
+        )
+
+    def _check_extent(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise StorageError(
+                f"access [{offset}, {offset + nbytes}) outside file "
+                f"{self.name!r} of size {self.size}"
+            )
+
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._data.size:
+            return
+        new_cap = max(needed, self._data.size * 2, 4096)
+        grown = np.zeros(new_cap, dtype=np.uint8)
+        grown[: self._data.size] = self._data
+        self._data = grown
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimFile({self.name!r}, size={self.size})"
+
+
+def _as_u8(data: np.ndarray | bytes) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        return np.ascontiguousarray(data, dtype=np.uint8).reshape(-1)
+    return np.frombuffer(bytes(data), dtype=np.uint8)

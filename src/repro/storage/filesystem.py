@@ -1,0 +1,71 @@
+"""A flat simulated filesystem on one device.
+
+Tracks used capacity against the device profile's ``capacity`` so that
+experiments honour the paper's constraint that the dataset, IndexMap
+files and output all fit on the BRAID device (Sec 2.5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.errors import (
+    FileExistsInSimError,
+    FileNotFoundInSimError,
+    OutOfSpaceError,
+)
+from repro.storage.file import SimFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+
+class SimFS:
+    """Name -> :class:`SimFile` mapping with capacity accounting."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        self._files: Dict[str, SimFile] = {}
+        self.used = 0
+
+    @property
+    def capacity(self) -> int:
+        return self.machine.profile.capacity
+
+    def create(self, name: str) -> SimFile:
+        """Create an empty file; fails if the name exists."""
+        if name in self._files:
+            raise FileExistsInSimError(name)
+        f = SimFile(self, name)
+        self._files[name] = f
+        return f
+
+    def open(self, name: str) -> SimFile:
+        """Look up an existing file."""
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundInSimError(name) from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def delete(self, name: str) -> None:
+        """Remove a file and release its space."""
+        f = self._files.pop(name, None)
+        if f is None:
+            raise FileNotFoundInSimError(name)
+        self.used -= f.size
+
+    def list(self) -> List[str]:
+        return sorted(self._files)
+
+    def charge_growth(self, nbytes: int) -> None:
+        """Account for a file growing by ``nbytes`` (called by SimFile)."""
+        if nbytes <= 0:
+            return
+        if self.used + nbytes > self.capacity:
+            raise OutOfSpaceError(
+                f"device full: used {self.used} + {nbytes} > {self.capacity}"
+            )
+        self.used += nbytes

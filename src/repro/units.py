@@ -1,0 +1,66 @@
+"""Byte and time unit helpers used throughout the simulator.
+
+All simulated times are in seconds (float) and all sizes in bytes (int).
+These constants keep magic numbers out of configuration code.
+"""
+
+from __future__ import annotations
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+#: A conventional cache line, used by the CXL-emulation profiles (Sec 4.5
+#: of the paper injects delays "per cache line access (64B)").
+CACHE_LINE = 64
+
+#: Intel Optane DC PMEM internal access granularity (the "XPLine").
+PMEM_GRANULE = 256
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count in a human-friendly unit (binary multiples)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.2f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(t: float) -> str:
+    """Render a simulated duration with a sensible unit."""
+    if t >= 1.0:
+        return f"{t:.3f}s"
+    if t >= MS:
+        return f"{t / MS:.3f}ms"
+    if t >= US:
+        return f"{t / US:.3f}us"
+    return f"{t / NS:.1f}ns"
+
+
+def fmt_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth in GB/s (decimal, matching device datasheets)."""
+    return f"{bytes_per_second / GB:.2f}GB/s"
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for positive operands."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``."""
+    return ceil_div(value, multiple) * multiple

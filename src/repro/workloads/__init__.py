@@ -1,0 +1,6 @@
+"""Workload helpers: multi-tenant background clients and dataset builders."""
+
+from repro.workloads.background import BackgroundClients
+from repro.workloads.datasets import sortbenchmark_records_for_gb
+
+__all__ = ["BackgroundClients", "sortbenchmark_records_for_gb"]

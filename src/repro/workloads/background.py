@@ -1,0 +1,77 @@
+"""Multi-tenant background I/O clients (paper Sec 4.4 / Fig 10).
+
+"Each thread/client executes a 4KiB read or write operation on a large
+file.  None of the background clients share cores with themselves or the
+sorting workload."
+
+Clients loop forever on their own files; a machine driven with
+``Machine.run`` stops the clock as soon as the foreground (sorting)
+process finishes, so the perpetual clients need no shutdown protocol --
+they are simply abandoned mid-op.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.device.profile import Pattern
+from repro.errors import ConfigError
+from repro.units import KiB, MiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+
+
+class BackgroundClients:
+    """A set of perpetual 4 KiB reader or writer client threads."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        n_clients: int,
+        kind: str,
+        pattern: Pattern = Pattern.RAND,
+        request_bytes: int = 4 * KiB,
+        file_bytes: int = 64 * MiB,
+        requests_per_op: int = 64,
+    ):
+        if kind not in ("read", "write"):
+            raise ConfigError("kind must be 'read' or 'write'")
+        if n_clients < 0:
+            raise ConfigError("n_clients must be >= 0")
+        self.machine = machine
+        self.n_clients = n_clients
+        self.kind = kind
+        self.pattern = pattern
+        self.request_bytes = request_bytes
+        self.file_bytes = file_bytes
+        #: Batch several requests into one op to keep event counts sane;
+        #: the op still represents one client thread.
+        self.requests_per_op = requests_per_op
+        self._procs: List = []
+
+    def start(self) -> None:
+        """Spawn the looping client processes.
+
+        The clients' requests are synthetic timed ops against a private
+        extent -- no bytes are materialised, only device time is
+        consumed, which is all the interference experiment needs.
+        """
+        for i in range(self.n_clients):
+            proc = self.machine.engine.spawn(
+                self._client_loop(), name=f"bg-{self.kind}-{i}"
+            )
+            self._procs.append(proc)
+
+    def _client_loop(self):
+        nbytes = self.request_bytes * self.requests_per_op
+        tag = f"background {self.kind}"
+        while True:
+            yield self.machine.io(
+                self.kind,
+                self.pattern,
+                nbytes,
+                tag=tag,
+                accesses=self.requests_per_op,
+                threads=1,
+            )

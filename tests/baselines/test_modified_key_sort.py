@@ -1,0 +1,75 @@
+"""Tests for the Hubbard-1963 modified-key sort baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.modified_key_sort import ModifiedKeySort
+from repro.baselines.external_merge_sort import ExternalMergeSort
+from repro.core.wiscsort import WiscSort
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+
+
+def run(pmem, system, n, fmt, seed=0):
+    machine = Machine(profile=pmem)
+    f = generate_dataset(machine, "input", n, fmt, seed=seed)
+    return machine, system.run(machine, f)
+
+
+class TestCorrectness:
+    def test_sorts_correctly_single_pass(self, pmem, fmt):
+        system = ModifiedKeySort(fmt)
+        _, result = run(pmem, system, 2_000, fmt)
+        assert result.n_records == 2_000
+        assert system.gather_passes == 1
+
+    def test_sorts_correctly_many_passes(self, pmem, fmt):
+        system = ModifiedKeySort(fmt, gather_memory=400 * fmt.record_size)
+        _, result = run(pmem, system, 2_000, fmt)
+        assert result.n_records == 2_000
+        assert system.gather_passes == 5
+
+    def test_empty_input(self, pmem, fmt):
+        _, result = run(pmem, ModifiedKeySort(fmt), 0, fmt)
+        assert result.n_records == 0
+
+    def test_tiny_gather_memory_rejected(self, fmt):
+        with pytest.raises(ConfigError):
+            ModifiedKeySort(fmt, gather_memory=10)
+
+
+class TestCostShape:
+    def test_gather_passes_scale_read_traffic(self, pmem, fmt):
+        n = 2_000
+        machine1, _ = run(pmem, ModifiedKeySort(fmt), n, fmt)
+        system = ModifiedKeySort(fmt, gather_memory=(n // 4) * fmt.record_size)
+        machine4, _ = run(pmem, system, n, fmt)
+        # Four sweeps read 4x the single sweep's bytes.
+        one = machine1.stats.tags["GATHER sweep"].internal_bytes
+        four = machine4.stats.tags["GATHER sweep"].internal_bytes
+        assert four == pytest.approx(4 * one, rel=0.01)
+
+    def test_avoids_intermediate_writes(self, pmem, fmt):
+        # The (A)-compliance of Table 1: values are written exactly once.
+        n = 2_000
+        _, mks = run(pmem, ModifiedKeySort(fmt), n, fmt)
+        assert mks.user_written == pytest.approx(n * fmt.record_size)
+
+    def test_loses_to_wiscsort_on_braid(self, pmem, fmt):
+        # Sec 2.4.3's point: avoiding random reads is obsolete on BRAID.
+        n = 20_000
+        system = ModifiedKeySort(fmt, gather_memory=(n // 4) * fmt.record_size)
+        _, mks = run(pmem, system, n, fmt)
+        _, wisc = run(pmem, WiscSort(fmt), n, fmt)
+        assert mks.total_time > 2 * wisc.total_time
+
+    def test_competitive_when_memory_is_large(self, pmem, fmt):
+        # With one gather pass it degenerates to scan+scan+write --
+        # cheap on writes, so it can beat EMS despite single threading.
+        n = 10_000
+        _, mks = run(pmem, ModifiedKeySort(fmt), n, fmt)
+        _, ems = run(pmem, ExternalMergeSort(fmt), n, fmt)
+        assert mks.user_written < ems.user_written

@@ -1,0 +1,80 @@
+"""Correctness tests for PMSort and PMSort+."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pmsort import PMSort, PMSortPlus
+from repro.core.base import ConcurrencyModel, SortConfig
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+
+
+def run_system(pmem, system, n, fmt, seed=0):
+    machine = Machine(profile=pmem)
+    f = generate_dataset(machine, "input", n, fmt, seed=seed)
+    return machine, system.run(machine, f)
+
+
+class TestPMSortSingle:
+    def test_sorts_correctly(self, pmem, fmt):
+        _, result = run_system(pmem, PMSort(fmt), 3_000, fmt)
+        assert result.n_records == 3_000
+
+    def test_multiple_runs(self, pmem, fmt):
+        system = PMSort(fmt, config=SortConfig(
+            read_buffer=32 * 1024, write_buffer=16 * 1024))
+        _, result = run_system(pmem, system, 2_000, fmt)
+        assert result.n_records == 2_000
+
+    def test_empty_input(self, pmem, fmt):
+        _, result = run_system(pmem, PMSort(fmt), 0, fmt)
+        assert result.n_records == 0
+
+    def test_indexmap_runs_cleaned(self, pmem, fmt):
+        machine, _ = run_system(pmem, PMSort(fmt), 1_000, fmt)
+        assert not [n for n in machine.fs.list() if "indexmap" in n]
+
+    def test_is_slower_than_multithreaded_variants(self, pmem, fmt):
+        # The paper's whole point: single-threaded PMSort leaves the
+        # device's concurrency on the table.
+        _, single = run_system(pmem, PMSort(fmt), 5_000, fmt)
+        _, plus = run_system(pmem, PMSortPlus(fmt), 5_000, fmt)
+        assert single.total_time > 2 * plus.total_time
+
+    @settings(max_examples=6, deadline=None)
+    @given(n=st.integers(1, 300), seed=st.integers(0, 10))
+    def test_random_property(self, pmem, n, seed):
+        fmt = RecordFormat(key_size=4, value_size=12, pointer_size=4)
+        run_system(pmem, PMSort(fmt), n, fmt, seed=seed)
+
+
+class TestPMSortPlus:
+    @pytest.mark.parametrize(
+        "model", [ConcurrencyModel.NO_SYNC, ConcurrencyModel.IO_OVERLAP]
+    )
+    def test_sorts_under_both_models(self, pmem, fmt, model):
+        system = PMSortPlus(fmt, config=SortConfig(concurrency=model))
+        _, result = run_system(pmem, system, 5_000, fmt)
+        assert result.n_records == 5_000
+
+    def test_no_io_overlap_rejected(self, fmt):
+        # Key-value separation + interference-aware scheduling IS
+        # WiscSort; PMSortPlus refuses to impersonate it.
+        with pytest.raises(ConfigError):
+            PMSortPlus(fmt, config=SortConfig(
+                concurrency=ConcurrencyModel.NO_IO_OVERLAP))
+
+    def test_default_is_io_overlap(self, fmt):
+        assert PMSortPlus(fmt).config.concurrency is ConcurrencyModel.IO_OVERLAP
+
+    def test_io_overlap_beats_no_sync(self, pmem, fmt):
+        _, overlap = run_system(pmem, PMSortPlus(fmt), 5_000, fmt)
+        nosync = PMSortPlus(fmt, config=SortConfig(
+            concurrency=ConcurrencyModel.NO_SYNC))
+        _, ns = run_system(pmem, nosync, 5_000, fmt)
+        assert ns.total_time > overlap.total_time

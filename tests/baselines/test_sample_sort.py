@@ -1,0 +1,77 @@
+"""Correctness and cost-model tests for in-place sample sort."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sample_sort import SampleSort, SampleSortCostModel
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+
+
+def run_sample(profile, n, fmt=None, cost=None, seed=0):
+    fmt = fmt or RecordFormat()
+    machine = Machine(profile=profile)
+    f = generate_dataset(machine, "input", n, fmt, seed=seed)
+    system = SampleSort(fmt, cost=cost)
+    return machine, system.run(machine, f)
+
+
+class TestCorrectness:
+    def test_output_is_sorted_permutation(self, pmem):
+        _, result = run_sample(pmem, 3_000)
+        assert result.n_records == 3_000
+
+    def test_empty_input(self, pmem):
+        _, result = run_sample(pmem, 0)
+        assert result.n_records == 0
+
+    def test_duplicate_keys(self, pmem, fmt):
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", 500, fmt, seed=1)
+        data = f.peek().reshape(-1, fmt.record_size)
+        data[:, : fmt.key_size] = 1
+        f.poke(0, data.reshape(-1))
+        result = SampleSort(fmt).run(machine, f)
+        assert result.n_records == 500
+
+
+class TestCostModel:
+    def test_dram_much_faster_than_pmem(self, pmem, dram):
+        _, on_pmem = run_sample(pmem, 5_000)
+        _, on_dram = run_sample(dram, 5_000)
+        # Sec 2.4.1: in-place sorting on DRAM is ~10x faster than on PMEM.
+        ratio = on_pmem.total_time / on_dram.total_time
+        assert 5 <= ratio <= 15
+
+    def test_traffic_scales_with_passes(self, pmem):
+        light = SampleSortCostModel(
+            rand_read_passes=0.5, seq_read_passes=1.0, write_passes=0.5
+        )
+        heavy = SampleSortCostModel(
+            rand_read_passes=2.0, seq_read_passes=4.0, write_passes=3.0
+        )
+        _, a = run_sample(pmem, 3_000, cost=light)
+        _, b = run_sample(pmem, 3_000, cost=heavy)
+        assert b.total_time > a.total_time
+        assert b.internal_read > a.internal_read
+
+    def test_streams_overlap(self, pmem):
+        # Total time is far less than the sum of per-stream busy times
+        # because reads, writes and compute all run concurrently.
+        _, result = run_sample(pmem, 5_000)
+        busy_sum = sum(result.phases.values())
+        assert result.total_time < busy_sum
+
+    def test_negative_passes_rejected(self):
+        with pytest.raises(ConfigError):
+            SampleSortCostModel(write_passes=-1.0)
+
+    def test_zero_pass_components_allowed(self, pmem):
+        cost = SampleSortCostModel(
+            rand_read_passes=0.0, seq_read_passes=0.0, write_passes=1.0
+        )
+        _, result = run_sample(pmem, 1_000, cost=cost)
+        assert result.total_time > 0

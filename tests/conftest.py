@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.host import HostModel
+from repro.device.profiles import (
+    bard_device_profile,
+    bd_device_profile,
+    brd_device_profile,
+    dram_profile,
+    pmem_profile,
+)
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+
+# Profiles are shared across the whole test session so the calibration
+# cache (keyed by object identity) is hit instead of re-probed.
+_PMEM = pmem_profile()
+_DRAM = dram_profile()
+_BD = bd_device_profile()
+_BRD = brd_device_profile()
+_BARD = bard_device_profile()
+
+
+@pytest.fixture(scope="session")
+def pmem():
+    return _PMEM
+
+
+@pytest.fixture(scope="session")
+def dram():
+    return _DRAM
+
+
+@pytest.fixture(scope="session")
+def emulated_profiles():
+    return {"bd": _BD, "brd": _BRD, "bard": _BARD}
+
+
+@pytest.fixture
+def machine(pmem):
+    return Machine(profile=pmem)
+
+
+@pytest.fixture
+def host():
+    return HostModel()
+
+
+@pytest.fixture
+def fmt():
+    return RecordFormat()

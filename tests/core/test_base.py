@@ -1,0 +1,73 @@
+"""Tests for the shared sorting-system interface pieces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import ConcurrencyModel, SortConfig, SortResult
+from repro.errors import ConfigError
+
+
+class TestSortConfig:
+    def test_defaults_mirror_paper_buffers(self):
+        config = SortConfig()
+        # 10 GB / 5 GB at 1/1000 scale.
+        assert config.read_buffer == 10 * 1024 * 1024
+        assert config.write_buffer == 5 * 1024 * 1024
+        assert config.concurrency is ConcurrencyModel.NO_IO_OVERLAP
+
+    def test_tiny_buffers_rejected(self):
+        with pytest.raises(ConfigError):
+            SortConfig(read_buffer=100)
+        with pytest.raises(ConfigError):
+            SortConfig(write_buffer=100)
+
+    def test_invalid_thread_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            SortConfig(read_threads=0)
+        with pytest.raises(ConfigError):
+            SortConfig(write_threads=-1)
+        with pytest.raises(ConfigError):
+            SortConfig(sort_cores=0)
+
+    def test_none_threads_mean_controller_decides(self):
+        config = SortConfig()
+        assert config.read_threads is None
+        assert config.write_threads is None
+
+
+class TestConcurrencyModel:
+    def test_string_forms(self):
+        assert str(ConcurrencyModel.NO_SYNC) == "no-sync"
+        assert str(ConcurrencyModel.IO_OVERLAP) == "io-overlap"
+        assert str(ConcurrencyModel.NO_IO_OVERLAP) == "no-io-overlap"
+
+    def test_value_roundtrip(self):
+        for model in ConcurrencyModel:
+            assert ConcurrencyModel(model.value) is model
+
+
+class TestSortResult:
+    def make(self):
+        return SortResult(
+            system="test",
+            total_time=0.5,
+            phases={"RUN read": 0.2, "RUN write": 0.3},
+            internal_read=100.0,
+            internal_written=200.0,
+            user_read=90.0,
+            user_written=180.0,
+            output_name="out",
+            n_records=10,
+            validated=True,
+        )
+
+    def test_phase_lookup_with_default(self):
+        result = self.make()
+        assert result.phase("RUN read") == 0.2
+        assert result.phase("nonexistent") == 0.0
+
+    def test_summary_contains_system_and_phases(self):
+        text = self.make().summary()
+        assert "test" in text
+        assert "RUN read" in text

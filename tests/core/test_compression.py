@@ -1,0 +1,138 @@
+"""Tests for IndexMap compression (Sec 5 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compression import (
+    CompressedRunWriter,
+    CompressionModel,
+    estimate_benefit,
+)
+from repro.core.wiscsort import WiscSort
+from repro.device.host import HostModel
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+
+
+class TestModel:
+    def test_cost_functions(self):
+        model = CompressionModel()
+        assert model.compress_seconds(int(model.compress_bw_per_core)) == pytest.approx(1.0)
+        assert model.decompress_seconds(0) == 0.0
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ConfigError):
+            CompressionModel(level=0)
+        with pytest.raises(ConfigError):
+            CompressionModel(frame_entries=0)
+
+
+class TestFrames:
+    def test_roundtrip_via_zlib(self):
+        import zlib
+
+        model = CompressionModel(frame_entries=100)
+        writer = CompressedRunWriter(model)
+        rng = np.random.default_rng(1)
+        entries = rng.integers(0, 4, size=350 * 15, dtype=np.uint8)  # compressible
+        payload, frames, ratio = writer.build_frames(entries, 15)
+        assert ratio > 1.0
+        assert sum(f.n_entries for f in frames) == 350
+        assert len(frames) == 4  # 100+100+100+50
+        rebuilt = b"".join(
+            zlib.decompress(
+                payload[f.offset : f.offset + f.compressed_bytes].tobytes()
+            )
+            for f in frames
+        )
+        assert rebuilt == entries.tobytes()
+
+    def test_incompressible_data_ratio_near_one(self):
+        writer = CompressedRunWriter(CompressionModel())
+        rng = np.random.default_rng(2)
+        entries = rng.integers(0, 256, size=1000 * 15, dtype=np.uint8)
+        _, _, ratio = writer.build_frames(entries, 15)
+        assert 0.9 <= ratio <= 1.1
+
+    def test_misaligned_buffer_rejected(self):
+        from repro.errors import SimulationError
+
+        writer = CompressedRunWriter(CompressionModel())
+        with pytest.raises(SimulationError):
+            writer.build_frames(np.zeros(16, dtype=np.uint8), 15)
+
+
+class TestBenefitEstimate:
+    def test_ratio_one_never_worthwhile(self, pmem, host):
+        model = CompressionModel()
+        assert estimate_benefit(pmem, host, model, ratio=1.0) < 0
+
+    def test_huge_ratio_on_slow_writes_worthwhile(self, host):
+        from repro.device.profiles import bard_device_profile
+
+        bard = bard_device_profile()  # writes ~4x slower than reads
+        model = CompressionModel(compress_bw_per_core=4e9, decompress_bw_per_core=8e9)
+        assert estimate_benefit(bard, host, model, ratio=3.0, cores=16) > 0
+
+    def test_invalid_ratio_rejected(self, pmem, host):
+        with pytest.raises(ConfigError):
+            estimate_benefit(pmem, host, CompressionModel(), ratio=0)
+
+
+class TestCompressedMergePass:
+    @pytest.mark.parametrize("skewed", [False, True])
+    def test_sort_remains_correct(self, pmem, skewed):
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", 4_000, fmt, seed=9)
+        if skewed:
+            data = f.peek().reshape(-1, fmt.record_size)
+            data[:, 2 : fmt.key_size] = 0
+            f.poke(0, data.reshape(-1))
+        system = WiscSort(
+            fmt,
+            force_merge_pass=True,
+            merge_chunk_entries=1_000,
+            compression=CompressionModel(frame_entries=128),
+        )
+        result = system.run(machine, f)  # validates
+        assert result.n_records == 4_000
+        assert system.achieved_compression_ratio is not None
+
+    def test_compressed_run_files_are_smaller_when_compressible(self, pmem):
+        fmt = RecordFormat()
+
+        def run_write_bytes(compress):
+            machine = Machine(profile=pmem)
+            f = generate_dataset(machine, "input", 4_000, fmt, seed=9)
+            data = f.peek().reshape(-1, fmt.record_size)
+            data[:, 2 : fmt.key_size] = 0  # compressible keys
+            f.poke(0, data.reshape(-1))
+            system = WiscSort(
+                fmt,
+                force_merge_pass=True,
+                merge_chunk_entries=1_000,
+                compression=CompressionModel() if compress else None,
+            )
+            system.run(machine, f, validate=False)
+            return machine.stats.tags["RUN write"].user_bytes
+
+        assert run_write_bytes(True) < 0.7 * run_write_bytes(False)
+
+    def test_decompression_cost_charged(self, pmem):
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", 4_000, fmt, seed=9)
+        system = WiscSort(
+            fmt,
+            force_merge_pass=True,
+            merge_chunk_entries=1_000,
+            compression=CompressionModel(),
+        )
+        system.run(machine, f, validate=False)
+        assert machine.stats.tags["MERGE decompress"].busy_time > 0
+        assert machine.stats.tags["RUN compress"].busy_time > 0

@@ -1,0 +1,79 @@
+"""Tests for device calibration and the thread-pool controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibrate.microbench import calibrate_device
+from repro.core.base import ConcurrencyModel, SortConfig
+from repro.core.controller import ThreadPoolController
+from repro.device.profile import Pattern
+from repro.machine import Machine
+
+
+class TestCalibration:
+    def test_pmem_pools_match_paper(self, pmem, host):
+        # Sec 3.8: reads scale to 16-32 threads, writes ~5.
+        cal = calibrate_device(pmem, host)
+        assert 12 <= cal.seq_read.best_threads <= 32
+        assert 16 <= cal.rand_read.best_threads <= 48
+        assert 3 <= cal.write.best_threads <= 6
+
+    def test_measured_peaks_close_to_profile(self, pmem, host):
+        cal = calibrate_device(pmem, host)
+        assert cal.seq_read.peak_bandwidth == pytest.approx(
+            pmem.seq_read.peak, rel=0.05
+        )
+        assert cal.write.peak_bandwidth == pytest.approx(pmem.write.peak, rel=0.05)
+
+    def test_write_probe_sees_degradation(self, pmem, host):
+        cal = calibrate_device(pmem, host)
+        points = dict(cal.write.points)
+        assert points[32] < points[5]
+
+    def test_cache_hit_returns_same_object(self, pmem, host):
+        a = calibrate_device(pmem, host)
+        b = calibrate_device(pmem, host)
+        assert a is b
+
+    def test_table_is_printable(self, pmem, host):
+        lines = calibrate_device(pmem, host).table()
+        assert any("seq-read" in line for line in lines)
+
+    def test_emulated_device_pools_adapt(self, emulated_profiles, host):
+        bard = emulated_profiles["bard"]
+        cal = calibrate_device(bard, host)
+        # BARD writes scale to 32 threads -- the controller must find that.
+        assert cal.write.best_threads >= 24
+
+
+class TestController:
+    def test_defaults_from_calibration(self, pmem):
+        machine = Machine(profile=pmem)
+        ctl = ThreadPoolController(machine, SortConfig())
+        assert ctl.read_threads(Pattern.SEQ) >= 12
+        assert 3 <= ctl.write_threads() <= 6
+        assert ctl.sort_cores() == machine.host.ncores
+
+    def test_explicit_overrides_win(self, pmem):
+        machine = Machine(profile=pmem)
+        config = SortConfig(read_threads=7, write_threads=2, sort_cores=3)
+        ctl = ThreadPoolController(machine, config)
+        assert ctl.read_threads(Pattern.SEQ) == 7
+        assert ctl.read_threads(Pattern.RAND) == 7
+        assert ctl.write_threads() == 2
+        assert ctl.sort_cores() == 3
+
+    def test_no_sync_is_uncontrolled(self, pmem):
+        machine = Machine(profile=pmem)
+        ctl = ThreadPoolController(
+            machine, SortConfig(concurrency=ConcurrencyModel.NO_SYNC)
+        )
+        assert ctl.read_threads(Pattern.SEQ) == machine.host.ncores
+        assert ctl.write_threads() == machine.host.ncores
+
+    def test_describe_lists_pools(self, pmem):
+        machine = Machine(profile=pmem)
+        ctl = ThreadPoolController(machine, SortConfig())
+        text = ctl.describe()
+        assert "write=" in text and "seq-read=" in text

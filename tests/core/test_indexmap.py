@@ -1,0 +1,123 @@
+"""Tests for the IndexMap structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.indexmap import IndexMap
+from repro.errors import RecordFormatError
+
+
+def make_map(n=10, key_size=10, pointer_size=5, with_vlens=False, seed=0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 256, size=(n, key_size), dtype=np.uint8)
+    pointers = rng.integers(0, 1 << 30, size=n).astype(np.int64)
+    vlens = rng.integers(0, 1000, size=n).astype(np.int64) if with_vlens else None
+    return IndexMap(
+        keys=keys,
+        pointers=pointers,
+        pointer_size=pointer_size,
+        vlens=vlens,
+        len_size=4 if with_vlens else 0,
+    )
+
+
+class TestRoundtrip:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(0, 50),
+        key_size=st.integers(1, 16),
+        pointer_size=st.integers(4, 8),
+        seed=st.integers(0, 100),
+    )
+    def test_bytes_roundtrip(self, n, key_size, pointer_size, seed):
+        imap = make_map(n, key_size, pointer_size, seed=seed)
+        back = IndexMap.from_bytes(imap.to_bytes(), key_size, pointer_size)
+        assert np.array_equal(back.keys, imap.keys)
+        assert np.array_equal(back.pointers, imap.pointers)
+
+    def test_roundtrip_with_vlens(self):
+        imap = make_map(20, with_vlens=True)
+        back = IndexMap.from_bytes(imap.to_bytes(), 10, 5, len_size=4)
+        assert np.array_equal(back.vlens, imap.vlens)
+
+    def test_entry_size(self):
+        assert make_map().entry_size == 15
+        assert make_map(with_vlens=True).entry_size == 19
+
+    def test_nbytes(self):
+        assert make_map(7).nbytes == 7 * 15
+
+    def test_misaligned_buffer_rejected(self):
+        with pytest.raises(RecordFormatError):
+            IndexMap.from_bytes(np.zeros(16, dtype=np.uint8), 10, 5)
+
+    def test_pointer_out_of_range_rejected(self):
+        imap = IndexMap(
+            keys=np.zeros((1, 4), dtype=np.uint8),
+            pointers=np.array([1 << 50], dtype=np.int64),
+            pointer_size=5,
+        )
+        with pytest.raises(RecordFormatError):
+            imap.to_bytes()
+
+    def test_pointer_exact_boundary(self):
+        # 2^40 - 1 fits in a 5-byte pointer (the paper's footnote).
+        imap = IndexMap(
+            keys=np.zeros((1, 4), dtype=np.uint8),
+            pointers=np.array([(1 << 40) - 1], dtype=np.int64),
+            pointer_size=5,
+        )
+        back = IndexMap.from_bytes(imap.to_bytes(), 4, 5)
+        assert back.pointers[0] == (1 << 40) - 1
+
+
+class TestSorting:
+    def test_sorted_orders_keys_and_carries_pointers(self):
+        keys = np.array([[3], [1], [2]], dtype=np.uint8)
+        pointers = np.array([30, 10, 20], dtype=np.int64)
+        imap = IndexMap(keys=keys, pointers=pointers, pointer_size=5)
+        s = imap.sorted()
+        assert s.keys.reshape(-1).tolist() == [1, 2, 3]
+        assert s.pointers.tolist() == [10, 20, 30]
+
+    def test_sorted_carries_vlens(self):
+        imap = IndexMap(
+            keys=np.array([[2], [1]], dtype=np.uint8),
+            pointers=np.array([5, 9], dtype=np.int64),
+            pointer_size=5,
+            vlens=np.array([100, 200], dtype=np.int64),
+            len_size=4,
+        )
+        assert imap.sorted().vlens.tolist() == [200, 100]
+
+    def test_slice(self):
+        imap = make_map(10)
+        part = imap.slice(2, 5)
+        assert len(part) == 3
+        assert np.array_equal(part.keys, imap.keys[2:5])
+
+
+class TestFixedRecords:
+    def test_pointers_follow_formula(self):
+        # Sec 3.7: pointer = start + record_id * record_size.
+        keys = np.zeros((4, 10), dtype=np.uint8)
+        imap = IndexMap.for_fixed_records(keys, first_record=7, record_size=100)
+        assert imap.pointers.tolist() == [700, 800, 900, 1000]
+
+    def test_validation(self):
+        with pytest.raises(RecordFormatError):
+            IndexMap(
+                keys=np.zeros((2, 4), dtype=np.uint8),
+                pointers=np.zeros(3, dtype=np.int64),
+            )
+        with pytest.raises(RecordFormatError):
+            IndexMap(
+                keys=np.zeros((2, 4), dtype=np.uint8),
+                pointers=np.zeros(2, dtype=np.int64),
+                vlens=np.zeros(2, dtype=np.int64),
+                len_size=0,
+            )

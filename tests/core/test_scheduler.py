@@ -1,0 +1,134 @@
+"""Tests for the interference-aware scheduling helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import ConcurrencyModel
+from repro.core.scheduler import pipelined_batches, run_ops_parallel
+from repro.device.profile import Pattern
+from repro.machine import Machine
+
+
+def make_ops(machine, n, nbytes=1 << 20):
+    reads = [
+        machine.io("read", Pattern.SEQ, nbytes, tag="produce", threads=16)
+        for _ in range(n)
+    ]
+    writes = [
+        machine.io("write", Pattern.SEQ, nbytes, tag="consume", threads=5)
+        for _ in range(n)
+    ]
+    return reads, writes
+
+
+def drive(pmem, model, n_batches=4):
+    """Run n produce/consume batches under the model; return timeline."""
+    machine = Machine(profile=pmem)
+    reads, writes = make_ops(machine, n_batches)
+    items = list(range(n_batches))
+
+    def proc():
+        yield from pipelined_batches(
+            machine,
+            model,
+            items,
+            produce=lambda i: reads[i],
+            consume=lambda i, data: writes[i],
+        )
+
+    machine.run(proc())
+    return machine, reads, writes
+
+
+class TestNoIoOverlap:
+    def test_reads_and_writes_never_overlap(self, pmem):
+        machine, reads, writes = drive(pmem, ConcurrencyModel.NO_IO_OVERLAP)
+        intervals = [(op.started_at, op.finished_at, "r") for op in reads]
+        intervals += [(op.started_at, op.finished_at, "w") for op in writes]
+        intervals.sort()
+        for (s1, e1, k1), (s2, e2, k2) in zip(intervals, intervals[1:]):
+            if k1 != k2:
+                assert e1 <= s2 + 1e-12, "read and write overlapped"
+
+    def test_strict_alternation(self, pmem):
+        machine, reads, writes = drive(pmem, ConcurrencyModel.NO_IO_OVERLAP)
+        for i in range(len(reads) - 1):
+            assert writes[i].finished_at <= reads[i + 1].started_at + 1e-12
+
+
+class TestIoOverlap:
+    def test_write_overlaps_next_produce(self, pmem):
+        machine, reads, writes = drive(pmem, ConcurrencyModel.IO_OVERLAP)
+        overlapped = any(
+            writes[i].finished_at > reads[i + 1].started_at + 1e-12
+            for i in range(len(reads) - 1)
+        )
+        assert overlapped
+
+    def test_data_dependency_respected(self, pmem):
+        # A batch's write never starts before its own read completed.
+        machine, reads, writes = drive(pmem, ConcurrencyModel.IO_OVERLAP)
+        for r, w in zip(reads, writes):
+            assert w.started_at >= r.finished_at - 1e-12
+
+    def test_faster_than_no_overlap_without_interference(self, dram):
+        # On an interference-free device overlapping is a pure win.
+        _, r0, w0 = drive(dram, ConcurrencyModel.NO_IO_OVERLAP)
+        t_serial = max(op.finished_at for op in w0)
+        _, r1, w1 = drive(dram, ConcurrencyModel.IO_OVERLAP)
+        t_overlap = max(op.finished_at for op in w1)
+        assert t_overlap < t_serial
+
+
+class TestNoSync:
+    def test_same_batch_read_write_overlap(self, pmem):
+        machine, reads, writes = drive(pmem, ConcurrencyModel.NO_SYNC)
+        for r, w in zip(reads, writes):
+            # gather and write of the same batch run concurrently
+            assert w.started_at < r.finished_at
+
+    def test_slowest_on_pmem(self, pmem):
+        times = {}
+        for model in ConcurrencyModel:
+            _, _, writes = drive(pmem, model)
+            times[model] = max(op.finished_at for op in writes)
+        assert times[ConcurrencyModel.NO_IO_OVERLAP] == min(times.values())
+        assert times[ConcurrencyModel.NO_SYNC] == max(times.values())
+
+
+class TestRunOpsParallel:
+    def test_results_in_submission_order(self, pmem):
+        machine = Machine(profile=pmem)
+        a = machine.compute(0.002, tag="a")
+        b = machine.compute(0.001, tag="b")
+        a.on_complete = lambda op: "A"
+        b.on_complete = lambda op: "B"
+        holder = {}
+
+        def proc():
+            holder["out"] = yield from run_ops_parallel(machine, [a, b])
+
+        machine.run(proc())
+        assert holder["out"] == ["A", "B"]
+
+    def test_empty_list(self, pmem):
+        machine = Machine(profile=pmem)
+        holder = {}
+
+        def proc():
+            holder["out"] = yield from run_ops_parallel(machine, [])
+
+        machine.run(proc())
+        assert holder["out"] == []
+
+    def test_wall_time_is_max_not_sum(self, pmem):
+        machine = Machine(profile=pmem)
+        ops = [machine.compute(0.003, tag="x", cores=1) for _ in range(3)]
+
+        def proc():
+            yield from run_ops_parallel(machine, ops)
+
+        machine.run(proc())
+        # 3 single-core ops on 16 cores run fully parallel.
+        assert machine.now == pytest.approx(0.003, rel=1e-6)

@@ -1,0 +1,191 @@
+"""End-to-end correctness tests for WiscSort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import ConcurrencyModel, SortConfig
+from repro.core.wiscsort import WiscSort
+from repro.errors import ConfigError, ValidationError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.records.validate import validate_sorted_file
+from repro.units import MiB
+
+
+def sort_run(pmem, n, fmt=None, system=None, dram_budget=None, seed=0):
+    fmt = fmt or RecordFormat()
+    machine = Machine(profile=pmem, dram_budget=dram_budget)
+    f = generate_dataset(machine, "input", n, fmt, seed=seed)
+    system = system or WiscSort(fmt)
+    result = system.run(machine, f)  # validates internally
+    return machine, system, result
+
+
+ALL_MODELS = [
+    ConcurrencyModel.NO_IO_OVERLAP,
+    ConcurrencyModel.IO_OVERLAP,
+    ConcurrencyModel.NO_SYNC,
+]
+
+
+class TestOnePass:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_correct_under_every_concurrency_model(self, pmem, model):
+        fmt = RecordFormat()
+        _, _, result = sort_run(
+            pmem, 5_000, fmt, WiscSort(fmt, config=SortConfig(concurrency=model))
+        )
+        assert result.n_records == 5_000
+
+    def test_tiny_inputs(self, pmem):
+        fmt = RecordFormat()
+        for n in (0, 1, 2, 3):
+            _, system, result = sort_run(pmem, n, fmt, WiscSort(fmt))
+            assert result.n_records == n
+
+    def test_duplicate_keys(self, pmem):
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", 1_000, fmt, seed=1)
+        data = f.peek().reshape(-1, fmt.record_size)
+        data[:, : fmt.key_size] = data[0, : fmt.key_size]  # all keys equal
+        f.poke(0, data.reshape(-1))
+        result = WiscSort(fmt).run(machine, f)
+        assert result.n_records == 1_000
+
+    def test_already_sorted_input(self, pmem):
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", 1_000, fmt, seed=1)
+        from repro.records.format import record_sort_indices
+
+        data = f.peek().reshape(-1, fmt.record_size)
+        f.poke(0, data[record_sort_indices(data, fmt.key_size)].reshape(-1))
+        result = WiscSort(fmt).run(machine, f)
+        assert result.n_records == 1_000
+
+    def test_nonstandard_geometry(self, pmem):
+        fmt = RecordFormat(key_size=4, value_size=28, pointer_size=4)
+        _, _, result = sort_run(pmem, 2_000, fmt, WiscSort(fmt))
+        assert result.n_records == 2_000
+
+    def test_value_smaller_than_key(self, pmem):
+        fmt = RecordFormat(key_size=10, value_size=6)
+        _, _, result = sort_run(pmem, 2_000, fmt, WiscSort(fmt))
+        assert result.n_records == 2_000
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(1, 400), seed=st.integers(0, 50))
+    def test_random_sizes_property(self, pmem, n, seed):
+        fmt = RecordFormat(key_size=6, value_size=10, pointer_size=4)
+        sort_run(pmem, n, fmt, WiscSort(fmt), seed=seed)
+
+
+class TestMergePass:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_correct_under_every_concurrency_model(self, pmem, model):
+        fmt = RecordFormat()
+        system = WiscSort(
+            fmt,
+            config=SortConfig(concurrency=model),
+            force_merge_pass=True,
+            merge_chunk_entries=1_000,
+        )
+        _, system, result = sort_run(pmem, 5_000, fmt, system)
+        assert system.used_merge_pass
+        assert result.n_records == 5_000
+
+    def test_many_runs(self, pmem):
+        fmt = RecordFormat()
+        system = WiscSort(fmt, force_merge_pass=True, merge_chunk_entries=300)
+        _, system, result = sort_run(pmem, 5_000, fmt, system)
+        assert system.used_merge_pass
+
+    def test_indexmap_files_cleaned_up(self, pmem):
+        fmt = RecordFormat()
+        machine, _, _ = sort_run(
+            pmem, 3_000, fmt,
+            WiscSort(fmt, force_merge_pass=True, merge_chunk_entries=1_000),
+        )
+        assert not [name for name in machine.fs.list() if "indexmap" in name]
+
+    def test_uneven_final_chunk(self, pmem):
+        fmt = RecordFormat()
+        system = WiscSort(fmt, force_merge_pass=True, merge_chunk_entries=999)
+        sort_run(pmem, 2_500, fmt, system)
+
+
+class TestPassSelection:
+    def test_unbounded_dram_uses_one_pass(self, pmem):
+        fmt = RecordFormat()
+        system = WiscSort(fmt)
+        sort_run(pmem, 2_000, fmt, system)
+        assert system.used_merge_pass is False
+
+    def test_small_dram_budget_forces_merge_pass(self, pmem):
+        fmt = RecordFormat()
+        n = 10_000
+        # IndexMap is n*15 bytes; make the budget half of it.
+        budget = n * fmt.index_entry_size // 2
+        system = WiscSort(fmt, config=SortConfig(
+            read_buffer=8192, write_buffer=8192))
+        machine = Machine(profile=pmem, dram_budget=budget)
+        f = generate_dataset(machine, "input", n, fmt, seed=0)
+        system.run(machine, f)
+        assert system.used_merge_pass is True
+
+    def test_budget_just_fits_uses_one_pass(self, pmem):
+        fmt = RecordFormat()
+        n = 2_000
+        budget = n * fmt.index_entry_size + 64 * 1024
+        system = WiscSort(fmt, config=SortConfig(
+            read_buffer=8192, write_buffer=8192))
+        machine = Machine(profile=pmem, dram_budget=budget)
+        f = generate_dataset(machine, "input", n, fmt, seed=0)
+        system.run(machine, f)
+        assert system.used_merge_pass is False
+
+
+class TestErrors:
+    def test_misaligned_input_rejected(self, pmem):
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        f = machine.fs.create("input")
+        f.poke(0, np.zeros(150, dtype=np.uint8))
+        with pytest.raises(ConfigError):
+            WiscSort(fmt).run(machine, f)
+
+    def test_pointer_overflow_rejected(self, pmem):
+        fmt = RecordFormat(key_size=2, value_size=2, pointer_size=1)
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", 300, fmt, seed=0)  # > 2^8
+        with pytest.raises(ConfigError, match="pointer"):
+            WiscSort(fmt).run(machine, f)
+
+
+class TestResultFields:
+    def test_phase_breakdown_present(self, pmem):
+        fmt = RecordFormat()
+        _, _, result = sort_run(pmem, 3_000, fmt)
+        assert result.phase("RUN read") > 0
+        assert result.phase("RECORD read") > 0
+        assert result.phase("RUN write") > 0
+        assert result.total_time > 0
+
+    def test_traffic_counters(self, pmem):
+        fmt = RecordFormat()
+        _, _, result = sort_run(pmem, 3_000, fmt)
+        file_bytes = 3_000 * fmt.record_size
+        # OnePass writes the output exactly once.
+        assert result.user_written == pytest.approx(file_bytes)
+        assert result.internal_read > 0
+
+    def test_summary_readable(self, pmem):
+        fmt = RecordFormat()
+        _, _, result = sort_run(pmem, 1_000, fmt)
+        assert "wiscsort" in result.summary()

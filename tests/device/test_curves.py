@@ -1,0 +1,113 @@
+"""Unit tests for scaling curves and the interference model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.curves import InterferenceModel, ScalingCurve
+from repro.units import GB
+
+
+class TestScalingCurve:
+    def test_exact_points_returned(self):
+        curve = ScalingCurve([(1, 2.0), (4, 8.0), (16, 10.0)])
+        assert curve.aggregate(1) == 2.0
+        assert curve.aggregate(4) == 8.0
+        assert curve.aggregate(16) == 10.0
+
+    def test_interpolation_between_points(self):
+        curve = ScalingCurve([(1, 2.0), (5, 10.0)])
+        assert curve.aggregate(3) == pytest.approx(6.0)
+
+    def test_beyond_last_point_holds(self):
+        curve = ScalingCurve([(1, 2.0), (8, 16.0)])
+        assert curve.aggregate(100) == 16.0
+
+    def test_below_one_thread_scales_down(self):
+        curve = ScalingCurve([(2, 4.0)])
+        # 1 thread gets half the 2-thread aggregate.
+        assert curve.aggregate(1) == pytest.approx(2.0)
+
+    def test_per_thread_is_fair_share(self):
+        curve = ScalingCurve([(1, 3.0), (4, 12.0), (16, 12.0)])
+        assert curve.per_thread(4) == pytest.approx(3.0)
+        assert curve.per_thread(16) == pytest.approx(0.75)
+
+    def test_peak_and_peak_threads(self):
+        curve = ScalingCurve.peaked(
+            peak=8 * GB, peak_threads=5, tail=4 * GB, tail_threads=32
+        )
+        assert curve.peak == 8 * GB
+        assert curve.peak_threads == 5
+
+    def test_peaked_curve_declines_past_peak(self):
+        curve = ScalingCurve.peaked(
+            peak=8 * GB, peak_threads=5, tail=4 * GB, tail_threads=32
+        )
+        assert curve.aggregate(32) < curve.aggregate(5)
+        assert curve.aggregate(32) == pytest.approx(4 * GB)
+
+    def test_linear_to_saturation_shape(self):
+        curve = ScalingCurve.linear_to_saturation(peak=16.0, saturation_threads=8)
+        assert curve.aggregate(8) == pytest.approx(16.0)
+        assert curve.aggregate(4) == pytest.approx(8.0)
+        assert curve.aggregate(64) == pytest.approx(16.0)
+
+    def test_flat_curve(self):
+        curve = ScalingCurve.flat(5.0)
+        for t in (1, 7, 100):
+            assert curve.aggregate(t) == 5.0
+
+    def test_scaled_multiplies_bandwidth(self):
+        curve = ScalingCurve([(1, 2.0), (4, 8.0)])
+        doubled = curve.scaled(2.0)
+        assert doubled.aggregate(4) == pytest.approx(16.0)
+
+    def test_invalid_curves_rejected(self):
+        with pytest.raises(ValueError):
+            ScalingCurve([])
+        with pytest.raises(ValueError):
+            ScalingCurve([(0.5, 1.0)])
+        with pytest.raises(ValueError):
+            ScalingCurve([(1, 0.0)])
+        with pytest.raises(ValueError):
+            ScalingCurve.peaked(peak=8, peak_threads=5, tail=4, tail_threads=5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(threads=st.floats(min_value=1, max_value=200))
+    def test_aggregate_always_positive(self, threads):
+        curve = ScalingCurve([(1, 1.0), (4, 8.0), (16, 4.0)])
+        assert curve.aggregate(threads) > 0
+
+
+class TestInterferenceModel:
+    def test_no_writers_no_penalty(self):
+        model = InterferenceModel()
+        assert model.read_multiplier(0) == 1.0
+        assert model.write_multiplier(0) == 1.0
+
+    def test_read_penalty_monotone_in_writers(self):
+        model = InterferenceModel()
+        values = [model.read_multiplier(w) for w in range(0, 20)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_read_penalty_respects_floor(self):
+        model = InterferenceModel(read_floor=0.4, read_slope=10.0)
+        assert model.read_multiplier(100) == pytest.approx(0.4)
+
+    def test_write_penalty_respects_floor(self):
+        model = InterferenceModel(write_floor=0.6, write_slope=10.0)
+        assert model.write_multiplier(100) == pytest.approx(0.6)
+
+    def test_none_model_has_no_effect(self):
+        model = InterferenceModel.none()
+        assert model.read_multiplier(50) == 1.0
+        assert model.write_multiplier(50) == 1.0
+
+    def test_invalid_floors_rejected(self):
+        with pytest.raises(ValueError):
+            InterferenceModel(read_floor=0.0)
+        with pytest.raises(ValueError):
+            InterferenceModel(write_floor=1.5)

@@ -1,0 +1,54 @@
+"""Tests for the host cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.host import HostModel
+from repro.errors import ConfigError
+
+
+class TestCosts:
+    def test_sort_seconds_nlogn(self, host):
+        small = host.sort_seconds(1_000)
+        large = host.sort_seconds(1_000_000)
+        # 1000x items, log grows 10/20 -> ~2000x work.
+        assert 1500 <= large / small <= 2500
+
+    def test_sort_trivial_sizes_free(self, host):
+        assert host.sort_seconds(0) == 0.0
+        assert host.sort_seconds(1) == 0.0
+
+    def test_merge_compare_scales_with_log_ways(self, host):
+        two = host.merge_compare_seconds(1000, ways=2)
+        sixteen = host.merge_compare_seconds(1000, ways=16)
+        assert sixteen > two
+        # log2(16)/log2(2) = 4x comparisons, plus constant touch cost.
+        assert sixteen / two < 4.0
+
+    def test_merge_compare_empty(self, host):
+        assert host.merge_compare_seconds(0, ways=4) == 0.0
+
+    def test_touch_seconds_linear(self, host):
+        assert host.touch_seconds(2_000) == pytest.approx(
+            2 * host.touch_seconds(1_000)
+        )
+
+    def test_copy_seconds(self, host):
+        one_gb = int(host.copy_bw_per_core)
+        assert host.copy_seconds_single_core(one_gb) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_defaults_match_paper_testbed(self, host):
+        assert host.ncores == 16  # Xeon Gold 5218, 16 physical cores
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            HostModel(ncores=0)
+
+    def test_invalid_bandwidths_rejected(self):
+        with pytest.raises(ConfigError):
+            HostModel(copy_bw_per_core=0)
+        with pytest.raises(ConfigError):
+            HostModel(bus_bw=-1)

@@ -1,0 +1,137 @@
+"""Unit tests for the device profile cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.curves import ScalingCurve
+from repro.device.profile import DEFAULT_GATHER_TABLE, DeviceProfile, Pattern
+from repro.errors import ConfigError
+
+
+def make_profile(byte_addressable=True, granularity=256, gather_table=None):
+    flat = ScalingCurve.flat(1e9)
+    return DeviceProfile(
+        name="test",
+        byte_addressable=byte_addressable,
+        granularity=granularity,
+        seq_read=flat,
+        rand_read=flat,
+        write=flat,
+        gather_table=gather_table,
+    )
+
+
+class TestSequentialWork:
+    def test_seq_rounds_to_granule(self):
+        p = make_profile()
+        assert p.io_work(Pattern.SEQ, 1000) == 1024.0
+        assert p.io_work(Pattern.SEQ, 256) == 256.0
+
+    def test_zero_bytes_zero_work(self):
+        p = make_profile()
+        assert p.io_work(Pattern.SEQ, 0) == 0.0
+        assert p.io_work(Pattern.RAND, 0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        p = make_profile()
+        with pytest.raises(ValueError):
+            p.io_work(Pattern.SEQ, -1)
+
+
+class TestRandomWork:
+    def test_byte_addressable_pays_fixed_overhead(self):
+        p = make_profile()
+        # one 256B access: 256 + 0.22*256
+        expected = 256 + 0.22 * 256
+        assert p.io_work(Pattern.RAND, 256, accesses=1) == pytest.approx(expected)
+
+    def test_block_device_pays_full_blocks(self):
+        p = make_profile(byte_addressable=False, granularity=4096)
+        # The paper's GraySort example: 100B random read amplifies 40x.
+        work = p.io_work(Pattern.RAND, 100, accesses=1)
+        assert work == 4096.0
+        assert work / 100 > 40
+
+    def test_many_small_accesses_scale_linearly(self):
+        p = make_profile()
+        one = p.io_work(Pattern.RAND, 100, accesses=1)
+        hundred = p.io_work(Pattern.RAND, 100 * 100, accesses=100)
+        assert hundred == pytest.approx(100 * one)
+
+    def test_random_batch_work_matches_scalar_path(self):
+        p = make_profile()
+        sizes = np.array([100, 200, 300])
+        total = p.random_batch_work(sizes)
+        scalar = sum(p.io_work(Pattern.RAND, s, accesses=1) for s in sizes)
+        assert total == pytest.approx(scalar)
+
+    def test_random_batch_work_block_device(self):
+        p = make_profile(byte_addressable=False, granularity=4096)
+        assert p.random_batch_work(np.array([100, 5000])) == 4096 + 8192
+
+    def test_empty_batch(self):
+        p = make_profile()
+        assert p.random_batch_work(np.array([], dtype=np.int64)) == 0.0
+
+
+class TestStridedWork:
+    def test_gather_table_interpolates(self):
+        p = make_profile(gather_table=DEFAULT_GATHER_TABLE)
+        at_100 = p.io_work(Pattern.STRIDED, 10, accesses=1, stride=100)
+        at_64 = p.io_work(Pattern.STRIDED, 10, accesses=1, stride=64)
+        at_128 = p.io_work(Pattern.STRIDED, 10, accesses=1, stride=128)
+        assert at_64 < at_100 < at_128
+
+    def test_gather_table_clamps_at_extremes(self):
+        p = make_profile(gather_table=((64, 44.0), (512, 171.0)))
+        assert p.io_work(Pattern.STRIDED, 10, accesses=1, stride=8192) == 171.0
+        # Below the first entry: scales down proportionally.
+        assert p.io_work(Pattern.STRIDED, 10, accesses=1, stride=32) == pytest.approx(22.0)
+
+    def test_gather_larger_access_adds_bytes(self):
+        p = make_profile(gather_table=DEFAULT_GATHER_TABLE)
+        small = p.io_work(Pattern.STRIDED, 10, accesses=1, stride=100)
+        large = p.io_work(Pattern.STRIDED, 24, accesses=1, stride=100)
+        assert large == pytest.approx(small + 14)
+
+    def test_no_table_dense_stride_costs_stride(self):
+        p = make_profile(granularity=256, gather_table=None)
+        # stride < granule: every granule touched once -> cost = stride.
+        assert p.io_work(Pattern.STRIDED, 10, accesses=1, stride=100) == 100.0
+
+    def test_no_table_sparse_stride_costs_random(self):
+        p = make_profile(granularity=64, gather_table=None)
+        strided = p.io_work(Pattern.STRIDED, 10, accesses=1, stride=512)
+        rand = p.io_work(Pattern.RAND, 10, accesses=1)
+        assert strided == pytest.approx(rand)
+
+    def test_gather_scales_with_access_count(self):
+        p = make_profile(gather_table=DEFAULT_GATHER_TABLE)
+        one = p.io_work(Pattern.STRIDED, 10, accesses=1, stride=100)
+        many = p.io_work(Pattern.STRIDED, 10 * 1000, accesses=1000, stride=100)
+        assert many == pytest.approx(1000 * one)
+
+    @settings(max_examples=40, deadline=None)
+    @given(stride=st.integers(min_value=16, max_value=8192))
+    def test_gather_cost_monotone_in_stride(self, stride):
+        p = make_profile(gather_table=DEFAULT_GATHER_TABLE)
+        a = p.io_work(Pattern.STRIDED, 10, accesses=1, stride=stride)
+        b = p.io_work(Pattern.STRIDED, 10, accesses=1, stride=stride * 2)
+        assert b >= a
+
+
+class TestValidation:
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(ConfigError):
+            make_profile(granularity=0)
+
+    def test_empty_gather_table_rejected(self):
+        with pytest.raises(ConfigError):
+            make_profile(gather_table=())
+
+    def test_describe_mentions_name(self):
+        assert "test" in make_profile().describe()

@@ -1,0 +1,105 @@
+"""Tests pinning the calibrated device profiles to the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.profile import Pattern
+from repro.device.profiles import PROFILE_FACTORIES
+from repro.units import GB
+
+
+class TestPmemCalibration:
+    def test_seq_read_peak_matches_fig5_ideal_time(self, pmem):
+        # "the ideal time to read 20 GB on our setup is 0.90s"
+        ideal = 20 * GB / pmem.seq_read.peak
+        assert ideal == pytest.approx(0.90, abs=0.01)
+
+    def test_random_256b_is_18pct_slower_than_seq(self, pmem):
+        # Sec 2.3 (R): effective 256B random user bandwidth vs sequential.
+        work = pmem.io_work(Pattern.RAND, 256, accesses=1)
+        user_bw = pmem.rand_read.peak * 256 / work
+        assert user_bw / pmem.seq_read.peak == pytest.approx(0.82, abs=0.01)
+
+    def test_write_peak_at_few_threads(self, pmem):
+        # Sec 3.8: "5 threads for writing ... writes do not scale".
+        assert 3 <= pmem.write.peak_threads <= 6
+
+    def test_write_degrades_at_max_threads(self, pmem):
+        # Sec 2.3 (D): max-thread writes ~2x slower than peak.
+        ratio = pmem.write.peak / pmem.write.aggregate(32)
+        assert 1.5 <= ratio <= 2.5
+
+    def test_read_write_asymmetry(self, pmem):
+        # Sec 2.3 (A): reads up to 4x faster than writes.
+        assert 2.0 <= pmem.seq_read.peak / pmem.write.peak <= 4.5
+
+    def test_reads_scale_to_physical_cores(self, pmem):
+        # Sec 3.8: read bandwidth scales up to 16 threads.
+        assert pmem.seq_read.aggregate(16) > pmem.seq_read.aggregate(8)
+        assert pmem.seq_read.aggregate(32) == pytest.approx(
+            pmem.seq_read.aggregate(16)
+        )
+
+    def test_interference_present(self, pmem):
+        assert pmem.interference.read_multiplier(5) < 0.8
+
+    def test_granularity_is_xpline(self, pmem):
+        assert pmem.granularity == 256
+
+
+class TestDramProfile:
+    def test_symmetricish_and_fast(self, dram):
+        assert dram.seq_read.peak > 2 * 22.2 * GB / 22.2  # sanity: positive
+        assert dram.seq_read.peak / dram.write.peak < 2.0
+
+    def test_no_interference(self, dram):
+        assert dram.interference.read_multiplier(10) == 1.0
+
+    def test_inplace_penalty_10x_below_pmem(self, pmem, dram):
+        assert pmem.inplace_penalty_ns / dram.inplace_penalty_ns == pytest.approx(
+            10.0
+        )
+
+
+class TestEmulatedDevices:
+    def test_bd_random_much_slower_than_seq(self, emulated_profiles):
+        bd = emulated_profiles["bd"]
+        assert bd.seq_read.peak / bd.rand_read.peak > 5
+        # symmetric read/write (no A property)
+        assert bd.seq_read.peak == pytest.approx(bd.write.peak)
+
+    def test_brd_fully_symmetric(self, emulated_profiles):
+        brd = emulated_profiles["brd"]
+        assert brd.rand_read.peak == pytest.approx(brd.seq_read.peak)
+        assert brd.write.peak == pytest.approx(brd.seq_read.peak)
+
+    def test_bard_writes_much_slower(self, emulated_profiles):
+        bard = emulated_profiles["bard"]
+        assert bard.seq_read.peak / bard.write.peak > 3
+        assert bard.rand_read.peak == pytest.approx(bard.seq_read.peak)
+
+    def test_no_interference_on_emulated_devices(self, emulated_profiles):
+        for profile in emulated_profiles.values():
+            assert profile.interference.read_multiplier(8) == 1.0
+
+    def test_cache_line_granularity(self, emulated_profiles):
+        for profile in emulated_profiles.values():
+            assert profile.granularity == 64
+
+
+class TestBlockSsd:
+    def test_block_device_flags(self):
+        ssd = PROFILE_FACTORIES["block-ssd"]()
+        assert not ssd.byte_addressable
+        assert ssd.granularity == 4096
+        assert ssd.gather_table is None
+
+
+class TestRegistry:
+    def test_all_factories_build(self):
+        for name, factory in PROFILE_FACTORIES.items():
+            profile = factory()
+            assert profile.name == name
+            assert profile.seq_read.peak > 0
+            assert profile.capacity > 0

@@ -1,0 +1,164 @@
+"""Tests for the BRAID rate model (device caps + host water-filling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.curves import InterferenceModel, ScalingCurve
+from repro.device.device import BraidRateModel, make_io_op, _waterfill
+from repro.device.host import HostModel
+from repro.device.profile import DeviceProfile, Pattern
+from repro.sim.fluid import FluidOp
+from repro.units import GB
+
+
+@pytest.fixture
+def profile():
+    return DeviceProfile(
+        name="synthetic",
+        byte_addressable=True,
+        granularity=256,
+        seq_read=ScalingCurve.linear_to_saturation(peak=16 * GB, saturation_threads=16),
+        rand_read=ScalingCurve.linear_to_saturation(peak=8 * GB, saturation_threads=16),
+        write=ScalingCurve.peaked(peak=4 * GB, peak_threads=4, tail=2 * GB, tail_threads=32),
+        interference=InterferenceModel(
+            read_floor=0.5, read_slope=1.0, write_floor=0.8, write_slope=0.1
+        ),
+    )
+
+
+@pytest.fixture
+def model(profile, host):
+    return BraidRateModel(profile, host)
+
+
+def read_op(profile, threads=1, pattern=Pattern.SEQ, nbytes=1 << 20):
+    return make_io_op(profile, "read", pattern, nbytes, "t", threads=threads)
+
+
+def write_op(profile, threads=1, nbytes=1 << 20):
+    return make_io_op(profile, "write", Pattern.SEQ, nbytes, "t", threads=threads)
+
+
+class TestDeviceCaps:
+    def test_single_pooled_reader_gets_curve_value(self, model, profile):
+        op = read_op(profile, threads=16)
+        rates = model.assign([op])
+        assert rates[op] == pytest.approx(16 * GB)
+
+    def test_two_pools_share_by_thread_weight(self, model, profile):
+        a = read_op(profile, threads=12)
+        b = read_op(profile, threads=4)
+        rates = model.assign([a, b])
+        assert rates[a] / rates[b] == pytest.approx(3.0)
+        assert rates[a] + rates[b] == pytest.approx(16 * GB)
+
+    def test_oversubscribed_readers_split_saturated_curve(self, model, profile):
+        ops = [read_op(profile, threads=16) for _ in range(2)]
+        rates = model.assign(ops)
+        assert sum(rates.values()) == pytest.approx(16 * GB)
+
+    def test_random_reads_use_random_curve(self, model, profile):
+        op = read_op(profile, threads=16, pattern=Pattern.RAND)
+        rates = model.assign([op])
+        # work includes overhead, so the *rate* equals the rand curve.
+        assert rates[op] == pytest.approx(8 * GB)
+
+    def test_write_curve_declines_when_oversubscribed(self, model, profile):
+        at_peak = model.assign([write_op(profile, threads=4)])
+        at_tail = model.assign([write_op(profile, threads=32)])
+        assert list(at_peak.values())[0] == pytest.approx(4 * GB)
+        assert list(at_tail.values())[0] == pytest.approx(2 * GB)
+
+    def test_reads_degrade_under_concurrent_writes(self, model, profile):
+        r = read_op(profile, threads=16)
+        w = write_op(profile, threads=4)
+        rates = model.assign([r, w])
+        alone = model.assign([read_op(profile, threads=16)])
+        assert rates[r] < list(alone.values())[0]
+        # floor is 0.5 with slope 1: 4 writers -> 1/(1+4)=0.2 -> floor 0.5
+        assert rates[r] == pytest.approx(16 * GB * 0.5)
+
+    def test_writes_mildly_degrade_under_reads(self, model, profile):
+        w = write_op(profile, threads=4)
+        r = read_op(profile, threads=16)
+        rates = model.assign([r, w])
+        assert rates[w] >= 0.8 * 4 * GB - 1
+
+
+class TestHostCoupling:
+    def test_cpu_compute_ops_share_cores(self, model):
+        ops = [
+            FluidOp(1.0, kind="cpu", mode="compute", cores=16),
+            FluidOp(1.0, kind="cpu", mode="compute", cores=16),
+        ]
+        rates = model.assign(ops)
+        # two 16-core ops on 16 cores: max-min gives 8 cores each
+        assert sum(rates.values()) == pytest.approx(16.0)
+
+    def test_single_core_op_rate_capped_at_one(self, model):
+        op = FluidOp(1.0, kind="cpu", mode="compute", cores=1)
+        rates = model.assign([op])
+        assert rates[op] == pytest.approx(1.0)
+
+    def test_copy_op_capped_by_per_core_bandwidth(self, model, host):
+        op = FluidOp(1e9, kind="cpu", mode="copy", cores=1)
+        rates = model.assign([op])
+        assert rates[op] == pytest.approx(host.copy_bw_per_core)
+
+    def test_many_copies_capped_by_bus(self, model, host):
+        ops = [FluidOp(1e9, kind="cpu", mode="copy", cores=4) for _ in range(4)]
+        rates = model.assign(ops)
+        assert sum(rates.values()) <= host.bus_bw * (1 + 1e-9)
+
+    def test_unknown_cpu_mode_rejected(self, model):
+        op = FluidOp(1.0, kind="cpu", mode="warp", cores=1)
+        with pytest.raises(ValueError):
+            model.assign([op])
+
+
+class TestWaterfill:
+    def test_unconstrained_ops_reach_cap(self):
+        op = FluidOp(1.0, kind="cpu")
+        rates = _waterfill([(op, 5.0, {"cpu": 0.0})], {"cpu": 1.0})
+        assert rates[op] == pytest.approx(5.0)
+
+    def test_resource_saturation_freezes_users(self):
+        heavy = FluidOp(1.0, kind="cpu")
+        light = FluidOp(1.0, kind="cpu")
+        entries = [
+            (heavy, 10.0, {"cpu": 1.0}),
+            (light, 10.0, {"cpu": 0.0}),
+        ]
+        rates = _waterfill(entries, {"cpu": 5.0})
+        assert rates[heavy] == pytest.approx(5.0)
+        assert rates[light] == pytest.approx(10.0)
+
+    def test_zero_cap_op_gets_zero(self):
+        op = FluidOp(1.0, kind="cpu")
+        rates = _waterfill([(op, 0.0, {})], {"cpu": 1.0})
+        assert rates[op] == 0.0
+
+    def test_equal_sharing_of_saturated_resource(self):
+        a = FluidOp(1.0, kind="cpu")
+        b = FluidOp(1.0, kind="cpu")
+        entries = [(a, 10.0, {"bus": 1.0}), (b, 10.0, {"bus": 1.0})]
+        rates = _waterfill(entries, {"bus": 10.0, "cpu": 100.0})
+        assert rates[a] == pytest.approx(5.0)
+        assert rates[b] == pytest.approx(5.0)
+
+
+class TestMakeIoOp:
+    def test_host_ratio_reflects_payload_vs_work(self, profile):
+        op = make_io_op(
+            profile, "read", Pattern.STRIDED, 10, "t", accesses=1, stride=100
+        )
+        assert 0 < op.attrs["host_ratio"] < 1
+
+    def test_invalid_direction_rejected(self, profile):
+        with pytest.raises(ValueError):
+            make_io_op(profile, "sideways", Pattern.SEQ, 10, "t")
+
+    def test_invalid_threads_rejected(self, profile):
+        with pytest.raises(ValueError):
+            make_io_op(profile, "read", Pattern.SEQ, 10, "t", threads=0)

@@ -1,0 +1,126 @@
+"""Property tests on the BRAID rate model: conservation and sanity.
+
+Whatever the active op population, the model must (a) never assign
+negative rates, (b) never exceed device/host capacities, and (c) keep
+every op progressing (no starvation) -- otherwise the event loop could
+deadlock or violate work conservation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.device import BraidRateModel, make_io_op
+from repro.device.host import HostModel
+from repro.device.profiles import pmem_profile
+from repro.device.profile import Pattern
+from repro.sim.fluid import FluidOp
+
+_PROFILE = pmem_profile()
+_HOST = HostModel()
+_MODEL = BraidRateModel(_PROFILE, _HOST)
+
+
+@st.composite
+def op_population(draw):
+    ops = []
+    n = draw(st.integers(1, 12))
+    for _ in range(n):
+        kind = draw(st.sampled_from(["read", "write", "compute", "copy"]))
+        if kind in ("read", "write"):
+            pattern = draw(st.sampled_from([Pattern.SEQ, Pattern.RAND]))
+            threads = draw(st.integers(1, 32))
+            nbytes = draw(st.integers(1, 1 << 24))
+            ops.append(
+                make_io_op(
+                    _PROFILE,
+                    kind,
+                    pattern if kind == "read" else Pattern.SEQ,
+                    nbytes,
+                    "t",
+                    accesses=draw(st.integers(1, 64)) if pattern is Pattern.RAND else 1,
+                    threads=threads,
+                )
+            )
+        elif kind == "compute":
+            ops.append(
+                FluidOp(1.0, kind="cpu", mode="compute",
+                        cores=draw(st.integers(1, 16)))
+            )
+        else:
+            ops.append(
+                FluidOp(1e6, kind="cpu", mode="copy",
+                        cores=draw(st.integers(1, 16)))
+            )
+    return ops
+
+
+class TestRateModelProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=op_population())
+    def test_no_negative_rates_and_no_starvation(self, ops):
+        rates = _MODEL.assign(ops)
+        for op in ops:
+            assert rates[op] >= 0
+            # Every op with positive cap makes progress.
+            assert rates[op] > 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=op_population())
+    def test_device_read_capacity_respected(self, ops):
+        rates = _MODEL.assign(ops)
+        reads = [op for op in ops if op.kind == "io" and op.attrs["direction"] == "read"]
+        total = sum(rates[op] for op in reads)
+        # Total read rate can never exceed the best read curve peak.
+        best = max(_PROFILE.seq_read.peak, _PROFILE.rand_read.peak)
+        assert total <= best * (1 + 1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=op_population())
+    def test_write_capacity_respected(self, ops):
+        rates = _MODEL.assign(ops)
+        writes = [op for op in ops if op.kind == "io" and op.attrs["direction"] == "write"]
+        total = sum(rates[op] for op in writes)
+        assert total <= _PROFILE.write.peak * (1 + 1e-9)
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=op_population())
+    def test_cpu_capacity_respected(self, ops):
+        rates = _MODEL.assign(ops)
+        cores_used = 0.0
+        for op in ops:
+            if op.kind == "cpu":
+                mode = op.attrs.get("mode", "compute")
+                if mode == "compute":
+                    cores_used += rates[op]
+                else:
+                    cores_used += rates[op] / _HOST.copy_bw_per_core
+            else:
+                cores_used += rates[op] / _HOST.io_cpu_bw
+        assert cores_used <= _HOST.ncores * (1 + 1e-6)
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=op_population())
+    def test_bus_capacity_respected(self, ops):
+        rates = _MODEL.assign(ops)
+        bus_used = 0.0
+        for op in ops:
+            if op.kind == "io":
+                bus_used += rates[op] * op.attrs["host_ratio"]
+            elif op.attrs.get("mode") == "copy":
+                bus_used += rates[op]
+        assert bus_used <= _HOST.bus_bw * (1 + 1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=op_population())
+    def test_adding_writers_never_speeds_up_readers(self, ops):
+        reads = [op for op in ops if op.kind == "io" and op.attrs["direction"] == "read"]
+        if not reads:
+            return
+        base = _MODEL.assign(reads)
+        writer = make_io_op(_PROFILE, "write", Pattern.SEQ, 1 << 20, "w", threads=4)
+        with_writer = _MODEL.assign(reads + [writer])
+        for op in reads:
+            assert with_writer[op] <= base[op] * (1 + 1e-9)

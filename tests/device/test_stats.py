@@ -1,0 +1,107 @@
+"""Tests for the device statistics recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.profile import Pattern
+from repro.machine import Machine
+
+
+class TestTagAccounting:
+    def test_busy_time_and_bytes_recorded(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 20, tag="phase-a", threads=16)
+            yield machine.io("write", Pattern.SEQ, 1 << 20, tag="phase-b", threads=5)
+
+        machine.run(job())
+        tags = machine.stats.tags
+        assert tags["phase-a"].busy_time > 0
+        assert tags["phase-b"].busy_time > 0
+        assert tags["phase-a"].internal_bytes == pytest.approx(1 << 20)
+        assert machine.stats.bytes_read_internal == pytest.approx(1 << 20)
+        assert machine.stats.bytes_written_internal == pytest.approx(1 << 20)
+
+    def test_tag_table_ordered_by_first_activity(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 4096, tag="first", threads=1)
+            yield machine.io("read", Pattern.SEQ, 4096, tag="second", threads=1)
+
+        machine.run(job())
+        names = [tag for tag, _ in machine.stats.tag_table()]
+        assert names == ["first", "second"]
+
+    def test_direction_and_pattern_captured(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.RAND, 4096, tag="gather", threads=1)
+
+        machine.run(job())
+        assert machine.stats.tags["gather"].direction == "read"
+        assert machine.stats.tags["gather"].pattern == "rand"
+
+    def test_untagged_ops_not_credited(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 4096, tag="", threads=1)
+
+        machine.run(job())
+        assert "" not in machine.stats.tags
+
+
+class TestTimeline:
+    def test_timeline_covers_run(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 22, tag="r", threads=16)
+
+        machine.run(job())
+        timeline = machine.stats.timeline
+        assert timeline
+        assert timeline[0][0] == 0.0
+        assert timeline[-1][1] == pytest.approx(machine.now)
+
+    def test_peak_bandwidths(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 22, tag="r", threads=16)
+
+        machine.run(job())
+        assert machine.stats.peak_read_bw() == pytest.approx(pmem.seq_read.peak)
+        assert machine.stats.peak_write_bw() == 0.0
+
+    def test_coarse_timeline_buckets(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 22, tag="r", threads=16)
+            yield machine.io("write", Pattern.SEQ, 1 << 22, tag="w", threads=5)
+
+        machine.run(job())
+        rows = machine.stats.coarse_timeline(buckets=10)
+        assert len(rows) == 10
+        # Early buckets are read-dominated, late buckets write-dominated.
+        assert rows[0][1] > rows[0][2]
+        assert rows[-1][2] > rows[-1][1]
+
+    def test_mean_cores_positive_with_compute(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.compute(0.001, tag="c", cores=4)
+
+        machine.run(job())
+        assert machine.stats.mean_cores() == pytest.approx(4.0)
+
+    def test_empty_stats(self, pmem):
+        machine = Machine(profile=pmem)
+        assert machine.stats.coarse_timeline() == []
+        assert machine.stats.mean_cores() == 0.0

@@ -1,0 +1,62 @@
+"""On conventional block storage, bundling values with keys wins.
+
+Sec 2.4.2: on HDD/SSD "moving values with keys is advantageous" --
+random reads amplify 40x (4 KB blocks vs 100 B records), so a
+WiscSort-style design that relies on random value gathers must lose to
+classic external merge sort.  These tests pin that inversion, which is
+the whole motivation for making the sort device-aware.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExternalMergeSort
+from repro.core.wiscsort import WiscSort
+from repro.device.profile import Pattern
+from repro.device.profiles import block_ssd_profile
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+
+
+@pytest.fixture(scope="module")
+def ssd():
+    return block_ssd_profile()
+
+
+def run(profile, system, n=20_000, seed=2):
+    machine = Machine(profile=profile)
+    f = generate_dataset(machine, "input", n, RecordFormat(), seed=seed)
+    result = system.run(machine, f, validate=False)
+    return machine, result
+
+
+class TestBlockDeviceInversion:
+    def test_ems_beats_wiscsort_on_block_ssd(self, ssd):
+        fmt = RecordFormat()
+        _, ems = run(ssd, ExternalMergeSort(fmt))
+        _, wisc = run(ssd, WiscSort(fmt))
+        assert ems.total_time < wisc.total_time
+
+    def test_wiscsort_beats_ems_on_pmem_same_workload(self, pmem, ssd):
+        # The same workload, the opposite winner: device properties
+        # decide the design (the paper's core thesis).
+        fmt = RecordFormat()
+        _, ems_pm = run(pmem, ExternalMergeSort(fmt))
+        _, wisc_pm = run(pmem, WiscSort(fmt))
+        assert wisc_pm.total_time < ems_pm.total_time
+
+    def test_random_read_amplification_is_blockwise(self, ssd):
+        # The GraySort example: a 100B random read costs a 4KB block.
+        work = ssd.io_work(Pattern.RAND, 100, accesses=1)
+        assert work / 100 >= 40
+
+    def test_wiscsort_gather_traffic_explodes_on_ssd(self, ssd, pmem):
+        fmt = RecordFormat()
+        machine_ssd, _ = run(ssd, WiscSort(fmt))
+        machine_pm, _ = run(pmem, WiscSort(fmt))
+        gather_ssd = machine_ssd.stats.tags["RECORD read"].internal_bytes
+        gather_pm = machine_pm.stats.tags["RECORD read"].internal_bytes
+        # Same user bytes, vastly more internal traffic on the SSD.
+        assert gather_ssd > 10 * gather_pm

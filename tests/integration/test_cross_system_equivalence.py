@@ -1,0 +1,77 @@
+"""Every sorting system must produce byte-identical output.
+
+With unique keys the sorted permutation is unique, so all seven systems
+(WiscSort x3 models, MergePass, EMS, PMSort, PMSort+, sample sort) must
+emit exactly the same bytes for the same input -- a strong end-to-end
+invariant over the entire stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExternalMergeSort, PMSort, PMSortPlus, SampleSort
+from repro.core.base import ConcurrencyModel, SortConfig
+from repro.core.wiscsort import WiscSort
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+
+
+def output_bytes(pmem, system, n, fmt, seed):
+    machine = Machine(profile=pmem)
+    f = generate_dataset(machine, "input", n, fmt, seed=seed)
+    result = system.run(machine, f, validate=False)
+    return machine.fs.open(result.output_name).peek().tobytes()
+
+
+def all_systems(fmt, n):
+    return [
+        WiscSort(fmt),
+        WiscSort(fmt, config=SortConfig(concurrency=ConcurrencyModel.IO_OVERLAP)),
+        WiscSort(fmt, config=SortConfig(concurrency=ConcurrencyModel.NO_SYNC)),
+        WiscSort(fmt, force_merge_pass=True, merge_chunk_entries=max(1, n // 3)),
+        ExternalMergeSort(fmt, config=SortConfig(
+            read_buffer=64 * 1024, write_buffer=32 * 1024)),
+        PMSort(fmt),
+        PMSortPlus(fmt),
+        SampleSort(fmt),
+    ]
+
+
+class TestEquivalence:
+    def test_all_systems_agree(self, pmem):
+        fmt = RecordFormat()
+        n = 3_000
+        outputs = {
+            system.name: output_bytes(pmem, system, n, fmt, seed=17)
+            for system in all_systems(fmt, n)
+        }
+        reference = next(iter(outputs.values()))
+        for name, data in outputs.items():
+            assert data == reference, f"{name} disagrees with the reference"
+
+    @settings(max_examples=5, deadline=None)
+    @given(n=st.integers(2, 300), seed=st.integers(0, 30))
+    def test_wiscsort_matches_ems_for_any_input(self, pmem, n, seed):
+        fmt = RecordFormat(key_size=6, value_size=14, pointer_size=4)
+        wisc = output_bytes(pmem, WiscSort(fmt), n, fmt, seed)
+        ems = output_bytes(
+            pmem,
+            ExternalMergeSort(fmt, config=SortConfig(
+                read_buffer=8 * 1024, write_buffer=4 * 1024)),
+            n, fmt, seed,
+        )
+        assert wisc == ems
+
+    def test_agreement_on_every_device(self, pmem, dram, emulated_profiles):
+        fmt = RecordFormat()
+        n = 1_000
+        profiles = [pmem, dram, *emulated_profiles.values()]
+        for profile in profiles:
+            wisc = output_bytes(profile, WiscSort(fmt), n, fmt, seed=4)
+            ems = output_bytes(profile, ExternalMergeSort(fmt), n, fmt, seed=4)
+            assert wisc == ems, profile.name

@@ -1,0 +1,58 @@
+"""The simulation must be bit-for-bit deterministic.
+
+Reproducibility is the point of the harness: identical seeds and
+configurations must give identical simulated times, phase breakdowns
+and output bytes -- across repeated runs and regardless of unrelated
+machine state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExternalMergeSort, PMSortPlus, SampleSort
+from repro.core.base import ConcurrencyModel, SortConfig
+from repro.core.wiscsort import WiscSort
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.workloads.background import BackgroundClients
+
+
+def snapshot(system_factory, n=5_000, seed=8, background=0):
+    from tests.conftest import _PMEM as pmem
+
+    machine = Machine(profile=pmem)
+    fmt = RecordFormat()
+    f = generate_dataset(machine, "input", n, fmt, seed=seed)
+    if background:
+        BackgroundClients(machine, background, "write").start()
+    result = system_factory(fmt).run(machine, f, validate=False)
+    output = machine.fs.open(result.output_name).peek().tobytes()
+    return (result.total_time, tuple(sorted(result.phases.items())), output)
+
+
+SYSTEMS = [
+    lambda fmt: WiscSort(fmt),
+    lambda fmt: WiscSort(fmt, force_merge_pass=True, merge_chunk_entries=1_500),
+    lambda fmt: WiscSort(fmt, config=SortConfig(concurrency=ConcurrencyModel.NO_SYNC)),
+    lambda fmt: ExternalMergeSort(fmt),
+    lambda fmt: PMSortPlus(fmt),
+    lambda fmt: SampleSort(fmt),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", SYSTEMS)
+    def test_repeated_runs_identical(self, factory):
+        assert snapshot(factory) == snapshot(factory)
+
+    def test_background_clients_deterministic(self):
+        a = snapshot(lambda fmt: WiscSort(fmt), background=4)
+        b = snapshot(lambda fmt: WiscSort(fmt), background=4)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = snapshot(lambda fmt: WiscSort(fmt), seed=1)
+        b = snapshot(lambda fmt: WiscSort(fmt), seed=2)
+        assert a[2] != b[2]  # different data

@@ -1,0 +1,169 @@
+"""Integration tests asserting the paper's qualitative results.
+
+These run the real systems at reduced scale and check *who wins and by
+roughly what factor* -- the contract of the reproduction.  The full-size
+versions live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExternalMergeSort, PMSort, PMSortPlus, SampleSort
+from repro.core.base import ConcurrencyModel, SortConfig
+from repro.core.wiscsort import WiscSort
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+
+N = 50_000  # 5 MB sortbenchmark input
+
+
+@pytest.fixture(scope="module")
+def fmt():
+    return RecordFormat()
+
+
+def run(profile, system, n=N, fmt_=None, seed=11):
+    machine = Machine(profile=profile)
+    f = generate_dataset(machine, "input", n, fmt_ or RecordFormat(), seed=seed)
+    return system.run(machine, f, validate=False)
+
+
+@pytest.fixture(scope="module")
+def pmem_results(fmt):
+    from tests.conftest import _PMEM as pmem
+
+    chunk = N // 4
+    # Buffers sized so every phase runs over many batches even at this
+    # reduced scale (a 5 MiB write buffer would hold the whole input in
+    # one batch and erase the difference between concurrency models).
+    small = 512 * 1024
+
+    def cfg(model):
+        return SortConfig(
+            concurrency=model, read_buffer=2 * small, write_buffer=small
+        )
+
+    return {
+        "ems": run(pmem, ExternalMergeSort(
+            fmt, config=cfg(ConcurrencyModel.NO_IO_OVERLAP))),
+        "ems-nosync": run(pmem, ExternalMergeSort(
+            fmt, config=cfg(ConcurrencyModel.NO_SYNC))),
+        "onepass": run(pmem, WiscSort(
+            fmt, config=cfg(ConcurrencyModel.NO_IO_OVERLAP))),
+        "onepass-overlap": run(pmem, WiscSort(
+            fmt, config=cfg(ConcurrencyModel.IO_OVERLAP))),
+        "onepass-nosync": run(pmem, WiscSort(
+            fmt, config=cfg(ConcurrencyModel.NO_SYNC))),
+        "mergepass": run(pmem, WiscSort(
+            fmt, force_merge_pass=True, merge_chunk_entries=chunk)),
+        "sample": run(pmem, SampleSort(fmt)),
+        "pmsort": run(pmem, PMSort(fmt)),
+        "pmsort+": run(pmem, PMSortPlus(fmt)),
+    }
+
+
+class TestHeadlineResults:
+    def test_wiscsort_beats_ems(self, pmem_results):
+        # Abstract: "2x-3x better than concurrent external merge sort".
+        speedup = pmem_results["ems"].total_time / pmem_results["onepass"].total_time
+        assert 1.7 <= speedup <= 4.0
+
+    def test_mergepass_beats_ems(self, pmem_results):
+        speedup = pmem_results["ems"].total_time / pmem_results["mergepass"].total_time
+        assert 1.3 <= speedup <= 3.0
+
+    def test_onepass_beats_mergepass(self, pmem_results):
+        assert (
+            pmem_results["onepass"].total_time
+            < pmem_results["mergepass"].total_time
+        )
+
+    def test_ems_beats_inplace_sample_sort(self, pmem_results):
+        # Fig 1: EMS ~2x faster than in-place sample sort on PMEM.
+        ratio = pmem_results["sample"].total_time / pmem_results["ems"].total_time
+        assert 1.3 <= ratio <= 3.0
+
+    def test_wiscsort_much_faster_than_pmsort(self, pmem_results):
+        # Abstract: "7x better than recent PM based sorting (PMSort)".
+        ratio = pmem_results["pmsort"].total_time / pmem_results["onepass"].total_time
+        assert ratio >= 4.0
+
+    def test_interference_aware_scheduling_wins(self, pmem_results):
+        # Fig 7 family ordering: no-io-overlap < io-overlap < no-sync.
+        assert (
+            pmem_results["onepass"].total_time
+            < pmem_results["onepass-overlap"].total_time
+            < pmem_results["onepass-nosync"].total_time
+        )
+
+    def test_controlled_ems_beats_nosync_ems(self, pmem_results):
+        assert (
+            pmem_results["ems"].total_time
+            < pmem_results["ems-nosync"].total_time
+        )
+
+    def test_pmsort_plus_between_pmsort_and_wiscsort(self, pmem_results):
+        assert (
+            pmem_results["onepass"].total_time
+            < pmem_results["pmsort+"].total_time
+            < pmem_results["pmsort"].total_time
+        )
+
+
+class TestTrafficReduction:
+    def test_wiscsort_writes_half_of_ems(self, pmem_results):
+        # Sec 3.3: OnePass avoids all intermediate writes.
+        assert pmem_results["onepass"].user_written == pytest.approx(
+            pmem_results["ems"].user_written / 2, rel=0.02
+        )
+
+    def test_wiscsort_reads_less_user_data(self, pmem_results):
+        # OnePass reads keys once (10%) + values once (100%) vs EMS's
+        # two full passes: a ~45% reduction in user read traffic.
+        assert (
+            pmem_results["onepass"].user_read
+            <= 0.6 * pmem_results["ems"].user_read
+        )
+
+
+class TestDeviceSensitivity:
+    def test_bd_device_prefers_ems(self, emulated_profiles, fmt):
+        # Fig 11a: on a device with poor random reads EMS wins and
+        # WiscSort pays a huge price.
+        bd = emulated_profiles["bd"]
+        ems = run(bd, ExternalMergeSort(fmt), n=20_000)
+        wisc = run(bd, WiscSort(fmt), n=20_000)
+        assert ems.total_time < wisc.total_time
+
+    def test_brd_device_prefers_onepass(self, emulated_profiles, fmt):
+        # Fig 11b: symmetric fast device -> OnePass best, EMS worst.
+        brd = emulated_profiles["brd"]
+        ems = run(brd, ExternalMergeSort(fmt), n=20_000)
+        wisc = run(brd, WiscSort(fmt), n=20_000)
+        sample = run(brd, SampleSort(fmt), n=20_000)
+        assert wisc.total_time < sample.total_time < ems.total_time
+
+    def test_bard_device_write_asymmetry_rewards_wiscsort(
+        self, emulated_profiles, fmt
+    ):
+        # Fig 11c: EMS writes twice -> ~2x slower than WiscSort.
+        bard = emulated_profiles["bard"]
+        ems = run(bard, ExternalMergeSort(fmt), n=20_000)
+        wisc = run(bard, WiscSort(fmt), n=20_000)
+        assert 1.5 <= ems.total_time / wisc.total_time <= 3.5
+
+    def test_small_values_make_mergepass_lose(self, pmem, fmt):
+        # Fig 8: at V:K < 1 MergePass is worse than EMS, OnePass still wins.
+        small = RecordFormat(key_size=10, value_size=10)
+        ems = run(pmem, ExternalMergeSort(small), n=20_000, fmt_=small)
+        one = run(pmem, WiscSort(small), n=20_000, fmt_=small)
+        merge = run(
+            pmem,
+            WiscSort(small, force_merge_pass=True, merge_chunk_entries=5_000),
+            n=20_000,
+            fmt_=small,
+        )
+        assert one.total_time < ems.total_time
+        assert merge.total_time > ems.total_time

@@ -1,0 +1,119 @@
+"""Tests for the IndexMap-based sort-merge join."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.query.join import indexmap_join
+from repro.query.sorted_index import SortedIndex
+from repro.records.format import RecordFormat
+
+
+def build_relation(machine, name, keys, fmt, seed=0):
+    """A relation whose i-th row has the given key and a tagged value."""
+    rng = np.random.default_rng(seed)
+    n = len(keys)
+    rows = np.zeros((n, fmt.record_size), dtype=np.uint8)
+    for i, key in enumerate(keys):
+        rows[i, : fmt.key_size] = np.frombuffer(key, dtype=np.uint8)
+    rows[:, fmt.key_size :] = rng.integers(
+        0, 256, size=(n, fmt.value_size), dtype=np.uint8
+    )
+    f = machine.fs.create(name)
+    f.poke(0, rows.reshape(-1))
+    return f, rows
+
+
+@pytest.fixture
+def fmt4():
+    return RecordFormat(key_size=4, value_size=12, pointer_size=4)
+
+
+def make_key(i: int) -> bytes:
+    return int(i).to_bytes(4, "big")
+
+
+class TestInnerJoin:
+    def test_matches_python_join(self, pmem, fmt4):
+        machine = Machine(profile=pmem)
+        left_keys = [make_key(i) for i in (5, 1, 9, 3, 7)]
+        right_keys = [make_key(i) for i in (3, 9, 2, 5, 11)]
+        lf, lrows = build_relation(machine, "L", left_keys, fmt4, seed=1)
+        rf, rrows = build_relation(machine, "R", right_keys, fmt4, seed=2)
+        left = SortedIndex(machine, lf, fmt4).build()
+        right = SortedIndex(machine, rf, fmt4).build()
+        result = indexmap_join(left, right)
+
+        expected = sorted(set(left_keys) & set(right_keys))
+        assert result.matches == len(expected)
+        got_keys = [bytes(r[: fmt4.key_size]) for r in result.left_records]
+        assert got_keys == expected
+        # Joined rows carry the correct full records from both sides.
+        for lrec, rrec in zip(result.left_records, result.right_records):
+            assert bytes(lrec[: fmt4.key_size]) == bytes(rrec[: fmt4.key_size])
+            assert any(np.array_equal(lrec, row) for row in lrows)
+            assert any(np.array_equal(rrec, row) for row in rrows)
+
+    def test_duplicate_keys_produce_cross_product(self, pmem, fmt4):
+        machine = Machine(profile=pmem)
+        lf, _ = build_relation(
+            machine, "L", [make_key(1), make_key(1), make_key(2)], fmt4, seed=3
+        )
+        rf, _ = build_relation(
+            machine, "R", [make_key(1), make_key(1), make_key(1)], fmt4, seed=4
+        )
+        left = SortedIndex(machine, lf, fmt4).build()
+        right = SortedIndex(machine, rf, fmt4).build()
+        result = indexmap_join(left, right)
+        assert result.matches == 2 * 3  # key 1: 2x3 pairs; key 2: none
+
+    def test_disjoint_relations(self, pmem, fmt4):
+        machine = Machine(profile=pmem)
+        lf, _ = build_relation(machine, "L", [make_key(1)], fmt4)
+        rf, _ = build_relation(machine, "R", [make_key(2)], fmt4)
+        left = SortedIndex(machine, lf, fmt4).build()
+        right = SortedIndex(machine, rf, fmt4).build()
+        result = indexmap_join(left, right)
+        assert result.matches == 0
+        assert result.left_records.shape[0] == 0
+
+    def test_selective_join_gathers_only_matches(self, pmem, fmt4):
+        machine = Machine(profile=pmem)
+        n = 2_000
+        lf, _ = build_relation(
+            machine, "L", [make_key(i) for i in range(n)], fmt4, seed=5
+        )
+        rf, _ = build_relation(
+            machine, "R", [make_key(i * 100) for i in range(n // 100)], fmt4, seed=6
+        )
+        left = SortedIndex(machine, lf, fmt4).build()
+        right = SortedIndex(machine, rf, fmt4).build()
+        before = machine.stats.tags.get("JOIN gather")
+        result = indexmap_join(left, right)
+        gathered = machine.stats.tags["JOIN gather"].user_bytes
+        # Only matching rows' values moved: 20 matches from each side.
+        assert result.matches == n // 100
+        assert gathered == 2 * result.matches * fmt4.record_size
+
+    def test_mismatched_key_width_rejected(self, pmem, fmt4):
+        machine = Machine(profile=pmem)
+        other = RecordFormat(key_size=8, value_size=8, pointer_size=4)
+        lf, _ = build_relation(machine, "L", [make_key(1)], fmt4)
+        rf = machine.fs.create("R")
+        rf.poke(0, np.zeros(other.record_size, dtype=np.uint8))
+        left = SortedIndex(machine, lf, fmt4).build()
+        right = SortedIndex(machine, rf, other).build()
+        with pytest.raises(ConfigError):
+            indexmap_join(left, right)
+
+    def test_different_machines_rejected(self, pmem, fmt4):
+        m1, m2 = Machine(profile=pmem), Machine(profile=pmem)
+        lf, _ = build_relation(m1, "L", [make_key(1)], fmt4)
+        rf, _ = build_relation(m2, "R", [make_key(1)], fmt4)
+        left = SortedIndex(m1, lf, fmt4).build()
+        right = SortedIndex(m2, rf, fmt4).build()
+        with pytest.raises(ConfigError):
+            indexmap_join(left, right)

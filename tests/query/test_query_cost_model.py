@@ -1,0 +1,71 @@
+"""Cost-model assertions for the late-materialization layer.
+
+Beyond correctness (covered elsewhere), the queries must exhibit the
+economics the paper's Sec 5 sketch promises: build cost resembles a
+WiscSort RUN phase, query cost scales with the *result*, not the
+relation, and joins move only matching values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.wiscsort import WiscSort
+from repro.machine import Machine
+from repro.query.sorted_index import SortedIndex
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+
+
+@pytest.fixture
+def big_index(pmem):
+    fmt = RecordFormat()
+    machine = Machine(profile=pmem)
+    relation = generate_dataset(machine, "rel", 50_000, fmt, seed=31)
+    index = SortedIndex(machine, relation, fmt).build()
+    return machine, index, fmt
+
+
+class TestBuildEconomics:
+    def test_build_resembles_run_phase(self, big_index, pmem):
+        machine, index, fmt = big_index
+        # Build = strided key gather + sort + IndexMap write; a full
+        # WiscSort additionally gathers and rewrites every value, so the
+        # index build must be several times cheaper.
+        machine2 = Machine(profile=pmem)
+        relation2 = generate_dataset(machine2, "rel", 50_000, fmt, seed=31)
+        full = WiscSort(fmt).run(machine2, relation2, validate=False)
+        assert index.build_time < full.total_time / 2
+
+    def test_build_write_traffic_is_indexmap_only(self, big_index):
+        machine, index, fmt = big_index
+        written = machine.stats.tags["INDEX build write"].user_bytes
+        assert written == pytest.approx(50_000 * fmt.index_entry_size)
+
+
+class TestQueryEconomics:
+    def test_query_cost_tracks_result_size(self, big_index):
+        _, index, _ = big_index
+        q1 = index.top_k(100)
+        q2 = index.top_k(10_000)
+        assert q2.bytes_gathered == 100 * q1.bytes_gathered
+        assert q2.elapsed > 10 * q1.elapsed
+
+    def test_range_scan_gathers_only_range(self, big_index):
+        machine, index, fmt = big_index
+        before = machine.stats.tags.get("QUERY range")
+        assert before is None
+        keys = index.imap.keys
+        low = bytes(keys[1_000])
+        high = bytes(keys[2_000])
+        result = index.range_scan(low, high)
+        gathered = machine.stats.tags["QUERY range"].user_bytes
+        assert gathered == result.bytes_gathered
+        assert result.records.shape[0] == pytest.approx(1_001, abs=5)
+
+    def test_queries_do_not_write_to_the_device(self, big_index):
+        machine, index, _ = big_index
+        written_before = machine.stats.bytes_written_internal
+        index.top_k(1_000)
+        index.range_scan(b"\x00" * 10, b"\x7f" + b"\xff" * 9)
+        assert machine.stats.bytes_written_internal == written_before

@@ -1,0 +1,138 @@
+"""Tests for late-materialization queries over a SortedIndex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SortConfig
+from repro.core.wiscsort import WiscSort
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.query.sorted_index import SortedIndex
+from repro.records.format import RecordFormat, record_sort_indices
+from repro.records.gensort import generate_dataset
+
+
+@pytest.fixture
+def indexed(pmem):
+    fmt = RecordFormat()
+    machine = Machine(profile=pmem)
+    relation = generate_dataset(machine, "relation", 5_000, fmt, seed=21)
+    index = SortedIndex(machine, relation, fmt).build()
+    records = relation.peek().reshape(-1, fmt.record_size)
+    expected = records[record_sort_indices(records, fmt.key_size)]
+    return machine, index, expected, fmt
+
+
+class TestBuild:
+    def test_build_produces_sorted_imap(self, indexed):
+        _, index, expected, fmt = indexed
+        assert np.array_equal(index.imap.keys, expected[:, : fmt.key_size])
+
+    def test_build_persists_indexmap_file(self, indexed):
+        machine, index, _, _ = indexed
+        f = machine.fs.open("relation.indexmap")
+        assert f.size == len(index.imap) * index.imap.entry_size
+
+    def test_build_time_recorded(self, indexed):
+        _, index, _, _ = indexed
+        assert index.build_time > 0
+
+    def test_query_before_build_rejected(self, pmem):
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        relation = generate_dataset(machine, "r", 100, fmt, seed=1)
+        index = SortedIndex(machine, relation, fmt)
+        with pytest.raises(ConfigError):
+            index.top_k(5)
+
+    def test_misaligned_relation_rejected(self, pmem):
+        machine = Machine(profile=pmem)
+        f = machine.fs.create("r")
+        f.poke(0, np.zeros(150, dtype=np.uint8))
+        with pytest.raises(ConfigError):
+            SortedIndex(machine, f, RecordFormat())
+
+
+class TestTopK:
+    def test_returns_k_smallest_in_order(self, indexed):
+        _, index, expected, _ = indexed
+        result = index.top_k(25)
+        assert np.array_equal(result.records, expected[:25])
+
+    def test_k_larger_than_relation(self, indexed):
+        _, index, expected, _ = indexed
+        result = index.top_k(10_000)
+        assert result.records.shape[0] == 5_000
+        assert np.array_equal(result.records, expected)
+
+    def test_k_zero(self, indexed):
+        _, index, _, _ = indexed
+        assert index.top_k(0).records.shape[0] == 0
+
+    def test_negative_k_rejected(self, indexed):
+        _, index, _, _ = indexed
+        with pytest.raises(ConfigError):
+            index.top_k(-1)
+
+    def test_cost_scales_with_k(self, indexed):
+        _, index, _, _ = indexed
+        small = index.top_k(10)
+        large = index.top_k(2_000)
+        assert large.elapsed > small.elapsed
+        assert large.bytes_gathered == 200 * small.bytes_gathered
+
+    def test_topk_much_cheaper_than_full_sort(self, pmem):
+        # The paper's motivation: TOP-K need not sort+rewrite everything.
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        relation = generate_dataset(machine, "r", 20_000, fmt, seed=3)
+        index = SortedIndex(machine, relation, fmt).build()
+        query = index.top_k(100)
+        machine2 = Machine(profile=pmem)
+        relation2 = generate_dataset(machine2, "r", 20_000, fmt, seed=3)
+        full = WiscSort(fmt).run(machine2, relation2, validate=False)
+        assert index.build_time + query.elapsed < full.total_time / 2
+
+
+class TestRangeScan:
+    def test_matches_python_filter(self, indexed):
+        _, index, expected, fmt = indexed
+        low = bytes(expected[100, : fmt.key_size])
+        high = bytes(expected[400, : fmt.key_size])
+        result = index.range_scan(low, high)
+        keys = [bytes(r[: fmt.key_size]) for r in expected]
+        want = [r for r, k in zip(expected, keys) if low <= k <= high]
+        assert result.records.shape[0] == len(want)
+        assert np.array_equal(result.records, np.array(want))
+
+    def test_range_is_inclusive(self, indexed):
+        _, index, expected, fmt = indexed
+        key = bytes(expected[7, : fmt.key_size])
+        result = index.range_scan(key, key)
+        assert result.records.shape[0] >= 1
+        assert all(bytes(r[: fmt.key_size]) == key for r in result.records)
+
+    def test_empty_range(self, indexed):
+        _, index, _, fmt = indexed
+        lo = b"\x00" * fmt.key_size
+        result = index.range_scan(lo, lo)
+        # (chance of an all-zero 10-byte key is negligible)
+        assert result.records.shape[0] == 0
+        assert result.elapsed >= 0
+
+    def test_full_range(self, indexed):
+        _, index, expected, fmt = indexed
+        result = index.range_scan(b"\x00" * fmt.key_size, b"\xff" * fmt.key_size)
+        assert np.array_equal(result.records, expected)
+
+    def test_inverted_range_rejected(self, indexed):
+        _, index, _, fmt = indexed
+        with pytest.raises(ConfigError):
+            index.range_scan(b"\xff" * fmt.key_size, b"\x00" * fmt.key_size)
+
+    def test_wrong_key_width_rejected(self, indexed):
+        _, index, _, _ = indexed
+        with pytest.raises(ConfigError):
+            index.range_scan(b"ab", b"cd")

@@ -1,0 +1,153 @@
+"""Property tests: byte-exact key ordering must match Python's bytes order."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RecordFormatError
+from repro.records.format import (
+    RecordFormat,
+    key_columns,
+    key_sort_indices,
+    keys_ascending,
+    leq_mask,
+    min_key,
+    record_sort_indices,
+)
+
+
+def keys_matrix(draw, min_rows=0, max_rows=40, min_width=1, max_width=20):
+    width = draw(st.integers(min_width, max_width))
+    rows = draw(
+        st.lists(
+            st.binary(min_size=width, max_size=width),
+            min_size=min_rows,
+            max_size=max_rows,
+        )
+    )
+    if not rows:
+        return np.zeros((0, width), dtype=np.uint8)
+    return np.frombuffer(b"".join(rows), dtype=np.uint8).reshape(len(rows), width)
+
+
+keys_strategy = st.composite(keys_matrix)
+
+
+class TestKeySort:
+    @settings(max_examples=150, deadline=None)
+    @given(keys=keys_strategy())
+    def test_sort_matches_python_bytes_order(self, keys):
+        order = key_sort_indices(keys)
+        ours = [bytes(keys[i]) for i in order]
+        assert ours == sorted(bytes(row) for row in keys)
+
+    @settings(max_examples=100, deadline=None)
+    @given(keys=keys_strategy(min_rows=1))
+    def test_sort_is_stable(self, keys):
+        # Duplicate every row; stable sort must keep original-first order.
+        doubled = np.concatenate([keys, keys])
+        order = key_sort_indices(doubled)
+        n = keys.shape[0]
+        seen = {}
+        for idx in order:
+            row = bytes(doubled[idx])
+            if row in seen and seen[row] == "second":
+                continue
+            if idx < n:
+                seen[row] = "first"
+            else:
+                assert seen.get(row) == "first", "duplicate emitted out of order"
+                seen[row] = "second"
+
+    def test_keys_with_embedded_nulls(self):
+        keys = np.array(
+            [list(b"a\x00b"), list(b"a\x00a"), list(b"\x00\x00\x00")], dtype=np.uint8
+        )
+        order = key_sort_indices(keys)
+        assert [bytes(keys[i]) for i in order] == [b"\x00\x00\x00", b"a\x00a", b"a\x00b"]
+
+    def test_high_bytes_sort_unsigned(self):
+        keys = np.array([[0xFF], [0x01], [0x80]], dtype=np.uint8)
+        order = key_sort_indices(keys)
+        assert [keys[i, 0] for i in order] == [0x01, 0x80, 0xFF]
+
+    def test_record_sort_uses_leading_key_only(self):
+        records = np.array(
+            [list(b"bXXX"), list(b"aZZZ"), list(b"aAAA")], dtype=np.uint8
+        )
+        order = record_sort_indices(records, key_size=1)
+        assert [bytes(records[i]) for i in order] == [b"aZZZ", b"aAAA", b"bXXX"]
+
+    def test_key_columns_width_padding(self):
+        keys = np.zeros((3, 10), dtype=np.uint8)
+        cols = key_columns(keys)
+        assert len(cols) == 2  # 10 bytes -> 2 u64 columns
+
+
+class TestAscending:
+    @settings(max_examples=100, deadline=None)
+    @given(keys=keys_strategy())
+    def test_matches_python_definition(self, keys):
+        rows = [bytes(r) for r in keys]
+        expected = all(a <= b for a, b in zip(rows, rows[1:]))
+        assert keys_ascending(keys) == expected
+
+    def test_sorted_output_always_ascending(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 256, size=(500, 10), dtype=np.uint8)
+        assert keys_ascending(keys[key_sort_indices(keys)])
+
+    def test_empty_and_single(self):
+        assert keys_ascending(np.zeros((0, 4), dtype=np.uint8))
+        assert keys_ascending(np.zeros((1, 4), dtype=np.uint8))
+
+
+class TestLeqMask:
+    @settings(max_examples=100, deadline=None)
+    @given(keys=keys_strategy(min_rows=1))
+    def test_matches_python_comparison(self, keys):
+        bound = keys[0]
+        mask = leq_mask(keys, bound)
+        expected = [bytes(r) <= bytes(bound) for r in keys]
+        assert mask.tolist() == expected
+
+    def test_width_mismatch_rejected(self):
+        keys = np.zeros((2, 4), dtype=np.uint8)
+        with pytest.raises(RecordFormatError):
+            leq_mask(keys, np.zeros(5, dtype=np.uint8))
+
+
+class TestMinKey:
+    @settings(max_examples=100, deadline=None)
+    @given(keys=keys_strategy(min_rows=1))
+    def test_matches_python_min(self, keys):
+        assert bytes(min_key(keys)) == min(bytes(r) for r in keys)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RecordFormatError):
+            min_key(np.zeros((0, 4), dtype=np.uint8))
+
+
+class TestRecordFormat:
+    def test_defaults_match_sortbenchmark(self):
+        fmt = RecordFormat()
+        assert fmt.record_size == 100
+        assert fmt.index_entry_size == 15
+        assert fmt.max_addressable_records() == 1 << 40
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(RecordFormatError):
+            RecordFormat(key_size=0)
+        with pytest.raises(RecordFormatError):
+            RecordFormat(value_size=-1)
+        with pytest.raises(RecordFormatError):
+            RecordFormat(pointer_size=9)
+
+    def test_file_bytes(self):
+        assert RecordFormat().file_bytes(1000) == 100_000
+
+    def test_describe(self):
+        assert "10B key" in RecordFormat().describe()

@@ -1,0 +1,60 @@
+"""Additional edge cases for key machinery: widths around u64 chunks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.records.format import (
+    key_columns,
+    key_sort_indices,
+    keys_ascending,
+    leq_mask,
+)
+
+
+class TestChunkBoundaries:
+    @pytest.mark.parametrize("width", [1, 7, 8, 9, 15, 16, 17, 24])
+    def test_sort_correct_at_every_chunk_width(self, width):
+        rng = np.random.default_rng(width)
+        keys = rng.integers(0, 256, size=(300, width), dtype=np.uint8)
+        order = key_sort_indices(keys)
+        as_bytes = [bytes(keys[i]) for i in order]
+        assert as_bytes == sorted(bytes(k) for k in keys)
+
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_exact_multiple_widths_have_no_padding_column(self, width):
+        keys = np.zeros((4, width), dtype=np.uint8)
+        assert len(key_columns(keys)) == width // 8
+
+    def test_padding_does_not_affect_order(self):
+        # Keys differing only in the last byte of a non-multiple width:
+        # the zero padding must not mask the difference.
+        keys = np.zeros((2, 9), dtype=np.uint8)
+        keys[0, 8] = 1
+        keys[1, 8] = 2
+        order = key_sort_indices(keys)
+        assert order.tolist() == [0, 1]
+
+    def test_prefix_equal_suffix_decides(self):
+        keys = np.zeros((2, 12), dtype=np.uint8)
+        keys[:, :8] = 0xAB
+        keys[0, 11] = 9
+        keys[1, 11] = 3
+        assert key_sort_indices(keys).tolist() == [1, 0]
+
+
+class TestLeqTransitivity:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        data=st.lists(st.binary(min_size=5, max_size=5), min_size=3, max_size=3)
+    )
+    def test_leq_is_consistent_with_sorting(self, data):
+        keys = np.frombuffer(b"".join(data), dtype=np.uint8).reshape(3, 5)
+        order = key_sort_indices(keys)
+        ordered = keys[order]
+        assert keys_ascending(ordered)
+        # Every row is <= the last row of the sorted order.
+        assert leq_mask(ordered, ordered[-1]).all()

@@ -1,0 +1,77 @@
+"""Tests for the gensort-workalike generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RecordFormatError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset, make_records
+
+
+class TestMakeRecords:
+    def test_shape_and_dtype(self, fmt):
+        records = make_records(100, fmt, seed=1)
+        assert records.shape == (100, 100)
+        assert records.dtype == np.uint8
+
+    def test_deterministic_by_seed(self, fmt):
+        a = make_records(50, fmt, seed=5)
+        b = make_records(50, fmt, seed=5)
+        c = make_records(50, fmt, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_ascii_mode_keys_printable(self, fmt):
+        records = make_records(200, fmt, seed=1, ascii_keys=True)
+        keys = records[:, : fmt.key_size]
+        assert keys.min() >= 32 and keys.max() <= 126
+
+    def test_binary_keys_cover_range(self, fmt):
+        records = make_records(5000, fmt, seed=1)
+        keys = records[:, : fmt.key_size]
+        assert keys.min() < 16 and keys.max() > 239
+
+    def test_record_ids_embedded_in_values(self, fmt):
+        records = make_records(300, fmt, seed=1)
+        values = records[:, fmt.key_size :]
+        ids = values[:, :8].copy().view("<u8").reshape(-1)
+        assert ids.tolist() == list(range(300))
+
+    def test_values_unique_per_record(self, fmt):
+        records = make_records(100, fmt, seed=1)
+        values = {bytes(v) for v in records[:, fmt.key_size :]}
+        assert len(values) == 100
+
+    def test_zero_records(self, fmt):
+        assert make_records(0, fmt).shape == (0, 100)
+
+    def test_negative_rejected(self, fmt):
+        with pytest.raises(RecordFormatError):
+            make_records(-1, fmt)
+
+    def test_tiny_value_size(self):
+        fmt = RecordFormat(key_size=4, value_size=2)
+        records = make_records(10, fmt, seed=1)
+        assert records.shape == (10, 6)
+
+    def test_zero_value_size(self):
+        fmt = RecordFormat(key_size=8, value_size=0)
+        records = make_records(10, fmt, seed=1)
+        assert records.shape == (10, 8)
+
+
+class TestGenerateDataset:
+    def test_file_holds_all_records(self, pmem, fmt):
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", 100, fmt, seed=3)
+        assert f.size == 100 * fmt.record_size
+        data = f.peek().reshape(-1, fmt.record_size)
+        assert np.array_equal(data, make_records(100, fmt, seed=3))
+
+    def test_generation_is_untimed(self, pmem, fmt):
+        machine = Machine(profile=pmem)
+        generate_dataset(machine, "input", 100, fmt)
+        assert machine.now == 0.0

@@ -1,0 +1,101 @@
+"""Property and unit tests for the KLV variable-length encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RecordFormatError
+from repro.machine import Machine
+from repro.records.klv import KLVFormat, decode_klv, encode_klv, generate_klv_dataset
+
+
+@st.composite
+def klv_payload(draw, key_size=6, max_records=20, max_value=50):
+    n = draw(st.integers(0, max_records))
+    keys = [draw(st.binary(min_size=key_size, max_size=key_size)) for _ in range(n)]
+    values = [draw(st.binary(min_size=0, max_size=max_value)) for _ in range(n)]
+    return keys, values
+
+
+class TestRoundtrip:
+    @settings(max_examples=80, deadline=None)
+    @given(payload=klv_payload())
+    def test_encode_decode_roundtrip(self, payload):
+        keys, values = payload
+        fmt = KLVFormat(key_size=6, len_size=2)
+        key_matrix = (
+            np.frombuffer(b"".join(keys), dtype=np.uint8).reshape(len(keys), 6)
+            if keys
+            else np.zeros((0, 6), dtype=np.uint8)
+        )
+        value_arrays = [np.frombuffer(v, dtype=np.uint8) for v in values]
+        stream = encode_klv(key_matrix, value_arrays, fmt)
+        decoded = decode_klv(stream, fmt)
+        assert decoded == list(zip(keys, values))
+
+    def test_empty_stream(self):
+        fmt = KLVFormat()
+        assert decode_klv(np.zeros(0, dtype=np.uint8), fmt) == []
+
+    def test_zero_length_values_allowed(self):
+        fmt = KLVFormat(key_size=2, len_size=1)
+        keys = np.array([[1, 2]], dtype=np.uint8)
+        stream = encode_klv(keys, [np.zeros(0, dtype=np.uint8)], fmt)
+        assert decode_klv(stream, fmt) == [(b"\x01\x02", b"")]
+
+
+class TestErrors:
+    def test_value_exceeding_len_field_rejected(self):
+        fmt = KLVFormat(key_size=2, len_size=1)  # max value 255
+        keys = np.array([[0, 0]], dtype=np.uint8)
+        with pytest.raises(RecordFormatError):
+            encode_klv(keys, [np.zeros(300, dtype=np.uint8)], fmt)
+
+    def test_truncated_header_rejected(self):
+        fmt = KLVFormat(key_size=4, len_size=2)
+        with pytest.raises(RecordFormatError):
+            decode_klv(np.zeros(3, dtype=np.uint8), fmt)
+
+    def test_truncated_value_rejected(self):
+        fmt = KLVFormat(key_size=2, len_size=1)
+        stream = np.array([0, 0, 10, 1, 2], dtype=np.uint8)  # claims 10B value
+        with pytest.raises(RecordFormatError):
+            decode_klv(stream, fmt)
+
+    def test_count_mismatch_rejected(self):
+        fmt = KLVFormat(key_size=2, len_size=1)
+        keys = np.zeros((2, 2), dtype=np.uint8)
+        with pytest.raises(RecordFormatError):
+            encode_klv(keys, [np.zeros(1, dtype=np.uint8)], fmt)
+
+    def test_invalid_format_rejected(self):
+        with pytest.raises(RecordFormatError):
+            KLVFormat(key_size=0)
+        with pytest.raises(RecordFormatError):
+            KLVFormat(len_size=9)
+
+
+class TestGenerateKlv:
+    def test_dataset_parses_and_respects_bounds(self, pmem):
+        machine = Machine(profile=pmem)
+        fmt = KLVFormat()
+        f = generate_klv_dataset(
+            machine, "klv", 100, fmt, min_value=5, max_value=30, seed=2
+        )
+        pairs = decode_klv(f.peek(), fmt)
+        assert len(pairs) == 100
+        assert all(5 <= len(v) <= 30 for _, v in pairs)
+
+    def test_header_and_entry_sizes(self):
+        fmt = KLVFormat(key_size=10, len_size=4, pointer_size=5)
+        assert fmt.header_size == 14
+        assert fmt.index_entry_size == 19
+        assert fmt.max_value_size() == (1 << 32) - 1
+
+    def test_invalid_bounds_rejected(self, pmem):
+        machine = Machine(profile=pmem)
+        with pytest.raises(RecordFormatError):
+            generate_klv_dataset(machine, "bad", 10, min_value=10, max_value=5)

@@ -1,0 +1,121 @@
+"""Tests for the valsort-workalike validator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine import Machine
+from repro.records.format import RecordFormat, record_sort_indices
+from repro.records.gensort import make_records
+from repro.records.klv import KLVFormat, decode_klv, encode_klv
+from repro.records.validate import (
+    validate_sorted_file,
+    validate_sorted_klv,
+    validate_sorted_records,
+)
+
+
+@pytest.fixture
+def sorted_pair(fmt):
+    records = make_records(200, fmt, seed=9)
+    output = records[record_sort_indices(records, fmt.key_size)]
+    return records, output
+
+
+class TestFixedRecords:
+    def test_accepts_valid_output(self, fmt, sorted_pair):
+        records, output = sorted_pair
+        validate_sorted_records(records, output, fmt.key_size)
+
+    def test_rejects_unsorted_output(self, fmt, sorted_pair):
+        records, output = sorted_pair
+        swapped = output.copy()
+        swapped[[0, -1]] = swapped[[-1, 0]]
+        with pytest.raises(ValidationError, match="ascending"):
+            validate_sorted_records(records, swapped, fmt.key_size)
+
+    def test_rejects_mutated_value(self, fmt, sorted_pair):
+        records, output = sorted_pair
+        corrupted = output.copy()
+        corrupted[10, fmt.key_size + 3] ^= 0xFF
+        with pytest.raises(ValidationError, match="permutation"):
+            validate_sorted_records(records, corrupted, fmt.key_size)
+
+    def test_rejects_duplicated_record(self, fmt, sorted_pair):
+        records, output = sorted_pair
+        duped = output.copy()
+        duped[5] = duped[6]
+        with pytest.raises(ValidationError, match="permutation"):
+            validate_sorted_records(records, duped, fmt.key_size)
+
+    def test_rejects_count_mismatch(self, fmt, sorted_pair):
+        records, output = sorted_pair
+        with pytest.raises(ValidationError, match="counts differ"):
+            validate_sorted_records(records, output[:-1], fmt.key_size)
+
+    def test_file_level_validation(self, pmem, fmt, sorted_pair):
+        records, output = sorted_pair
+        machine = Machine(profile=pmem)
+        fin = machine.fs.create("in")
+        fout = machine.fs.create("out")
+        fin.poke(0, records.reshape(-1))
+        fout.poke(0, output.reshape(-1))
+        assert validate_sorted_file(fin, fout, fmt) == 200
+
+    def test_file_size_not_multiple_rejected(self, pmem, fmt):
+        machine = Machine(profile=pmem)
+        fin = machine.fs.create("in")
+        fout = machine.fs.create("out")
+        fin.poke(0, np.zeros(150, dtype=np.uint8))
+        fout.poke(0, np.zeros(150, dtype=np.uint8))
+        with pytest.raises(ValidationError, match="multiple"):
+            validate_sorted_file(fin, fout, fmt)
+
+    def test_duplicate_keys_in_any_relative_order_accepted(self, fmt):
+        records = make_records(50, fmt, seed=1)
+        records[:, : fmt.key_size] = 7  # all keys identical
+        # any permutation is a valid sort
+        rng = np.random.default_rng(0)
+        output = records[rng.permutation(50)]
+        validate_sorted_records(records, output, fmt.key_size)
+
+
+class TestKlvValidation:
+    def _files(self, pmem, fmt, pairs_in, pairs_out):
+        machine = Machine(profile=pmem)
+        fin = machine.fs.create("in")
+        fout = machine.fs.create("out")
+        for f, pairs in ((fin, pairs_in), (fout, pairs_out)):
+            keys = (
+                np.frombuffer(
+                    b"".join(k for k, _ in pairs), dtype=np.uint8
+                ).reshape(len(pairs), fmt.key_size)
+                if pairs
+                else np.zeros((0, fmt.key_size), dtype=np.uint8)
+            )
+            values = [np.frombuffer(v, dtype=np.uint8) for _, v in pairs]
+            f.poke(0, encode_klv(keys, values, fmt))
+        return fin, fout
+
+    def test_accepts_valid_klv(self, pmem):
+        fmt = KLVFormat(key_size=2, len_size=1)
+        pairs = [(b"bb", b"22"), (b"aa", b"1")]
+        fin, fout = self._files(pmem, fmt, pairs, sorted(pairs))
+        assert validate_sorted_klv(fin, fout, fmt) == 2
+
+    def test_rejects_unsorted_klv(self, pmem):
+        fmt = KLVFormat(key_size=2, len_size=1)
+        pairs = [(b"aa", b"1"), (b"bb", b"2")]
+        fin, fout = self._files(pmem, fmt, pairs, list(reversed(pairs)))
+        with pytest.raises(ValidationError, match="ascending"):
+            validate_sorted_klv(fin, fout, fmt)
+
+    def test_rejects_value_swap(self, pmem):
+        fmt = KLVFormat(key_size=2, len_size=1)
+        pairs_in = [(b"aa", b"1"), (b"bb", b"2")]
+        pairs_out = [(b"aa", b"2"), (b"bb", b"1")]
+        fin, fout = self._files(pmem, fmt, pairs_in, pairs_out)
+        with pytest.raises(ValidationError, match="permutation"):
+            validate_sorted_klv(fin, fout, fmt)

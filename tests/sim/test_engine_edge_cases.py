@@ -1,0 +1,125 @@
+"""Edge-case tests for the event engine: ties, ordering, reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine, Join, Now, Sleep, Spawn
+from repro.sim.fluid import FluidOp, UniformRateModel
+
+
+def make_engine(rate: float = 1.0) -> Engine:
+    return Engine(UniformRateModel(rate))
+
+
+class TestTimingTies:
+    def test_simultaneous_fluid_and_heap_events(self):
+        # A sleep and an op that end at exactly the same instant must
+        # both fire, in one pass, without losing either.
+        engine = make_engine(rate=1.0)
+        log = []
+
+        def sleeper():
+            yield Sleep(2.0)
+            log.append(("sleep", engine.now))
+
+        def worker():
+            yield FluidOp(2.0, kind="cpu")
+            log.append(("op", engine.now))
+
+        engine.spawn(sleeper())
+        engine.spawn(worker())
+        engine.run()
+        assert sorted(log) == [("op", 2.0), ("sleep", 2.0)]
+
+    def test_zero_duration_chain(self):
+        engine = make_engine()
+
+        def proc():
+            for _ in range(100):
+                yield FluidOp(0.0, kind="cpu")
+            return (yield Now())
+
+        assert engine.run_process(proc()) == 0.0
+
+    def test_many_ops_same_completion_time(self):
+        engine = make_engine(rate=1.0)
+        done = []
+
+        def worker(i):
+            yield FluidOp(1.0, kind="cpu")
+            done.append(i)
+
+        for i in range(20):
+            engine.spawn(worker(i))
+        engine.run()
+        assert sorted(done) == list(range(20))
+        assert engine.now == pytest.approx(1.0)
+
+
+class TestProcessLifecycle:
+    def test_nested_spawns(self):
+        engine = make_engine()
+
+        def grandchild():
+            yield Sleep(1.0)
+            return "gc"
+
+        def child():
+            proc = yield Spawn(grandchild())
+            result = yield Join(proc)
+            return f"child({result})"
+
+        def root():
+            proc = yield Spawn(child())
+            return (yield Join(proc))
+
+        assert engine.run_process(root()) == "child(gc)"
+
+    def test_multiple_joiners_on_one_process(self):
+        engine = make_engine()
+        results = []
+
+        def target():
+            yield Sleep(1.0)
+            return 7
+
+        def waiter(proc):
+            value = yield Join(proc)
+            results.append(value)
+
+        def root():
+            target_proc = yield Spawn(target())
+            waiters = []
+            for _ in range(3):
+                waiters.append((yield Spawn(waiter(target_proc))))
+            yield Join(waiters)
+
+        engine.run_process(root())
+        assert results == [7, 7, 7]
+
+    def test_engine_reusable_after_run(self):
+        engine = make_engine()
+
+        def proc():
+            yield Sleep(1.0)
+            return "a"
+
+        assert engine.run_process(proc()) == "a"
+
+        def proc2():
+            yield Sleep(1.0)
+            return "b"
+
+        assert engine.run_process(proc2()) == "b"
+        assert engine.now == pytest.approx(2.0)
+
+    def test_immediate_return_process(self):
+        engine = make_engine()
+
+        def proc():
+            return "instant"
+            yield  # pragma: no cover
+
+        assert engine.run_process(proc()) == "instant"
+        assert engine.now == 0.0

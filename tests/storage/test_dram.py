@@ -1,0 +1,67 @@
+"""Tests for DRAM budget accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DramBudgetError
+from repro.storage.dram import DramTracker
+
+
+class TestUnbounded:
+    def test_no_budget_allows_anything(self):
+        dram = DramTracker()
+        dram.allocate(1 << 50)
+        assert dram.available is None
+        assert dram.would_fit(1 << 50)
+
+
+class TestBudgeted:
+    def test_allocate_and_free(self):
+        dram = DramTracker(budget=100)
+        dram.allocate(60)
+        assert dram.available == 40
+        dram.free(60)
+        assert dram.available == 100
+
+    def test_peak_tracked(self):
+        dram = DramTracker(budget=100)
+        dram.allocate(70)
+        dram.free(50)
+        dram.allocate(10)
+        assert dram.peak == 70
+
+    def test_over_allocation_rejected(self):
+        dram = DramTracker(budget=100)
+        dram.allocate(90)
+        with pytest.raises(DramBudgetError):
+            dram.allocate(20)
+
+    def test_would_fit(self):
+        dram = DramTracker(budget=100)
+        dram.allocate(50)
+        assert dram.would_fit(50)
+        assert not dram.would_fit(51)
+
+    def test_free_more_than_used_rejected(self):
+        dram = DramTracker(budget=100)
+        dram.allocate(10)
+        with pytest.raises(DramBudgetError):
+            dram.free(20)
+
+    def test_negative_allocation_rejected(self):
+        dram = DramTracker(budget=100)
+        with pytest.raises(DramBudgetError):
+            dram.allocate(-1)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(DramBudgetError):
+            DramTracker(budget=0)
+
+    def test_reserve_frees_on_exception(self):
+        dram = DramTracker(budget=100)
+        with pytest.raises(RuntimeError):
+            with dram.reserve(80):
+                assert dram.used == 80
+                raise RuntimeError("boom")
+        assert dram.used == 0

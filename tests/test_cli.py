@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, SYSTEMS, build_parser, main
+
+
+class TestParser:
+    def test_sort_defaults(self):
+        args = build_parser().parse_args(["sort"])
+        assert args.system == "wiscsort"
+        assert args.device == "pmem"
+        assert args.records == 100_000
+
+    def test_bench_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sort", "--system", "bogosort"])
+
+    def test_every_system_has_a_constructor(self):
+        assert set(SYSTEMS) >= {
+            "wiscsort", "ems", "pmsort", "pmsort+", "sample-sort",
+            "modified-key-sort",
+        }
+
+    def test_every_figure_has_an_experiment(self):
+        for fig in ("fig01", "fig04", "fig05", "fig06", "fig07",
+                    "fig08", "fig09", "fig10", "fig11", "tab01"):
+            assert fig in EXPERIMENTS
+
+
+class TestCommands:
+    def test_sort_command_runs(self, capsys):
+        rc = main(["sort", "--records", "2000", "--system", "wiscsort"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "validated" in out
+        assert "RUN read" in out
+
+    def test_sort_with_timeline(self, capsys):
+        rc = main(["sort", "--records", "2000", "--timeline", "--no-validate"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resource usage" in out
+
+    def test_sort_on_emulated_device(self, capsys):
+        rc = main([
+            "sort", "--records", "1000", "--device", "brd-device",
+            "--system", "ems",
+        ])
+        assert rc == 0
+        assert "brd-device" in capsys.readouterr().out
+
+    def test_sort_with_dram_budget_forces_merge(self, capsys):
+        rc = main([
+            "sort", "--records", "5000", "--dram-budget", "30000",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MERGE write" in out  # MergePass phases present
+
+    def test_calibrate_command(self, capsys):
+        rc = main(["calibrate", "--device", "pmem"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "seq-read" in out and "pool=" in out
+
+    def test_bench_command_smoke(self, capsys):
+        rc = main(["bench", "fig09", "--scale", "20000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "strided" in out
+
+    def test_bench_tab01(self, capsys):
+        rc = main(["bench", "tab01"])
+        assert rc == 0
+        assert "wiscsort" in capsys.readouterr().out
+
+    def test_profiles_command(self, capsys):
+        rc = main(["profiles"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("pmem", "dram", "bd-device", "brd-device", "bard-device"):
+            assert name in out

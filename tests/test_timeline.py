@@ -1,0 +1,61 @@
+"""Tests for the textual resource-usage timeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.profile import Pattern
+from repro.machine import Machine
+from repro.metrics.timeline import render_timeline, sparkline
+
+
+class TestSparkline:
+    def test_levels_map_to_glyph_heights(self):
+        line = sparkline([0.0, 0.5, 1.0], peak=1.0)
+        assert len(line) == 3
+        assert line[0] == " "
+        assert line[2] == "█"
+        assert line[0] < line[1] < line[2]
+
+    def test_values_above_peak_clamp(self):
+        assert sparkline([5.0], peak=1.0) == "█"
+
+    def test_zero_peak_renders_blank(self):
+        assert sparkline([1.0, 2.0], peak=0.0) == "  "
+
+
+class TestRenderTimeline:
+    def test_empty_machine(self, pmem):
+        machine = Machine(profile=pmem)
+        assert "no activity" in render_timeline(machine)
+
+    def test_read_then_write_shapes(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 24, tag="r", threads=16)
+            yield machine.io("write", Pattern.SEQ, 1 << 24, tag="w", threads=5)
+
+        machine.run(job())
+        text = render_timeline(machine, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        read_row = lines[1].split("|")[1]
+        write_row = lines[2].split("|")[1]
+        # Reads happen first, writes after: the full blocks do not overlap.
+        assert read_row.strip()
+        assert write_row.strip()
+        first_write = len(write_row) - len(write_row.lstrip())
+        last_read = len(read_row.rstrip())
+        assert first_write >= last_read - 1
+
+    def test_mentions_peaks(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 24, tag="r", threads=16)
+
+        machine.run(job())
+        text = render_timeline(machine)
+        assert "22.2 GB/s" in text
+        assert "cpu cores" in text

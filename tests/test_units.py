@@ -1,0 +1,48 @@
+"""Tests for unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import (
+    ceil_div,
+    fmt_bandwidth,
+    fmt_bytes,
+    fmt_seconds,
+    round_up,
+)
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512B"
+        assert fmt_bytes(1536) == "1.50KiB"
+        assert fmt_bytes(10 * 1024 * 1024) == "10.00MiB"
+        assert fmt_bytes(3 * 1024**3) == "3.00GiB"
+
+    def test_fmt_seconds_scales(self):
+        assert fmt_seconds(2.5) == "2.500s"
+        assert fmt_seconds(0.0025) == "2.500ms"
+        assert fmt_seconds(2.5e-6) == "2.500us"
+        assert fmt_seconds(2.5e-9) == "2.5ns"
+
+    def test_fmt_bandwidth(self):
+        assert fmt_bandwidth(22.2e9) == "22.20GB/s"
+
+
+class TestMath:
+    @pytest.mark.parametrize(
+        "num, den, expected",
+        [(10, 3, 4), (9, 3, 3), (1, 3, 1), (0, 3, 0), (100, 1, 100)],
+    )
+    def test_ceil_div(self, num, den, expected):
+        assert ceil_div(num, den) == expected
+
+    def test_ceil_div_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_round_up(self):
+        assert round_up(100, 256) == 256
+        assert round_up(256, 256) == 256
+        assert round_up(257, 256) == 512

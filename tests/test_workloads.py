@@ -1,0 +1,73 @@
+"""Tests for background clients and dataset sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.wiscsort import WiscSort
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.workloads.background import BackgroundClients
+from repro.workloads.datasets import sortbenchmark_records_for_gb
+
+
+class TestBackgroundClients:
+    def _sort_with_bg(self, pmem, kind, clients, n=20_000):
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", n, fmt, seed=1)
+        if clients:
+            BackgroundClients(machine, clients, kind).start()
+        return WiscSort(fmt).run(machine, f, validate=False).total_time
+
+    def test_writers_slow_down_sorting(self, pmem):
+        base = self._sort_with_bg(pmem, "write", 0)
+        loaded = self._sort_with_bg(pmem, "write", 8)
+        assert loaded > 1.5 * base
+
+    def test_readers_slow_down_less_than_writers(self, pmem):
+        base = self._sort_with_bg(pmem, "read", 0)
+        readers = self._sort_with_bg(pmem, "read", 4)
+        writers = self._sort_with_bg(pmem, "write", 4)
+        assert base < readers < writers
+
+    def test_slowdown_monotone_in_client_count(self, pmem):
+        times = [self._sort_with_bg(pmem, "write", c) for c in (0, 2, 8)]
+        assert times[0] < times[1] < times[2]
+
+    def test_clock_stops_with_foreground(self, pmem):
+        fmt = RecordFormat()
+        machine = Machine(profile=pmem)
+        f = generate_dataset(machine, "input", 5_000, fmt, seed=1)
+        BackgroundClients(machine, 2, "read").start()
+        result = WiscSort(fmt).run(machine, f, validate=False)
+        # The clock reads the sort's completion time, not the clients'.
+        assert machine.now == pytest.approx(result.total_time)
+
+    def test_invalid_kind_rejected(self, pmem):
+        machine = Machine(profile=pmem)
+        with pytest.raises(ConfigError):
+            BackgroundClients(machine, 1, "scribble")
+
+    def test_zero_clients_is_noop(self, pmem):
+        machine = Machine(profile=pmem)
+        clients = BackgroundClients(machine, 0, "read")
+        clients.start()
+        assert machine.now == 0.0
+
+
+class TestDatasetSizing:
+    def test_default_scale(self):
+        assert sortbenchmark_records_for_gb(40) == 400_000
+        assert sortbenchmark_records_for_gb(200) == 2_000_000
+
+    def test_custom_scale(self):
+        assert sortbenchmark_records_for_gb(10, scale=10_000) == 10_000
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            sortbenchmark_records_for_gb(0)
+        with pytest.raises(ConfigError):
+            sortbenchmark_records_for_gb(10, scale=0)
