@@ -38,6 +38,7 @@ from repro.device.host import HostModel
 from repro.device.profiles import PROFILE_FACTORIES
 from repro.machine import Machine
 from repro.metrics.timeline import render_timeline
+from repro.perf import SelfPerfProfiler, render_report
 from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
 from repro.units import fmt_bytes, fmt_seconds
@@ -103,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--no-validate", action="store_true")
     p_sort.add_argument("--timeline", action="store_true",
                         help="print the resource-usage sparkline plot")
+    p_sort.add_argument("--selfperf", action="store_true",
+                        help="print simulator self-performance counters "
+                             "(wall-clock phases, event counts, cache hit rates)")
+    p_sort.add_argument("--no-memoize", action="store_true",
+                        help="debug: disable the rate-model memo cache "
+                             "(results must be identical either way)")
 
     p_cal = sub.add_parser("calibrate", help="probe a device profile")
     p_cal.add_argument(
@@ -120,12 +127,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_sort(args: argparse.Namespace) -> int:
     profile = PROFILE_FACTORIES[args.device]()
-    machine = Machine(profile=profile, dram_budget=args.dram_budget)
+    machine = Machine(
+        profile=profile,
+        dram_budget=args.dram_budget,
+        memoize_rates=not args.no_memoize,
+    )
     fmt = RecordFormat(key_size=args.key_size, value_size=args.value_size)
-    data = generate_dataset(machine, "input", args.records, fmt, seed=args.seed)
+    prof = SelfPerfProfiler()
+    with prof.phase("generate"):
+        data = generate_dataset(
+            machine, "input", args.records, fmt, seed=args.seed
+        )
     config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
     system = SYSTEMS[args.system](fmt, config)
-    result = system.run(machine, data, validate=not args.no_validate)
+    with prof.phase("sort"):
+        result = system.run(machine, data, validate=not args.no_validate)
     print(f"device : {profile.describe()}")
     print(f"input  : {args.records} records x {fmt.record_size}B "
           f"({fmt_bytes(data.size)})")
@@ -140,6 +156,9 @@ def cmd_sort(args: argparse.Namespace) -> int:
     if args.timeline:
         print()
         print(render_timeline(machine))
+    if args.selfperf:
+        print()
+        print(render_report(machine, prof))
     return 0
 
 

@@ -21,7 +21,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.records.format import key_sort_indices, leq_mask, min_key
+from repro.records.format import key_columns as _key_columns
+from repro.records.format import key_sort_indices, key_words
 from repro.storage.file import SimFile
 from repro.units import ceil_div
 
@@ -36,6 +37,13 @@ class RunCursor:
                 data = yield cursor.refill_op(tag, threads)
                 cursor.accept(data)
             ...
+
+    Hot-path note: installing a window (via :meth:`accept` or assigning
+    ``cursor.window``) precomputes the window's big-endian uint64 key
+    columns and its last key as Python ``bytes``.  ``count_leq`` then
+    runs two-level binary search over the cached columns (the window is
+    sorted) instead of re-deriving columns and scanning a boolean mask
+    per call, and ``take`` advances an offset rather than reslicing.
     """
 
     def __init__(
@@ -57,16 +65,48 @@ class RunCursor:
 
     # ------------------------------------------------------------------
     @property
+    def window(self) -> np.ndarray:
+        """Entries not yet taken from the current window (a view)."""
+        if self._start:
+            return self._window[self._start :]
+        return self._window
+
+    @window.setter
+    def window(self, data: np.ndarray) -> None:
+        self._window = data
+        self._start = 0
+        self._n = data.shape[0]
+        if self._n:
+            keys = data[:, : self.key_size]
+            # Native-endian copies of the big-endian comparison columns:
+            # identical numeric values, faster searchsorted.
+            self._cols = [
+                np.ascontiguousarray(c, dtype=np.uint64)
+                for c in _key_columns(keys)
+            ]
+            self._first_bytes = keys[0].tobytes()
+            self._last_bytes = keys[-1].tobytes()
+        else:
+            self._cols = []
+            self._first_bytes = None
+            self._last_bytes = None
+
+    @property
+    def remaining(self) -> int:
+        """Entries left in the current window."""
+        return self._n - self._start
+
+    @property
     def file_exhausted(self) -> bool:
         return self.pos >= self.file.size
 
     @property
     def done(self) -> bool:
-        return self.file_exhausted and self.window.shape[0] == 0
+        return self.file_exhausted and self._n - self._start == 0
 
     @property
     def needs_refill(self) -> bool:
-        return self.window.shape[0] == 0 and not self.file_exhausted
+        return self._n - self._start == 0 and not self.file_exhausted
 
     def grow_window(self, extra_bytes: int) -> None:
         """Absorb buffer space released by a drained neighbour (Sec 3.7)."""
@@ -94,14 +134,87 @@ class RunCursor:
 
     def count_leq(self, bound: np.ndarray) -> int:
         """How many windowed entries have key <= bound (window is sorted)."""
-        if self.window.shape[0] == 0:
+        return self._count_leq_words(key_words(bound))
+
+    def _count_leq_words(self, bound_words: Tuple[int, ...]) -> int:
+        """count_leq with the bound pre-split into uint64 words.
+
+        Narrows the candidate band column by column: rows strictly below
+        the bound word are counted; rows equal to it stay undecided and
+        pass to the next column.  Exact unsigned-lexicographic count,
+        O(cols * log n).
+        """
+        lo, hi = self._start, self._n
+        if lo >= hi:
             return 0
-        return int(leq_mask(self.window[:, : self.key_size], bound).sum())
+        less = 0
+        for col, b in zip(self._cols, bound_words):
+            seg = col[lo:hi]
+            l = int(seg.searchsorted(b, side="left"))
+            r = int(seg.searchsorted(b, side="right"))
+            less += l
+            lo, hi = lo + l, lo + r
+            if lo == hi:
+                break
+        return less + (hi - lo)
 
     def take(self, count: int) -> np.ndarray:
-        taken = self.window[:count]
-        self.window = self.window[count:]
-        return taken
+        start = self._start
+        end = start + count
+        self._start = end
+        if end < self._n:
+            self._first_bytes = self._window[end, : self.key_size].tobytes()
+        return self._window[start:end]
+
+
+def _frontier_step(
+    live: List[RunCursor], exhausted_flags: Optional[dict] = None
+) -> Tuple[np.ndarray, int, List[RunCursor]]:
+    """Emit one batch of globally-safe entries from non-empty cursors.
+
+    Precondition: every cursor in ``live`` has a non-empty window.
+    Returns ``(entries, ways, emptied)`` -- the key-sorted emitted rows,
+    the number of participating runs, and the cursors whose window the
+    step drained (they need a refill, or are done if their file is
+    exhausted).  ``exhausted_flags`` optionally maps cursors to a cached
+    ``file_exhausted`` value so the property need not be re-evaluated
+    every step.
+    """
+    if exhausted_flags is None:
+        bounds = [c._last_bytes for c in live if not c.file_exhausted]
+    else:
+        bounds = [c._last_bytes for c in live if not exhausted_flags[c]]
+    pieces = []
+    emptied: List[RunCursor] = []
+    if bounds:
+        # Python bytes comparison is unsigned lexicographic, identical
+        # to min_key over the stacked key rows (all bounds equal-width).
+        threshold_bytes = min(bounds)
+        threshold = key_words(threshold_bytes)
+        for cursor in live:
+            # A cursor contributes iff its window head is <= the
+            # threshold; the bytes compare skips the binary search for
+            # the (typical) majority of cursors that contribute nothing.
+            if cursor._first_bytes > threshold_bytes:
+                continue
+            count = cursor._count_leq_words(threshold)
+            if count:
+                pieces.append(cursor.take(count))
+                if cursor._start == cursor._n:
+                    emptied.append(cursor)
+    else:
+        # Every file fully windowed: drain everything.
+        for cursor in live:
+            pieces.append(cursor.take(cursor.remaining))
+            emptied.append(cursor)
+    if not pieces:
+        # Impossible: the cursor that defines the threshold always has
+        # its whole window <= threshold.
+        raise SimulationError("merge_step emitted nothing")
+    merged = np.concatenate(pieces, axis=0)
+    key_size = live[0].key_size
+    order = key_sort_indices(merged[:, :key_size])
+    return merged[order], len(live), emptied
 
 
 def merge_step(cursors: List[RunCursor]) -> Tuple[np.ndarray, int]:
@@ -111,31 +224,86 @@ def merge_step(cursors: List[RunCursor]) -> Tuple[np.ndarray, int]:
     Returns ``(entries, ways)`` where ``entries`` is a key-sorted matrix
     of emitted rows and ``ways`` the number of runs still participating
     (for merge-cost accounting).  Raises if nothing can be emitted
-    (which the protocol makes impossible -- see below).
+    (which the protocol makes impossible).
     """
-    live = [c for c in cursors if c.window.shape[0]]
+    live = [c for c in cursors if c.remaining]
     if not live:
         return np.zeros((0, cursors[0].entry_size if cursors else 0), dtype=np.uint8), 0
-    bounds = [c.last_key() for c in live if not c.file_exhausted]
-    pieces = []
-    if bounds:
-        threshold = min_key(np.stack(bounds))
-        for cursor in live:
-            count = cursor.count_leq(threshold)
-            if count:
-                pieces.append(cursor.take(count))
-    else:
-        # Every file fully windowed: drain everything.
-        for cursor in live:
-            pieces.append(cursor.take(cursor.window.shape[0]))
-    if not pieces:
-        # Impossible: the cursor that defines the threshold always has
-        # its whole window <= threshold.
-        raise SimulationError("merge_step emitted nothing")
-    merged = np.concatenate(pieces, axis=0)
-    key_size = live[0].key_size
-    order = key_sort_indices(merged[:, :key_size])
-    return merged[order], len(live)
+    emitted, ways, _emptied = _frontier_step(live)
+    return emitted, ways
+
+
+class MergeFrontier:
+    """Incremental cursor bookkeeping for a k-way merge loop.
+
+    The naive loop re-derives everything from the full cursor list every
+    step -- ``any(not c.done)``, ``[c for c in cursors if
+    c.needs_refill]``, the live filter inside :func:`merge_step` and two
+    more filters inside :func:`redistribute_on_drain` -- which is O(k)
+    property evaluations per emitted batch and dominates wide merges.
+    The frontier tracks the same state transitions incrementally: a
+    cursor only changes state when a step empties its window, so refill
+    and drain sets fall out of :func:`_frontier_step` for free, and
+    ``file_exhausted`` is evaluated once per refill instead of once per
+    step.  Buffer-share redistribution on drain is applied identically
+    to :func:`redistribute_on_drain`.
+    """
+
+    def __init__(self, cursors: List[RunCursor]):
+        self.cursors = list(cursors)
+        self.live = [c for c in self.cursors if not c.done]
+        self.to_refill = [c for c in self.live if c.needs_refill]
+        self._exhausted = {c: c.file_exhausted for c in self.live}
+        # Cursors already done before the merge starts (empty run files)
+        # still hold a buffer share; the reference loop hands it to the
+        # survivors on its first redistribute call, i.e. after the first
+        # step -- not before the first refill.
+        self._initial_drained = [
+            c for c in self.cursors if c.done and c.window_entries > 0
+        ]
+
+    @property
+    def done(self) -> bool:
+        return not self.live
+
+    def take_refills(self) -> List[RunCursor]:
+        """Cursors whose window must be refilled before the next step."""
+        refills, self.to_refill = self.to_refill, []
+        return refills
+
+    def note_refilled(self, cursors: List[RunCursor]) -> None:
+        """Refresh cached exhaustion state after ``accept`` calls."""
+        exhausted = self._exhausted
+        for c in cursors:
+            exhausted[c] = c.file_exhausted
+
+    def step(self) -> Tuple[np.ndarray, int]:
+        """One merge step; updates refill/drain bookkeeping."""
+        emitted, ways, emptied = _frontier_step(self.live, self._exhausted)
+        newly_drained: List[RunCursor] = []
+        for c in emptied:
+            if self._exhausted[c]:
+                newly_drained.append(c)
+            else:
+                self.to_refill.append(c)
+        drained = self._initial_drained + newly_drained
+        if newly_drained:
+            dset = set(newly_drained)
+            self.live = [c for c in self.live if c not in dset]
+            for c in newly_drained:
+                del self._exhausted[c]
+        if drained:
+            if self.live:
+                self._initial_drained = []
+                # Same arithmetic as redistribute_on_drain: the freshly
+                # drained cursors' buffer share moves to the survivors.
+                freed_entries = sum(c.window_entries for c in drained)
+                for c in drained:
+                    c.window_entries = 0
+                share = ceil_div(freed_entries, len(self.live))
+                for c in self.live:
+                    c.window_entries += share
+        return emitted, ways
 
 
 def redistribute_on_drain(cursors: List[RunCursor]) -> None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
 from repro.core.base import ConcurrencyModel
-from repro.sim.engine import Join, Spawn
+from repro.sim.engine import Join, ParallelOps, Spawn
 from repro.sim.fluid import FluidOp
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,14 +35,17 @@ def _op_runner(op: FluidOp):
 
 
 def run_ops_parallel(machine: "Machine", ops: List[FluidOp]):
-    """Issue several ops concurrently and wait for all (yield from)."""
+    """Issue several ops concurrently and wait for all (yield from).
+
+    All ops enter the device at the same simulated instant and the
+    caller resumes when the last one finishes -- one ``ParallelOps``
+    engine command instead of a spawn/join pair per op.  When the
+    machine's engine has ``batch_ops`` enabled, homogeneous ops in the
+    batch are further aggregated into a single carrier op.
+    """
     if not ops:
         return []
-    procs = []
-    for op in ops:
-        proc = yield Spawn(_op_runner(op), name=f"op:{op.tag}")
-        procs.append(proc)
-    results = yield Join(procs)
+    results = yield ParallelOps(ops)
     return results
 
 

@@ -30,6 +30,7 @@ from repro.core.base import ConcurrencyModel, SortConfig, SortSystem
 from repro.core.controller import ThreadPoolController
 from repro.core.indexmap import IndexMap
 from repro.core.kway import (
+    MergeFrontier,
     RunCursor,
     merge_step,
     redistribute_on_drain,
@@ -421,8 +422,12 @@ class WiscSort(SortSystem):
                     yield from run_ops_parallel(machine, [gather_op, write_op])
 
         overlap_writes: List = []
-        while any(not c.done for c in cursors):
-            refills = [c for c in cursors if c.needs_refill]
+        # The frontier replaces the per-iteration O(k) cursor scans
+        # (done/needs_refill/redistribute filters) with incremental
+        # bookkeeping; the op sequence it produces is identical.
+        frontier = MergeFrontier(cursors)
+        while not frontier.done:
+            refills = frontier.take_refills()
             if refills:
                 per_op_threads = max(1, read_pool // len(refills))
                 ops = [
@@ -438,7 +443,8 @@ class WiscSort(SortSystem):
                 if cpu_ops:
                     # Frame decompression (compressed IndexMap runs only).
                     yield from run_ops_parallel(machine, cpu_ops)
-            emitted, ways = merge_step(cursors)
+                frontier.note_refilled(refills)
+            emitted, ways = frontier.step()
             if emitted.shape[0] == 0:
                 continue
             # Step 7: single-threaded min-finding / enqueueing cost.
@@ -450,7 +456,6 @@ class WiscSort(SortSystem):
             pending_entries.append(emitted)
             pending_count += emitted.shape[0]
             yield from flush_batches(final=False)
-            redistribute_on_drain(cursors)
         yield from flush_batches(final=True)
         if overlap_writes:
             from repro.sim.engine import Join

@@ -40,9 +40,22 @@ class ScalingCurve:
                 raise ValueError("bandwidth must be positive")
         self._threads = [p[0] for p in pts]
         self._bandwidth = [p[1] for p in pts]
+        #: Interpolation memo -- thread counts repeat endlessly in steady
+        #: state, and this sits inside the rate-assignment hot loop.
+        self._memo: dict = {}
 
     def aggregate(self, threads: float) -> float:
         """Total bandwidth achieved by ``threads`` concurrent threads."""
+        memo = self._memo
+        cached = memo.get(threads)
+        if cached is not None:
+            return cached
+        result = self._aggregate(threads)
+        if len(memo) < 4096:
+            memo[threads] = result
+        return result
+
+    def _aggregate(self, threads: float) -> float:
         if threads < 1.0:
             threads = 1.0
         ts, bws = self._threads, self._bandwidth

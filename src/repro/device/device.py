@@ -21,11 +21,20 @@ Rate assignment happens in two stages:
 2. *Host water-filling*: all ops then share the memory bus and CPU cores
    by normalised max-min progressive filling, so a device-fast op can
    still be host-bound (and vice versa).
+
+Rates depend only on each op's *signature* -- (kind, direction, pattern,
+threads, host_ratio) for I/O, (kind, mode, cores) for CPU -- never on
+identity or remaining work, so whole assignments are memoized in an LRU
+cache keyed on the sorted signature multiset of the active population.
+Steady-state workloads (a merge loop cycling through identical
+refill/flush populations) hit the cache almost always; see DESIGN.md
+"Simulator performance".
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Tuple
 
 from repro.device.host import HostModel
@@ -73,15 +82,86 @@ def make_io_op(
 
 
 class BraidRateModel(RateModel):
-    """Implements the two-stage rate assignment described above."""
+    """Implements the two-stage rate assignment described above.
 
-    def __init__(self, profile: DeviceProfile, host: HostModel):
+    ``memoize`` (default on) caches complete rate assignments keyed on
+    the signature multiset of the active population.  The uncached path
+    processes ops in canonical signature order, so cached and uncached
+    assignments are bit-identical -- disabling the cache (the
+    determinism-guard debug flag) must not change any simulated result.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        host: HostModel,
+        memoize: bool = True,
+        cache_size: int = 4096,
+    ):
         self.profile = profile
         self.host = host
+        self.memoize = memoize
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[tuple, dict]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _signature(op: FluidOp) -> tuple:
+        """Everything the rate computation reads from one op.
+
+        Uses ``pattern.value`` (a string) rather than the enum so
+        signatures of different ops sort under a total order.
+        """
+        attrs = op.attrs
+        if op.kind == "io":
+            return (
+                "io",
+                attrs["direction"],
+                attrs["pattern"].value,
+                attrs["threads"],
+                attrs["host_ratio"],
+            )
+        if op.kind == "cpu":
+            if attrs is None:
+                return ("cpu", "compute", 1.0)
+            return ("cpu", attrs.get("mode", "compute"), float(attrs.get("cores", 1)))
+        return (op.kind,)
+
     def assign(self, ops: Iterable[FluidOp]) -> Dict[FluidOp, float]:
-        ops = list(ops)
+        pairs = []
+        for op in ops:
+            sig = op._sig
+            if sig is None:
+                sig = self._signature(op)
+                op._sig = sig
+            pairs.append((sig, op))
+        if self.memoize:
+            key = tuple(sorted(sig for sig, _ in pairs))
+            table = self._cache.get(key)
+            if table is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return {op: table[sig] for sig, op in pairs}
+            self.cache_misses += 1
+        # Canonical signature order: rates become independent of caller
+        # iteration order (equal-signature ops are interchangeable), so
+        # the memo table built from this pass is exact for any
+        # population with the same signature multiset.
+        pairs.sort(key=lambda p: p[0])
+        rates = self._assign_ordered([op for _, op in pairs])
+        if self.memoize:
+            cache = self._cache
+            cache[key] = {sig: rates[op] for sig, op in pairs}
+            if len(cache) > self.cache_size:
+                cache.popitem(last=False)
+        return rates
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def _assign_ordered(self, ops: List[FluidOp]) -> Dict[FluidOp, float]:
         reads = [op for op in ops if op.kind == "io" and op.attrs["direction"] == "read"]
         writes = [op for op in ops if op.kind == "io" and op.attrs["direction"] == "write"]
         cpus = [op for op in ops if op.kind == "cpu"]
@@ -122,8 +202,9 @@ class BraidRateModel(RateModel):
         }
 
     def _cpu_entry(self, op: FluidOp) -> Tuple[FluidOp, float, Dict[str, float]]:
-        cores = float(op.attrs.get("cores", 1))
-        mode = op.attrs.get("mode", "compute")
+        attrs = op.attrs
+        cores = 1.0 if attrs is None else float(attrs.get("cores", 1))
+        mode = "compute" if attrs is None else attrs.get("mode", "compute")
         if mode == "compute":
             # work in cpu-seconds; rate is cores-worth of cpu-sec/s.
             return (op, cores, {"cpu": 1.0, "bus": 0.0})

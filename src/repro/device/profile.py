@@ -120,6 +120,10 @@ class DeviceProfile:
             if not table:
                 raise ConfigError("gather_table may not be empty")
             self.gather_table = tuple(table)
+        #: Work-cost memo -- request shapes repeat endlessly (fixed-size
+        #: refills, write batches, key gathers), and this sits on the op
+        #: construction hot path.
+        self._work_memo: dict = {}
 
     # ------------------------------------------------------------------
     # Work accounting
@@ -138,6 +142,23 @@ class DeviceProfile:
         record count for random value gathers), ``stride`` the distance
         between access start offsets for strided reads.
         """
+        memo = self._work_memo
+        key = (pattern, nbytes, accesses, stride)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._io_work(pattern, nbytes, accesses, stride)
+        if len(memo) < 65536:
+            memo[key] = result
+        return result
+
+    def _io_work(
+        self,
+        pattern: Pattern,
+        nbytes: int,
+        accesses: int = 1,
+        stride: int = 0,
+    ) -> float:
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
         if nbytes == 0:

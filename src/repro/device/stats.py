@@ -58,39 +58,59 @@ class DeviceStats:
 
     # ------------------------------------------------------------------
     def observe(self, t0: float, t1: float, ops: list) -> None:
-        """Interval observer callback (registered on the fluid scheduler)."""
+        """Interval observer callback (registered on the fluid scheduler).
+
+        Accumulator updates stay strictly per-op in the order given (the
+        scheduler passes ops in issue order), so the float results are
+        run-to-run deterministic.  The local copies of the running totals
+        preserve the exact same sequence of additions as attribute
+        updates would -- they only avoid repeated attribute lookups.
+        """
         dt = t1 - t0
         if dt <= 0:
             return
         read_rate = 0.0
         write_rate = 0.0
         cores = 0.0
+        read_internal = self.bytes_read_internal
+        written_internal = self.bytes_written_internal
+        io_cpu_bw = self.host.io_cpu_bw
+        copy_bw = self.host.copy_bw_per_core
+        tags = self.tags
         active_tags = set()
         for op in ops:
-            if op.tag:
-                active_tags.add(op.tag)
-            if op.kind == "io":
-                delta = op.rate * dt
+            tag = op.tag
+            if tag:
+                active_tags.add(tag)
+            kind = op.kind
+            if kind == "io":
+                rate = op.rate
+                delta = rate * dt
                 if op.attrs["direction"] == "read":
-                    read_rate += op.rate
-                    self.bytes_read_internal += delta
+                    read_rate += rate
+                    read_internal += delta
                 else:
-                    write_rate += op.rate
-                    self.bytes_written_internal += delta
-                if op.tag:
-                    self.tags[op.tag].internal_bytes += delta
-                cores += op.rate / self.host.io_cpu_bw
-            elif op.kind == "cpu":
-                mode = op.attrs.get("mode", "compute")
+                    write_rate += rate
+                    written_internal += delta
+                if tag:
+                    tags[tag].internal_bytes += delta
+                cores += rate / io_cpu_bw
+            elif kind == "cpu":
+                attrs = op.attrs
+                mode = "compute" if attrs is None else attrs.get("mode", "compute")
                 if mode == "compute":
                     cores += op.rate
                 else:
-                    cores += op.rate / self.host.copy_bw_per_core
+                    cores += op.rate / copy_bw
+        self.bytes_read_internal = read_internal
+        self.bytes_written_internal = written_internal
         for tag in active_tags:
-            stats = self.tags[tag]
+            stats = tags[tag]
             stats.busy_time += dt
-            stats.first_active = min(stats.first_active, t0)
-            stats.last_active = max(stats.last_active, t1)
+            if t0 < stats.first_active:
+                stats.first_active = t0
+            if t1 > stats.last_active:
+                stats.last_active = t1
         self.timeline.append((t0, t1, read_rate, write_rate, cores))
 
     # ------------------------------------------------------------------

@@ -41,11 +41,15 @@ class Machine:
         profile: Optional[DeviceProfile] = None,
         host: Optional[HostModel] = None,
         dram_budget: Optional[int] = None,
+        memoize_rates: bool = True,
+        batch_ops: bool = False,
     ):
         self.profile = profile if profile is not None else pmem_profile()
         self.host = host if host is not None else HostModel()
-        self.rate_model = BraidRateModel(self.profile, self.host)
-        self.engine = Engine(self.rate_model)
+        self.rate_model = BraidRateModel(
+            self.profile, self.host, memoize=memoize_rates
+        )
+        self.engine = Engine(self.rate_model, batch_ops=batch_ops)
         self.stats = DeviceStats(self.host)
         self.engine.fluid.interval_observers.append(self.stats.observe)
         self.fs = SimFS(self)

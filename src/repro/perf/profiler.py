@@ -1,0 +1,136 @@
+"""Wall-clock profiler and counter snapshots for the simulation kernel.
+
+The simulator's own speed is a first-class concern (ROADMAP: larger
+sortbenchmark configs are gated on it), so the kernel layers expose
+cheap always-on counters:
+
+* :class:`repro.sim.engine.Engine` -- process steps, clock advances,
+  timer events, ops coalesced by ``batch_ops``;
+* :class:`repro.sim.fluid.FluidScheduler` -- ops added/completed,
+  re-rate calls, ops re-rated, effective rate changes;
+* :class:`repro.device.device.BraidRateModel` -- rate-assignment
+  memo hits/misses.
+
+:func:`collect_counters` snapshots them all from a
+:class:`~repro.machine.Machine`; :class:`SelfPerfProfiler` adds
+per-phase wall timers; :func:`render_report` formats both for humans.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+
+class SelfPerfProfiler:
+    """Accumulating per-phase wall-clock timers.
+
+    Usage::
+
+        prof = SelfPerfProfiler()
+        with prof.phase("generate"):
+            ...
+        with prof.phase("sort"):
+            ...
+        print(render_report(machine, prof))
+
+    Re-entering a phase name accumulates into the same bucket; phase
+    order of first entry is preserved in reports.
+    """
+
+    def __init__(self):
+        self.phases: Dict[str, float] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self.phases:
+                self._order.append(name)
+                self.phases[name] = elapsed
+            else:
+                self.phases[name] += elapsed
+
+    @property
+    def total_wall(self) -> float:
+        return sum(self.phases.values())
+
+    def ordered_phases(self) -> List[tuple]:
+        return [(name, self.phases[name]) for name in self._order]
+
+
+def collect_counters(machine) -> Dict[str, float]:
+    """Snapshot every self-performance counter of a machine's kernel."""
+    engine = machine.engine
+    fluid = engine.fluid
+    model = machine.rate_model
+    hits = getattr(model, "cache_hits", 0)
+    misses = getattr(model, "cache_misses", 0)
+    lookups = hits + misses
+    return {
+        "sim_seconds": engine.now,
+        "engine_steps": engine.steps,
+        "clock_advances": engine.advances,
+        "timer_events": engine.timer_events,
+        "batched_ops": engine.batched_ops,
+        "ops_added": fluid.ops_added,
+        "ops_completed": fluid.ops_completed,
+        "rerate_calls": fluid.rerate_calls,
+        "ops_rerated": fluid.ops_rerated,
+        "rate_changes": fluid.rate_changes,
+        "intervals_observed": len(machine.stats.timeline),
+        "rate_cache_hits": hits,
+        "rate_cache_misses": misses,
+        "rate_cache_hit_rate": (hits / lookups) if lookups else 0.0,
+    }
+
+
+def render_report(
+    machine, profiler: Optional[SelfPerfProfiler] = None
+) -> str:
+    """Human-readable self-performance report for one machine run."""
+    c = collect_counters(machine)
+    lines = ["simulator self-performance"]
+    lines.append(f"  simulated time : {c['sim_seconds']:.6f} s")
+    lines.append(
+        "  engine         : "
+        f"{c['engine_steps']} steps, {c['clock_advances']} advances, "
+        f"{c['timer_events']} timer events"
+    )
+    lines.append(
+        "  fluid ops      : "
+        f"{c['ops_added']} added, {c['ops_completed']} completed, "
+        f"{c['batched_ops']} coalesced"
+    )
+    lines.append(
+        "  re-rating      : "
+        f"{c['rerate_calls']} calls, {c['ops_rerated']} op-rerates, "
+        f"{c['rate_changes']} rate changes"
+    )
+    lines.append(f"  intervals      : {c['intervals_observed']} observed")
+    lookups = c["rate_cache_hits"] + c["rate_cache_misses"]
+    if lookups:
+        lines.append(
+            "  rate memo      : "
+            f"{c['rate_cache_hit_rate'] * 100:.1f}% hit "
+            f"({c['rate_cache_hits']}/{lookups})"
+        )
+    else:
+        lines.append("  rate memo      : disabled / unused")
+    if profiler is not None and profiler.phases:
+        lines.append("  wall clock     :")
+        for name, elapsed in profiler.ordered_phases():
+            lines.append(f"    {name:12s} {elapsed:.3f} s")
+        wall = profiler.total_wall
+        if wall > 0:
+            lines.append(
+                "  throughput     : "
+                f"{c['ops_completed'] / wall:,.0f} ops/s, "
+                f"{c['sim_seconds'] / wall:.6f} sim-s per wall-s"
+            )
+    return "\n".join(lines)

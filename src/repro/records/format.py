@@ -83,6 +83,22 @@ def key_columns(keys: np.ndarray) -> List[np.ndarray]:
     return cols
 
 
+def key_words(key) -> tuple:
+    """One key (bytes or 1-D uint8 array) as big-endian uint64 words.
+
+    Zero-pads on the right to a multiple of 8 bytes, matching the column
+    layout of :func:`key_columns`: comparing the word tuples is exactly
+    unsigned lexicographic comparison of the original byte strings.
+    """
+    b = bytes(key)
+    width = ceil_div(max(len(b), 1), 8) * 8
+    if len(b) < width:
+        b = b.ljust(width, b"\x00")
+    return tuple(
+        int.from_bytes(b[j : j + 8], "big") for j in range(0, width, 8)
+    )
+
+
 def key_sort_indices(keys: np.ndarray) -> np.ndarray:
     """Stable argsort of binary keys (rows of an ``(n, k)`` uint8 matrix)."""
     cols = key_columns(keys)

@@ -2,31 +2,63 @@
 
 In-flight work items (:class:`FluidOp`) progress simultaneously at rates
 assigned by a :class:`RateModel`.  Whenever the set of active ops changes,
-the scheduler re-rates every op and computes the next completion time.
-This is the standard processor-sharing "fluid" approximation used by
-storage and network simulators: instead of modelling individual requests,
-each op is a flow whose instantaneous rate depends on who else is active.
+the scheduler re-rates the affected ops and computes the next completion
+time.  This is the standard processor-sharing "fluid" approximation used
+by storage and network simulators: instead of modelling individual
+requests, each op is a flow whose instantaneous rate depends on who else
+is active.
 
 Rate semantics: an op carries ``work`` in arbitrary units (bytes for I/O,
 cpu-seconds for compute) and the model assigns a rate in units/second.
 The model also exposes max-min *progressive filling* over shared
 resources (see :class:`repro.device.host.HostModel`), but the kernel only
 requires the ``assign`` callable.
+
+Hot-path design (see DESIGN.md "Simulator performance"):
+
+* **Incremental re-rating** -- ops are partitioned into resource groups
+  (:meth:`RateModel.resource_key`); a membership change only re-rates
+  ops sharing a dirty group.  Models whose ops are fully coupled (the
+  BRAID model: every op shares the host bus and cores) use a single
+  shared group and degenerate to the classic full re-rate, but the
+  model is then free to memoize whole assignments.
+* **Completion heap** -- instead of rescanning every active op to find
+  the earliest completion, the scheduler maintains a lazy-deletion heap
+  of ``(finish_time, seq, version, op)`` entries.  A constant-rate op's
+  absolute finish time is invariant under settling, so entries are only
+  (re)pushed when an op's rate actually changes; stale entries are
+  skipped via the per-op version counter.
+* **Coalesced completions** -- all ops finishing at the same simulated
+  instant pop in one call and are returned in FIFO (issue-order) so
+  waiters resume deterministically.  Zero-work ops never enter the
+  active set at all.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
+from operator import attrgetter
 from typing import Callable, Dict, Iterable, Optional
 
 from repro.errors import SimulationError
 
-#: Ops whose remaining work falls below this fraction of their original
-#: work (or below an absolute epsilon) are considered complete.  Guards
-#: against floating-point residue keeping an op alive forever.
-_EPSILON = 1e-9
+#: Absolute work units (bytes / cpu-seconds) below which a *stalled*
+#: (zero-rate) op is considered complete.  Completion is normally
+#: event-driven -- an op finishes exactly when the clock reaches its
+#: scheduled finish time -- so this only rescues ops whose rate dropped
+#: to zero with nothing but floating-point residue left.  The threshold
+#: is deliberately absolute: a relative threshold (fraction of original
+#: work) would prematurely complete multi-GB ops with real bytes still
+#: outstanding.
+_EPSILON = 1e-12
 
 _op_counter = itertools.count()
+
+_SEQ_KEY = attrgetter("seq")
+
+#: Default resource-group key for models where all ops are coupled.
+_SHARED_GROUP = "*"
 
 
 class FluidOp:
@@ -45,7 +77,10 @@ class FluidOp:
         read"``).  Not interpreted by the kernel.
     attrs:
         Arbitrary attributes the rate model understands (direction,
-        access pattern, host-traffic ratio, ...).
+        access pattern, host-traffic ratio, ...).  May be passed as a
+        prebuilt dict (``attrs=...``) or as keyword arguments; ops with
+        no attributes store ``None`` instead of allocating an empty
+        dict -- rate models treat ``None`` as empty.
     """
 
     __slots__ = (
@@ -60,22 +95,45 @@ class FluidOp:
         "seq",
         "_waiter",
         "on_complete",
+        "_collector",
+        "_sig",
+        "_res_key",
+        "_heap_ver",
     )
 
-    def __init__(self, work: float, kind: str, tag: str = "", **attrs):
+    def __init__(
+        self,
+        work: float,
+        kind: str,
+        tag: str = "",
+        attrs: Optional[dict] = None,
+        **extra,
+    ):
         if work < 0:
             raise ValueError(f"FluidOp work must be >= 0, got {work}")
         self.work = float(work)
         self.kind = kind
         self.tag = tag
+        if attrs is None:
+            attrs = extra if extra else None
+        elif extra:
+            attrs = {**attrs, **extra}
         self.attrs = attrs
-        self.remaining = float(work)
+        self.remaining = self.work
         self.rate = 0.0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.seq = next(_op_counter)
         self._waiter = None  # Process resumed on completion (set by Engine)
         self.on_complete: Optional[Callable[["FluidOp"], object]] = None
+        #: Alternative completion sink used by batched parallel issues
+        #: (see :class:`repro.sim.engine.ParallelOps`).
+        self._collector: Optional[Callable[["FluidOp", object], None]] = None
+        #: Rate-model scratch: memoization signature, resource group.
+        self._sig = None
+        self._res_key = None
+        #: Completion-heap entry version (stale entries are skipped).
+        self._heap_ver = 0
 
     @property
     def duration(self) -> float:
@@ -95,17 +153,29 @@ class RateModel:
     """Assigns instantaneous rates to the set of active ops.
 
     Subclasses implement :meth:`assign`.  The kernel calls it every time
-    the active-op population changes; between calls rates are constant.
+    the active-op population of a resource group changes; between calls
+    rates are constant.
     """
 
     def assign(self, ops: Iterable[FluidOp]) -> Dict[FluidOp, float]:
         raise NotImplementedError
+
+    def resource_key(self, op: FluidOp):
+        """Resource-group key: ops in different groups never interact.
+
+        The default places every op in one shared group (safe for any
+        model).  Models whose ops are independent can return per-op keys
+        so a membership change re-rates only the affected ops.
+        """
+        return _SHARED_GROUP
 
 
 class UniformRateModel(RateModel):
     """Trivial model: every op progresses at a fixed rate.
 
     Useful for kernel unit tests where device semantics are irrelevant.
+    Ops are rate-independent, so each is its own resource group and a
+    membership change never re-rates anyone else.
     """
 
     def __init__(self, rate: float = 1.0):
@@ -116,14 +186,18 @@ class UniformRateModel(RateModel):
     def assign(self, ops: Iterable[FluidOp]) -> Dict[FluidOp, float]:
         return {op: self.rate for op in ops}
 
+    def resource_key(self, op: FluidOp):
+        return op.seq
+
 
 class FluidScheduler:
     """Tracks active ops, advances their work, finds next completion.
 
     The owning :class:`~repro.sim.engine.Engine` drives this object:
     ``settle`` debits work done since the last settle, ``rerate`` asks the
-    model for fresh rates, and ``next_completion`` reports when the
-    earliest op will finish under current rates.
+    model for fresh rates for dirty resource groups, and
+    ``next_completion`` reports when the earliest op will finish under
+    current rates.
     """
 
     def __init__(self, model: RateModel):
@@ -132,9 +206,30 @@ class FluidScheduler:
         self._last_settled = 0.0
         self.dirty = False
         #: Observers called as fn(t0, t1, ops) for every constant-rate
-        #: interval, used by bandwidth timeline recorders.
+        #: interval, used by bandwidth timeline recorders.  Ops are
+        #: passed in issue order so float accumulations downstream are
+        #: run-to-run deterministic.
         self.interval_observers: list[Callable[[float, float, list], None]] = []
+        #: Resource groups: key -> set of active ops sharing the key.
+        self._groups: Dict[object, set] = {}
+        self._dirty_keys: set = set()
+        #: Issue-ordered view of ``active``, maintained incrementally so
+        #: settle need not sort every interval.  Appends keep it sorted
+        #: (op seq numbers are monotone in practice); completions mark it
+        #: stale and the next settle filters against ``active``.
+        self._ordered: list[FluidOp] = []
+        self._ordered_stale = False
+        self._ordered_unsorted = False
+        #: Lazy-deletion completion heap: (finish_time, seq, version, op).
+        self._heap: list = []
+        # Self-performance counters (read by repro.perf).
+        self.ops_added = 0
+        self.ops_completed = 0
+        self.rerate_calls = 0
+        self.ops_rerated = 0
+        self.rate_changes = 0
 
+    # ------------------------------------------------------------------
     def add(self, op: FluidOp, now: float) -> None:
         if op.remaining <= 0:
             # Zero-work op: mark complete instantly; caller handles wakeup.
@@ -143,7 +238,20 @@ class FluidScheduler:
             return
         op.started_at = now
         self.active.add(op)
+        ordered = self._ordered
+        if ordered and op.seq < ordered[-1].seq:
+            self._ordered_unsorted = True
+        ordered.append(op)
+        key = self.model.resource_key(op)
+        op._res_key = key
+        group = self._groups.get(key)
+        if group is None:
+            self._groups[key] = {op}
+        else:
+            group.add(op)
+        self._dirty_keys.add(key)
         self.dirty = True
+        self.ops_added += 1
 
     def settle(self, now: float) -> None:
         """Debit work accomplished between the last settle and ``now``."""
@@ -151,36 +259,104 @@ class FluidScheduler:
         if dt < 0:
             raise SimulationError(f"time went backwards: {dt}")
         if dt > 0 and self.active:
+            ops = self._ordered
+            if self._ordered_stale:
+                active = self.active
+                ops = [op for op in ops if op in active]
+                self._ordered = ops
+                self._ordered_stale = False
+            if self._ordered_unsorted:
+                ops.sort(key=_SEQ_KEY)
+                self._ordered_unsorted = False
             for observer in self.interval_observers:
-                observer(self._last_settled, now, list(self.active))
-            for op in self.active:
+                observer(self._last_settled, now, ops)
+            for op in ops:
                 op.remaining -= op.rate * dt
         self._last_settled = now
 
     def rerate(self, now: float) -> None:
-        """Recompute rates for all active ops from the model."""
-        if self.active:
-            rates = self.model.assign(self.active)
-            for op in self.active:
-                rate = rates.get(op, 0.0)
-                if rate < 0:
-                    raise SimulationError(f"model returned negative rate for {op}")
-                op.rate = rate
+        """Recompute rates for ops in dirty resource groups.
+
+        Must be called with the scheduler settled to ``now``; completion
+        times are derived from the settled ``remaining`` work.  Ops whose
+        rate is unchanged keep their existing completion-heap entry (a
+        constant-rate op's absolute finish time is settle-invariant).
+        """
+        keys = self._dirty_keys
+        if keys:
+            self.rerate_calls += 1
+            groups = self._groups
+            if len(groups) == 1 and len(keys) >= 1 and next(iter(keys)) in groups:
+                affected: Iterable[FluidOp] = self.active
+            else:
+                affected = []
+                for key in keys:
+                    group = groups.get(key)
+                    if group:
+                        affected.extend(group)
+            keys.clear()
+            if affected:
+                rates = self.model.assign(affected)
+                heap = self._heap
+                n = 0
+                for op in affected:
+                    n += 1
+                    rate = rates.get(op, 0.0)
+                    if rate < 0:
+                        raise SimulationError(
+                            f"model returned negative rate for {op}"
+                        )
+                    if rate != op.rate:
+                        op.rate = rate
+                        op._heap_ver += 1
+                        self.rate_changes += 1
+                        if rate > 0.0:
+                            heapq.heappush(
+                                heap,
+                                (now + op.remaining / rate, op.seq, op._heap_ver, op),
+                            )
+                        elif op.remaining <= _EPSILON:
+                            # Stalled with only float residue left: let it
+                            # complete now instead of deadlocking.
+                            heapq.heappush(heap, (now, op.seq, op._heap_ver, op))
+                self.ops_rerated += n
         self.dirty = False
 
     def pop_completed(self, now: float) -> list[FluidOp]:
-        """Remove and return ops whose work is (numerically) exhausted."""
-        done = [
-            op
-            for op in self.active
-            if op.remaining <= _EPSILON * max(1.0, op.work)
-        ]
-        for op in done:
+        """Remove and return ops whose scheduled finish time has arrived.
+
+        All ops finishing at (or before) ``now`` are coalesced into one
+        batch, returned in FIFO issue order so simultaneous completions
+        resume their waiters deterministically.
+        """
+        heap = self._heap
+        done: list[FluidOp] = []
+        while heap:
+            t, _seq, ver, op = heap[0]
+            if ver != op._heap_ver:
+                heapq.heappop(heap)  # stale entry (rate changed / completed)
+                continue
+            if t > now:
+                break
+            heapq.heappop(heap)
+            op._heap_ver += 1
             op.remaining = 0.0
             op.finished_at = now
             self.active.discard(op)
+            key = op._res_key
+            group = self._groups.get(key)
+            if group is not None:
+                group.discard(op)
+                if not group:
+                    del self._groups[key]
+                self._dirty_keys.add(key)
+            done.append(op)
         if done:
             self.dirty = True
+            self._ordered_stale = True
+            self.ops_completed += len(done)
+            if len(done) > 1:
+                done.sort(key=_SEQ_KEY)
         return done
 
     def next_completion(self, now: float) -> Optional[float]:
@@ -190,11 +366,11 @@ class FluidScheduler:
         op is stalled the scheduler reports ``None`` and the engine will
         raise a deadlock error unless some other event intervenes.
         """
-        best: Optional[float] = None
-        for op in self.active:
-            if op.rate <= 0:
+        heap = self._heap
+        while heap:
+            t, _seq, ver, op = heap[0]
+            if ver != op._heap_ver:
+                heapq.heappop(heap)
                 continue
-            t = now + op.remaining / op.rate
-            if best is None or t < best:
-                best = t
-        return best
+            return t
+        return None

@@ -27,6 +27,18 @@ from repro.sim.fluid import FluidOp
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.filesystem import SimFS
 
+_ARANGE_MEMO: dict = {}
+
+
+def _arange(n: int) -> np.ndarray:
+    """Shared ``np.arange(n)`` for the fixed access sizes gathers use."""
+    a = _ARANGE_MEMO.get(n)
+    if a is None:
+        a = np.arange(n, dtype=np.int64)
+        a.setflags(write=False)
+        _ARANGE_MEMO[n] = a
+    return a
+
 
 class SimFile:
     """A growable byte file stored on a simulated device."""
@@ -109,8 +121,8 @@ class SimFile:
             raise StorageError("stride smaller than access size")
         last = offset + (count - 1) * stride + access_size
         self._check_extent(offset, last - offset)
-        starts = offset + np.arange(count, dtype=np.int64) * stride
-        payload = self._data[starts[:, None] + np.arange(access_size)]
+        starts = offset + _arange(count) * stride
+        payload = self._data[starts[:, None] + _arange(access_size)]
         op = self._machine_io(
             "read",
             Pattern.STRIDED,
@@ -145,7 +157,7 @@ class SimFile:
             raise StorageError(
                 f"gather outside file {self.name!r} (size {self.size})"
             )
-        payload = self._data[starts[:, None] + np.arange(access_size)]
+        payload = self._data[starts[:, None] + _arange(access_size)]
         op = self._machine_io(
             "read",
             Pattern.RAND,

@@ -1,0 +1,116 @@
+"""MergeFrontier must be observationally identical to the naive loop.
+
+``wiscsort._merge_loop`` drives the k-way merge through
+:class:`repro.core.kway.MergeFrontier` (incremental bookkeeping); the
+public :func:`merge_step` / :func:`redistribute_on_drain` pair is the
+reference implementation other systems still use.  These tests drive
+both protocols over identical run sets and require identical emitted
+batches, refill traffic and buffer redistribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kway import (
+    MergeFrontier,
+    RunCursor,
+    merge_step,
+    redistribute_on_drain,
+)
+from repro.machine import Machine
+from repro.records.format import key_sort_indices
+
+from tests.core.test_kway import build_runs, sorted_runs
+
+
+def drive_naive(machine, files, entry_size, key_size, window_bytes):
+    """Reference protocol: full-scan merge_step + redistribute_on_drain."""
+    cursors = [RunCursor(f, entry_size, key_size, window_bytes) for f in files]
+    batches = []
+
+    def driver():
+        while any(not c.done for c in cursors):
+            for cursor in cursors:
+                if cursor.needs_refill:
+                    data = yield cursor.refill_op(tag="merge")
+                    cursor.accept(data)
+            emitted, ways = merge_step(cursors)
+            if emitted.shape[0]:
+                batches.append((emitted, ways))
+            redistribute_on_drain(cursors)
+
+    machine.run(driver())
+    return batches, cursors
+
+
+def drive_frontier(machine, files, entry_size, key_size, window_bytes):
+    """Incremental protocol, as used by wiscsort._merge_loop."""
+    cursors = [RunCursor(f, entry_size, key_size, window_bytes) for f in files]
+    batches = []
+
+    def driver():
+        frontier = MergeFrontier(cursors)
+        while not frontier.done:
+            refills = frontier.take_refills()
+            for cursor in refills:
+                data = yield cursor.refill_op(tag="merge")
+                cursor.accept(data)
+            frontier.note_refilled(refills)
+            emitted, ways = frontier.step()
+            if emitted.shape[0]:
+                batches.append((emitted, ways))
+
+    machine.run(driver())
+    return batches, cursors
+
+
+class TestFrontierEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(data=sorted_runs(), window=st.integers(1, 64))
+    def test_identical_batches_and_refills(self, pmem, data, window):
+        key_size, entry_size, runs = data
+        window_bytes = max(entry_size, window)
+
+        m1 = Machine(profile=pmem)
+        naive_batches, naive_cursors = drive_naive(
+            m1, build_runs(m1, runs, entry_size), entry_size, key_size, window_bytes
+        )
+        m2 = Machine(profile=pmem)
+        front_batches, front_cursors = drive_frontier(
+            m2, build_runs(m2, runs, entry_size), entry_size, key_size, window_bytes
+        )
+
+        assert len(naive_batches) == len(front_batches)
+        for (eb, wb), (ef, wf) in zip(naive_batches, front_batches):
+            assert wb == wf
+            assert np.array_equal(eb, ef)
+        # Same refill traffic and same end-state buffer shares per run.
+        for cn, cf in zip(naive_cursors, front_cursors):
+            assert cn.bytes_loaded == cf.bytes_loaded
+            assert cn.window_entries == cf.window_entries
+
+    def test_frontier_output_is_globally_sorted(self, pmem):
+        machine = Machine(profile=pmem)
+        rng = np.random.default_rng(11)
+        runs = []
+        for _ in range(5):
+            mat = rng.integers(0, 256, size=(60, 6), dtype=np.uint8)
+            runs.append(mat[key_sort_indices(mat[:, :2])])
+        files = build_runs(machine, runs, 6)
+        batches, _ = drive_frontier(machine, files, 6, 2, window_bytes=18)
+        merged = np.concatenate([b for b, _ in batches], axis=0)
+        assert merged.shape[0] == 300
+        keys = [bytes(row[:2]) for row in merged]
+        assert keys == sorted(keys)
+
+    def test_frontier_skips_initially_empty_runs(self, pmem):
+        machine = Machine(profile=pmem)
+        run = np.array([[3, 1], [5, 2]], dtype=np.uint8)
+        empty = np.zeros((0, 2), dtype=np.uint8)
+        files = build_runs(machine, [empty, run, empty], 2)
+        batches, _ = drive_frontier(machine, files, 2, 1, window_bytes=4)
+        merged = np.concatenate([b for b, _ in batches], axis=0)
+        assert np.array_equal(merged, run)

@@ -1,0 +1,154 @@
+"""Determinism guards and self-performance instrumentation tests.
+
+The kernel optimisations (rate-model memoization, op batching, the
+frontier merge loop) are only admissible if they do not change simulated
+results.  These tests pin that down end-to-end on a WiscSort MergePass
+workload, and exercise the ``repro.perf`` profiler / counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import SortConfig
+from repro.core.wiscsort import WiscSort
+from repro.machine import Machine
+from repro.perf import SelfPerfProfiler, collect_counters, render_report
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.units import KiB
+from repro.workloads.background import BackgroundClients
+
+RECORDS = 30_000
+
+
+def run_mergepass(memoize_rates=True, batch_ops=False, background=0):
+    machine = Machine(memoize_rates=memoize_rates, batch_ops=batch_ops)
+    fmt = RecordFormat()
+    data = generate_dataset(machine, "input", RECORDS, fmt, seed=7)
+    if background:
+        BackgroundClients(machine, background, "write").start()
+    cfg = SortConfig(read_buffer=96 * KiB, write_buffer=8 * KiB)
+    system = WiscSort(
+        fmt, config=cfg, force_merge_pass=True, merge_chunk_entries=1_000
+    )
+    result = system.run(machine, data, validate=False)
+    output = machine.fs.open(result.output_name).peek().tobytes()
+    return machine, result, output
+
+
+def stats_snapshot(machine):
+    return {
+        tag: (s.busy_time, s.internal_bytes, s.user_bytes, s.op_count)
+        for tag, s in machine.stats.tags.items()
+    }
+
+
+class TestMemoizationDeterminism:
+    def test_memoize_on_off_identical_results(self):
+        # The memo canonicalises op order before the waterfill, so the
+        # cached and uncached paths must agree bit-for-bit: identical
+        # completion times, identical interval timeline, identical
+        # DeviceStats -- not merely approximately equal.
+        m_on, r_on, out_on = run_mergepass(memoize_rates=True)
+        m_off, r_off, out_off = run_mergepass(memoize_rates=False)
+        assert m_on.rate_model.cache_hits > 0
+        assert m_off.rate_model.cache_hits == 0
+        assert r_on.total_time == r_off.total_time
+        assert out_on == out_off
+        assert m_on.stats.timeline == m_off.stats.timeline
+        assert stats_snapshot(m_on) == stats_snapshot(m_off)
+        assert float(r_on.internal_read) == float(r_off.internal_read)
+        assert float(r_on.internal_written) == float(r_off.internal_written)
+
+    def test_memoize_hit_rate_on_steady_state_mergepass(self):
+        # Acceptance criterion: the rate-model memo must be observably
+        # effective -- >= 80% hit rate on a steady-state MergePass.
+        machine, _result, _out = run_mergepass(background=2)
+        counters = collect_counters(machine)
+        assert counters["rate_cache_hit_rate"] >= 0.8
+
+
+class TestBatchingEquivalence:
+    def test_batch_ops_equivalent_results(self):
+        # Coalescing homogeneous parallel ops changes float summation
+        # order, so times are equivalent to ~1e-9 relative rather than
+        # bit-identical; data results must match exactly.
+        m_plain, r_plain, out_plain = run_mergepass(batch_ops=False)
+        m_batch, r_batch, out_batch = run_mergepass(batch_ops=True)
+        assert m_batch.engine.batched_ops > 0
+        assert m_plain.engine.batched_ops == 0
+        assert out_plain == out_batch
+        assert r_batch.total_time == pytest.approx(r_plain.total_time, rel=1e-9)
+        for tag, (busy, internal, user, ops) in stats_snapshot(m_plain).items():
+            busy_b, internal_b, user_b, _ops_b = stats_snapshot(m_batch)[tag]
+            assert busy_b == pytest.approx(busy, rel=1e-9, abs=1e-15)
+            assert internal_b == pytest.approx(internal, rel=1e-9, abs=1e-6)
+            assert user_b == user
+
+
+class TestPerfInstrumentation:
+    def test_collect_counters_keys_and_consistency(self):
+        machine, result, _out = run_mergepass()
+        c = collect_counters(machine)
+        assert c["sim_seconds"] == pytest.approx(result.total_time)
+        assert c["ops_added"] == c["ops_completed"]
+        assert c["engine_steps"] > 0
+        assert c["clock_advances"] > 0
+        assert c["intervals_observed"] == len(machine.stats.timeline)
+        hits, misses = c["rate_cache_hits"], c["rate_cache_misses"]
+        assert c["rate_cache_hit_rate"] == pytest.approx(hits / (hits + misses))
+
+    def test_profiler_phases_accumulate_and_render(self):
+        machine, _result, _out = run_mergepass()
+        prof = SelfPerfProfiler()
+        with prof.phase("a"):
+            pass
+        with prof.phase("b"):
+            pass
+        with prof.phase("a"):
+            pass
+        assert list(prof.phases) == ["a", "b"]
+        assert prof.total_wall >= 0.0
+        report = render_report(machine, prof)
+        assert "simulator self-performance" in report
+        assert "rate memo" in report
+        assert "throughput" in report
+
+    def test_cli_selfperf_flag(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "sort",
+                "--records",
+                "5000",
+                "--system",
+                "wiscsort",
+                "--no-validate",
+                "--selfperf",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulator self-performance" in out
+        assert "rate memo" in out
+
+    def test_cli_no_memoize_flag_disables_cache(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "sort",
+                "--records",
+                "5000",
+                "--system",
+                "wiscsort",
+                "--no-validate",
+                "--selfperf",
+                "--no-memoize",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "disabled / unused" in out
