@@ -253,12 +253,19 @@ def compare_fingerprints(ours: Dict, baseline: Dict) -> List[str]:
 # ----------------------------------------------------------------------
 
 
-def run_workload(spec: Dict) -> Dict:
+def run_workload(spec: Dict, empty_injector: bool = False) -> Dict:
     """Run one frozen workload ``spec['reps']`` times; keep the best wall."""
     walls = []
     fp = counters = None
     for _rep in range(spec["reps"]):
         machine = Machine()
+        if empty_injector:
+            # Zero-overhead-when-idle gate: an installed injector with no
+            # events must leave the op stream (and so every fingerprint)
+            # bit-identical to a fault-free run.
+            from repro.faults import FaultPlan
+
+            machine.install_faults(FaultPlan())
         data = generate_dataset(
             machine, "input", spec["records"], spec["fmt"], seed=spec["seed"]
         )
@@ -288,14 +295,16 @@ def run_workload(spec: Dict) -> Dict:
     }
 
 
-def run_all() -> Dict:
+def run_all(empty_injector: bool = False) -> Dict:
     report = {"schema": 1, "workloads": {}}
     for name, builder in WORKLOADS.items():
         spec = builder()
         print(f"[{name}] {spec['records']} records, "
-              f"{spec['background']} background clients, {spec['reps']} reps ...",
+              f"{spec['background']} background clients, {spec['reps']} reps"
+              + (", empty injector installed" if empty_injector else "")
+              + " ...",
               flush=True)
-        res = run_workload(spec)
+        res = run_workload(spec, empty_injector=empty_injector)
         base = PRE_PR_BASELINE[name]
         problems = compare_fingerprints(res["fingerprint"], base["fingerprint"])
         res["results_match_pre_pr"] = not problems
@@ -351,8 +360,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="compare walls against a committed BENCH_selfperf.json and "
         "exit non-zero on a >2x regression (CI gate); skips --output",
     )
+    parser.add_argument(
+        "--empty-injector",
+        action="store_true",
+        help="install a fault injector with an empty FaultPlan before "
+        "every run; fingerprints must still match the frozen baselines "
+        "(the zero-overhead-when-idle guarantee of repro.faults)",
+    )
     args = parser.parse_args(argv)
-    report = run_all()
+    report = run_all(empty_injector=args.empty_injector)
     if args.check is not None:
         failures = check_against(report, args.check)
         if failures:

@@ -102,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--dram-budget", type=int, default=None,
                         help="DRAM cap in bytes (forces MergePass when small)")
     p_sort.add_argument("--no-validate", action="store_true")
+    p_sort.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="fault-injection spec, e.g. 'crash@50%%' or "
+             "'transient@p:0.01,slow@t:0.002+0.01:x0.25,seed:7'; "
+             "crash specs enable checkpointing and automatic recovery "
+             "(wiscsort / ems only)")
     p_sort.add_argument("--timeline", action="store_true",
                         help="print the resource-usage sparkline plot")
     p_sort.add_argument("--selfperf", action="store_true",
@@ -140,8 +146,32 @@ def cmd_sort(args: argparse.Namespace) -> int:
         )
     config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
     system = SYSTEMS[args.system](fmt, config)
-    with prof.phase("sort"):
-        result = system.run(machine, data, validate=not args.no_validate)
+    fault_report = None
+    if args.faults is not None:
+        from repro.errors import ConfigError
+        from repro.faults import parse_fault_spec, run_with_faults
+
+        plan = parse_fault_spec(args.faults, seed=args.seed)
+        if plan.has_crash:
+            if not hasattr(system, "checkpoint"):
+                raise ConfigError(
+                    f"--faults with a crash needs a checkpointing system "
+                    f"(wiscsort or ems), not {args.system!r}"
+                )
+            system.checkpoint = True
+        if plan.needs_probe:
+            with prof.phase("fault-probe"):
+                plan = plan.resolve_fractions(
+                    _probe_op_count(args, fmt, config, plan.has_crash)
+                )
+        machine.install_faults(plan)
+        with prof.phase("sort"):
+            result, fault_report = run_with_faults(
+                system, machine, data, validate=not args.no_validate
+            )
+    else:
+        with prof.phase("sort"):
+            result = system.run(machine, data, validate=not args.no_validate)
     print(f"device : {profile.describe()}")
     print(f"input  : {args.records} records x {fmt.record_size}B "
           f"({fmt_bytes(data.size)})")
@@ -153,6 +183,18 @@ def cmd_sort(args: argparse.Namespace) -> int:
     print(f"writes : {fmt_bytes(result.internal_written)} internal")
     if not args.no_validate:
         print("output : validated (sorted permutation of the input)")
+    if fault_report is not None:
+        stats = fault_report.stats
+        print(f"faults : {fault_report.summary()}")
+        if stats:
+            print(f"  {stats['faults_injected']} injected over "
+                  f"{stats['ops_seen']} file ops; "
+                  f"{stats['retries']} retries "
+                  f"({fmt_seconds(stats['backoff_seconds'])} backoff), "
+                  f"{stats['torn_writes']} torn writes")
+            if fault_report.crashes:
+                print(f"  recovery: {fmt_bytes(stats['salvaged_bytes'])} "
+                      f"salvaged, {fmt_bytes(stats['redone_bytes'])} redone")
     if args.timeline:
         print()
         print(render_timeline(machine))
@@ -160,6 +202,29 @@ def cmd_sort(args: argparse.Namespace) -> int:
         print()
         print(render_report(machine, prof))
     return 0
+
+
+def _probe_op_count(args, fmt, config, checkpoint: bool) -> int:
+    """Fault-free probe run counting timed file ops (resolves crash@N%).
+
+    The probe mirrors the real run exactly -- same dataset, system and
+    (crucially) checkpoint setting, since checkpoint writes are part of
+    the op stream the fractions index into.
+    """
+    from repro.faults import FaultPlan
+
+    machine = Machine(
+        profile=PROFILE_FACTORIES[args.device](),
+        dram_budget=args.dram_budget,
+        memoize_rates=not args.no_memoize,
+    )
+    data = generate_dataset(machine, "input", args.records, fmt, seed=args.seed)
+    system = SYSTEMS[args.system](fmt, config)
+    if checkpoint:
+        system.checkpoint = True
+    injector = machine.install_faults(FaultPlan(), count_only=True)
+    system.run(machine, data, validate=False)
+    return injector.op_index
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:

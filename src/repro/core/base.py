@@ -119,6 +119,16 @@ class SortSystem(ABC):
         """Check output correctness; returns the record count."""
         raise NotImplementedError
 
+    def _execute_recover(
+        self, machine: "Machine", input_file: "SimFile"
+    ) -> "SimFile":
+        """Resume after a crash from the last durable checkpoint.
+
+        Only checkpoint-enabled systems implement this; the default
+        refuses (nothing durable exists to resume from).
+        """
+        raise NotImplementedError(f"{self.name} does not support recovery")
+
     def run(
         self,
         machine: "Machine",
@@ -126,10 +136,39 @@ class SortSystem(ABC):
         validate: bool = True,
     ) -> SortResult:
         """Execute the sort and package timing/traffic results."""
+        return self._drive_and_harvest(machine, input_file, validate, recover=False)
+
+    def recover(
+        self,
+        machine: "Machine",
+        input_file: "SimFile",
+        validate: bool = True,
+    ) -> SortResult:
+        """Resume an interrupted sort after :meth:`Machine.reboot`.
+
+        Replays the checkpoint manifest, discards torn state, redoes
+        only lost work, and packages results exactly like :meth:`run`.
+        Because device statistics survive reboots, phase times and
+        traffic in the result cover the *entire* workload including
+        pre-crash and redone work; ``extras`` carries the
+        salvaged-vs-redone byte accounting of this recovery.
+        """
+        return self._drive_and_harvest(machine, input_file, validate, recover=True)
+
+    def _drive_and_harvest(
+        self,
+        machine: "Machine",
+        input_file: "SimFile",
+        validate: bool,
+        recover: bool,
+    ) -> SortResult:
         t0 = machine.now
         read0 = machine.stats.bytes_read_internal
         written0 = machine.stats.bytes_written_internal
-        output_file = self._execute(machine, input_file)
+        if recover:
+            output_file = self._execute_recover(machine, input_file)
+        else:
+            output_file = self._execute(machine, input_file)
         n_records = self._validate(machine, input_file, output_file) if validate else -1
         phases = {
             tag: stats.busy_time for tag, stats in machine.stats.tag_table()
@@ -144,7 +183,7 @@ class SortSystem(ABC):
             for t, s in machine.stats.tags.items()
             if "write" in t.lower()
         )
-        return SortResult(
+        result = SortResult(
             system=self.name,
             total_time=machine.now - t0,
             phases=phases,
@@ -156,3 +195,14 @@ class SortSystem(ABC):
             n_records=n_records,
             validated=validate,
         )
+        metrics = getattr(self, "last_recovery", None)
+        if recover and metrics:
+            result.extras.update(metrics)
+            if machine.faults is not None:
+                machine.faults.stats.salvaged_bytes += int(
+                    metrics.get("salvaged_bytes", 0)
+                )
+                machine.faults.stats.redone_bytes += int(
+                    metrics.get("redone_bytes", 0)
+                )
+        return result

@@ -62,6 +62,8 @@ class RunCursor:
         self.pos = 0
         self.window = np.zeros((0, entry_size), dtype=np.uint8)
         self.bytes_loaded = 0
+        #: Entries consumed via :meth:`take` (checkpoint/recovery state).
+        self.taken = 0
 
     # ------------------------------------------------------------------
     @property
@@ -162,9 +164,30 @@ class RunCursor:
         start = self._start
         end = start + count
         self._start = end
+        self.taken += count
         if end < self._n:
             self._first_bytes = self._window[end, : self.key_size].tobytes()
         return self._window[start:end]
+
+    def skip_entries(self, count: int) -> None:
+        """Crash-recovery resume: mark the first ``count`` file entries
+        as already consumed.
+
+        Must be called before the first refill (empty window); the next
+        refill reads from the new position.  Entries that were merely
+        *windowed* (prefetched) before a crash are volatile and simply
+        re-read -- only ``taken`` counts, which the checkpoint recorded,
+        are skipped.
+        """
+        nbytes = count * self.entry_size
+        if self._n - self._start:
+            raise SimulationError("skip_entries requires an empty window")
+        if nbytes > self.file.size:
+            raise SimulationError(
+                f"cannot skip {count} entries past end of {self.file.name!r}"
+            )
+        self.pos = nbytes
+        self.taken = count
 
 
 def _frontier_step(

@@ -1,0 +1,127 @@
+"""Crash-consistent checkpoint manifests for resumable sorts.
+
+The durability protocol is the classic write-ahead rename dance:
+
+1. serialise the checkpoint payload (JSON) behind a self-validating
+   header -- magic, body length, SHA-256 of the body;
+2. write it to ``<manifest>.tmp`` as a *timed* device write (checkpoint
+   overhead is visible in phase timings under the ``CKPT write`` tag);
+3. atomically :meth:`~repro.storage.filesystem.SimFS.rename` the temp
+   file over the live manifest name.
+
+A crash can therefore leave (a) no manifest, (b) the previous manifest,
+or (c) the new manifest -- never a torn mixture; a torn ``.tmp`` is
+ignored on recovery.  Data files referenced by a manifest were written
+*before* the manifest committed, and because simulated torn writes are
+strict prefixes, a referenced file whose size matches its manifest entry
+is known complete.
+
+Payloads are small dicts keyed by ``phase`` (``run`` / ``intermediate``
+/ ``merge`` / ``onepass`` / ``done``); each sorting system defines its
+own schema -- see :class:`repro.core.wiscsort.WiscSort` and
+:class:`repro.baselines.external_merge_sort.ExternalMergeSort`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import RecoveryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.filesystem import SimFS
+
+_MAGIC = b"WSCKPT1\n"
+_HEADER = len(_MAGIC) + 8 + 32  # magic + u64 body length + sha256
+
+
+def encode_manifest(payload: dict) -> np.ndarray:
+    """Serialise ``payload`` with the self-validating header."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    header = (
+        _MAGIC
+        + len(body).to_bytes(8, "little")
+        + hashlib.sha256(body).digest()
+    )
+    return np.frombuffer(header + body, dtype=np.uint8)
+
+
+def decode_manifest(data: np.ndarray) -> dict:
+    """Parse and verify manifest bytes; raises :class:`RecoveryError`."""
+    raw = bytes(bytearray(data))
+    if len(raw) < _HEADER or not raw.startswith(_MAGIC):
+        raise RecoveryError("manifest header missing or truncated")
+    length = int.from_bytes(raw[len(_MAGIC) : len(_MAGIC) + 8], "little")
+    digest = raw[len(_MAGIC) + 8 : _HEADER]
+    body = raw[_HEADER : _HEADER + length]
+    if len(body) != length:
+        raise RecoveryError("manifest body truncated")
+    if hashlib.sha256(body).digest() != digest:
+        raise RecoveryError("manifest checksum mismatch")
+    try:
+        payload = json.loads(body.decode())
+    except ValueError as exc:
+        raise RecoveryError(f"manifest is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise RecoveryError("manifest payload is not an object")
+    return payload
+
+
+class CheckpointLog:
+    """One live manifest on a simulated filesystem.
+
+    ``save`` is a generator (the manifest write is a timed device op);
+    drive it with ``yield from`` inside a simulated process.  ``load``
+    and ``discard`` are metadata operations and run untimed.
+    """
+
+    TAG = "CKPT write"
+
+    def __init__(self, fs: "SimFS", name: str, write_threads: int = 1):
+        self.fs = fs
+        self.name = name
+        self.tmp_name = name + ".tmp"
+        self.write_threads = write_threads
+
+    def save(self, payload: dict):
+        """Durably replace the manifest with ``payload`` (generator)."""
+        encoded = encode_manifest(payload)
+        if self.fs.exists(self.tmp_name):
+            self.fs.delete(self.tmp_name)
+        tmp = self.fs.create(self.tmp_name)
+        yield tmp.write(0, encoded, tag=self.TAG, threads=self.write_threads)
+        self.fs.rename(self.tmp_name, self.name)
+
+    def load(self) -> Optional[dict]:
+        """The last committed payload, or None if nothing ever committed.
+
+        A leftover torn ``.tmp`` from a crash mid-save is deleted.
+        """
+        if self.fs.exists(self.tmp_name):
+            self.fs.delete(self.tmp_name)
+        if not self.fs.exists(self.name):
+            return None
+        return decode_manifest(self.fs.open(self.name).peek())
+
+    def discard(self) -> None:
+        """Remove the manifest (end of a successfully completed sort)."""
+        for name in (self.tmp_name, self.name):
+            if self.fs.exists(name):
+                self.fs.delete(name)
+
+
+def pack_entries(entries: np.ndarray) -> str:
+    """Hex-encode residual (taken-but-unflushed) entries for a manifest."""
+    return bytes(bytearray(np.ascontiguousarray(entries).reshape(-1))).hex()
+
+
+def unpack_entries(text: str, entry_size: int) -> np.ndarray:
+    """Inverse of :func:`pack_entries`; returns an (n, entry_size) matrix."""
+    raw = bytes.fromhex(text)
+    if len(raw) % entry_size:
+        raise RecoveryError("residual entries are not a whole entry multiple")
+    return np.frombuffer(raw, dtype=np.uint8).reshape(-1, entry_size).copy()

@@ -36,9 +36,14 @@ from repro.core.kway import (
     redistribute_on_drain,
     window_bytes_per_run,
 )
+from repro.core.recovery import (
+    CheckpointLog,
+    pack_entries,
+    unpack_entries,
+)
 from repro.core.scheduler import pipelined_batches, run_ops_parallel
 from repro.device.profile import Pattern
-from repro.errors import ConfigError
+from repro.errors import ConfigError, RecoveryError
 from repro.records.format import RecordFormat
 from repro.records.validate import validate_sorted_file
 from repro.units import ceil_div
@@ -59,6 +64,7 @@ class WiscSort(SortSystem):
         merge_chunk_entries: Optional[int] = None,
         output_name: str = "wiscsort.out",
         compression: Optional["CompressionModel"] = None,
+        checkpoint: bool = False,
     ):
         self.fmt = fmt if fmt is not None else RecordFormat()
         self.config = config if config is not None else SortConfig()
@@ -67,6 +73,16 @@ class WiscSort(SortSystem):
         self.output_name = output_name
         #: Optional Sec 5 extension: compress IndexMap run files.
         self.compression = compression
+        #: Crash-consistent checkpointing (see repro.core.recovery): the
+        #: sort persists a manifest after every durable milestone and can
+        #: resume via :meth:`recover` after a simulated crash.  Off by
+        #: default -- with it off the op stream is identical to earlier
+        #: builds.
+        self.checkpoint = checkpoint
+        self._ckpt: Optional[CheckpointLog] = None
+        self._inter_seq = 0
+        #: Salvaged-vs-redone accounting of the last ``recover()`` call.
+        self.last_recovery: dict = {}
         self._run_frames: dict = {}
         self.achieved_compression_ratio: Optional[float] = None
         self.used_merge_pass: Optional[bool] = None
@@ -90,8 +106,15 @@ class WiscSort(SortSystem):
             raise ConfigError(
                 f"{n} records exceed {fmt.pointer_size}-byte pointer range"
             )
+        self._check_checkpoint_config()
         controller = ThreadPoolController(machine, self.config)
         output = machine.fs.create(self.output_name)
+        self._ckpt = (
+            CheckpointLog(machine.fs, self._manifest_name())
+            if self.checkpoint
+            else None
+        )
+        self._inter_seq = 0
         chunk = self._plan_chunk(machine, n)
         self.used_merge_pass = chunk < n
         if not self.used_merge_pass:
@@ -105,6 +128,25 @@ class WiscSort(SortSystem):
                 name="wiscsort-mergepass",
             )
         return output
+
+    def _manifest_name(self) -> str:
+        return f"{self.output_name}.manifest"
+
+    def _check_checkpoint_config(self) -> None:
+        if not self.checkpoint:
+            return
+        if self.compression is not None:
+            raise ConfigError(
+                "checkpointing is incompatible with IndexMap compression "
+                "(run-file sizes are no longer predictable, so torn runs "
+                "cannot be told apart from complete ones)"
+            )
+        if self.config.concurrency is not ConcurrencyModel.NO_IO_OVERLAP:
+            raise ConfigError(
+                "checkpointing requires the no-io-overlap concurrency "
+                "model: a checkpoint must only commit after the writes it "
+                "describes are durable"
+            )
 
     def _plan_chunk(self, machine: "Machine", n: int) -> int:
         """Entries per IndexMap chunk; == n selects OnePass."""
@@ -132,7 +174,8 @@ class WiscSort(SortSystem):
     # ------------------------------------------------------------------
     # OnePass
     # ------------------------------------------------------------------
-    def _one_pass(self, machine, input_file, output, controller, n: int):
+    def _one_pass(self, machine, input_file, output, controller, n: int,
+                  start_records: int = 0):
         fmt = self.fmt
         if n == 0:
             return
@@ -140,8 +183,11 @@ class WiscSort(SortSystem):
             machine, input_file, controller, first_record=0, count=n
         )
         yield from self._scatter_gather_out(
-            machine, input_file, output, controller, imap
+            machine, input_file, output, controller, imap,
+            skip_records=start_records,
         )
+        if self._ckpt is not None:
+            yield from self._ckpt.save({"phase": "done"})
 
     def _load_sorted_chunk(self, machine, input_file, controller, first_record, count):
         """Steps 1-2: strided key gather + concurrent in-place sort."""
@@ -167,15 +213,22 @@ class WiscSort(SortSystem):
         yield machine.sort_compute(count, tag="RUN sort", cores=controller.sort_cores())
         return imap.sorted()
 
-    def _scatter_gather_out(self, machine, input_file, output, controller, imap):
-        """Steps 3-4: batched random value gathers + sequential writes."""
+    def _scatter_gather_out(self, machine, input_file, output, controller,
+                            imap, skip_records: int = 0):
+        """Steps 3-4: batched random value gathers + sequential writes.
+
+        ``skip_records`` supports crash recovery: output batches below it
+        are already durable and are not regenerated (write-minimising
+        recovery -- the cheap key gather and sort are redone, the
+        expensive value writes are not).
+        """
         fmt = self.fmt
         batch_records = max(1, self.config.write_buffer // fmt.record_size)
         gather_pool = controller.read_threads(Pattern.RAND)
         write_pool = controller.write_threads()
         model = self.config.concurrency
         n = len(imap)
-        starts = list(range(0, n, batch_records))
+        starts = [s for s in range(0, n, batch_records) if s >= skip_records]
 
         def produce(start):
             part = imap.slice(start, min(n, start + batch_records))
@@ -190,45 +243,100 @@ class WiscSort(SortSystem):
                 offset, data.reshape(-1), tag="RUN write", threads=write_pool
             )
 
+        if self._ckpt is not None:
+            # Checkpointed OnePass: strictly sequential (NO_IO_OVERLAP is
+            # enforced), one manifest commit per durable output batch.
+            for start in starts:
+                data = yield produce(start)
+                yield consume(start, data)
+                yield from self._ckpt.save(
+                    {
+                        "phase": "onepass",
+                        "out_records": min(n, start + batch_records),
+                        "n_records": n,
+                    }
+                )
+            return
         yield from pipelined_batches(machine, model, starts, produce, consume)
 
     # ------------------------------------------------------------------
     # MergePass
     # ------------------------------------------------------------------
     def _merge_pass(self, machine, input_file, output, controller, n, chunk):
-        from repro.core.multipass import grouped, max_fanin, merge_rounds
-
         run_names = yield from self._run_phase(
             machine, input_file, controller, n, chunk
         )
+        yield from self._merge_tail(
+            machine, input_file, output, controller, run_names
+        )
+
+    def _merge_tail(self, machine, input_file, output, controller, run_names):
+        """Intermediate merge rounds + the final value-gathering merge.
+
+        Entered both by a normal MergePass run (after the run phase) and
+        by crash recovery (with the manifest's surviving run set).
+        """
+        from repro.core.multipass import grouped, max_fanin, merge_rounds
+
         # Multiple merge phases (Sec 2.1) when the IndexMap run count
         # exceeds the read buffer's fan-in.  Intermediate phases merge
         # *entries only* -- values are gathered exactly once, in the
         # final phase, which is key-value separation's second dividend.
         fanin = max_fanin(self.config.read_buffer, self.fmt.index_entry_size)
         self.merge_passes = merge_rounds(len(run_names), fanin)
-        round_no = 0
         while len(run_names) > fanin:
-            round_no += 1
             next_names: List[str] = []
-            for gi, group in enumerate(grouped(run_names, fanin)):
+            groups = list(grouped(run_names, fanin))
+            for gi, group in enumerate(groups):
                 if len(group) == 1:
                     next_names.append(group[0])
                     continue
-                inter_name = f"{self.output_name}.indexmerge{round_no}.{gi}"
+                inter_name = self._next_inter_name(machine.fs)
                 machine.fs.create(inter_name)
                 yield from self._merge_entries_to(
                     machine, machine.fs.open(inter_name), controller, group
                 )
+                next_names.append(inter_name)
+                if self._ckpt is not None:
+                    # Commit the new live set *before* deleting the
+                    # merged inputs: a crash in between leaves both, and
+                    # recovery discards whatever the manifest disowns.
+                    live = next_names + [
+                        nm for g in groups[gi + 1 :] for nm in g
+                    ]
+                    yield from self._ckpt.save(
+                        {"phase": "intermediate", "run_names": live}
+                    )
                 for name in group:
                     machine.fs.delete(name)
-                next_names.append(inter_name)
             run_names = next_names
+        if self._ckpt is not None:
+            yield from self._ckpt.save(
+                {
+                    "phase": "merge",
+                    "run_names": list(run_names),
+                    "out_records": 0,
+                    "consumed": [0] * len(run_names),
+                    "residual": "",
+                }
+            )
         yield from self._merge_phase(
             machine, input_file, output, controller, run_names
         )
         for name in run_names:
             machine.fs.delete(name)
+        if self._ckpt is not None:
+            yield from self._ckpt.save({"phase": "done"})
+
+    def _next_inter_name(self, fs) -> str:
+        """A fresh intermediate-run name (never reused across recoveries,
+        so a torn intermediate file can't collide with a survivor)."""
+        self._inter_seq += 1
+        name = f"{self.output_name}.indexmerge.{self._inter_seq}"
+        while fs.exists(name):
+            self._inter_seq += 1
+            name = f"{self.output_name}.indexmerge.{self._inter_seq}"
+        return name
 
     def _merge_entries_to(self, machine, out_file, controller, run_names):
         """Intermediate merge phase: merge IndexMap runs entry-wise.
@@ -345,26 +453,46 @@ class WiscSort(SortSystem):
                 pending_write = yield Spawn(_op_runner(write_op), "imap-write")
             else:
                 yield write_op
+                if self._ckpt is not None:
+                    yield from self._ckpt.save(
+                        {
+                            "phase": "run",
+                            "runs_done": len(run_names),
+                            "n_runs": len(firsts),
+                        }
+                    )
         if pending_write is not None:
             from repro.sim.engine import Join
 
             yield Join(pending_write)
         return run_names
 
-    def _merge_phase(self, machine, input_file, output, controller, run_names):
-        """Steps 6-9: cursor merge + offset queue + batched gathers."""
+    def _merge_phase(self, machine, input_file, output, controller, run_names,
+                     resume=None):
+        """Steps 6-9: cursor merge + offset queue + batched gathers.
+
+        ``resume`` (crash recovery) carries the last committed merge
+        checkpoint: per-run consumed entry counts, durable output record
+        count and the taken-but-unflushed residual entries.
+        """
         fmt = self.fmt
         entry = fmt.index_entry_size
         k = len(run_names)
         window = window_bytes_per_run(self.config.read_buffer, k, entry)
         cursors = [self._make_cursor(machine, name, window) for name in run_names]
+        if resume is not None:
+            for cursor, consumed in zip(cursors, resume["consumed"]):
+                cursor.skip_entries(consumed)
         yield from self._merge_loop(
-            machine, input_file, output, controller, cursors
+            machine, input_file, output, controller, cursors,
+            run_names=run_names, resume=resume,
         )
 
-    def _merge_loop(self, machine, input_file, output, controller, cursors):
+    def _merge_loop(self, machine, input_file, output, controller, cursors,
+                    run_names=None, resume=None):
         """The cursor-driven merge over any mix of run cursors."""
         fmt = self.fmt
+        entry = fmt.index_entry_size
         read_pool = controller.read_threads(Pattern.SEQ)
         gather_pool = controller.read_threads(Pattern.RAND)
         write_pool = controller.write_threads()
@@ -373,6 +501,12 @@ class WiscSort(SortSystem):
         pending_entries: List[np.ndarray] = []
         pending_count = 0
         out_offset = 0
+        if resume is not None:
+            residual = unpack_entries(resume["residual"], entry)
+            if residual.shape[0]:
+                pending_entries = [residual]
+                pending_count = residual.shape[0]
+            out_offset = resume["out_records"] * fmt.record_size
 
         def flush_batches(final: bool):
             """Generator: drain full offset-queue batches to the output."""
@@ -399,6 +533,24 @@ class WiscSort(SortSystem):
                         write_at, data.reshape(-1), tag="MERGE write",
                         threads=write_pool,
                     )
+                    if self._ckpt is not None and run_names is not None:
+                        # Consistent snapshot: per-cursor consumption
+                        # covers both the durable output and the residual
+                        # (taken-but-unflushed) entries saved alongside.
+                        rest_flat = (
+                            np.concatenate(pending_entries, axis=0)
+                            if pending_entries
+                            else np.zeros((0, entry), dtype=np.uint8)
+                        )
+                        yield from self._ckpt.save(
+                            {
+                                "phase": "merge",
+                                "run_names": list(run_names),
+                                "out_records": out_offset // fmt.record_size,
+                                "consumed": [c.taken for c in cursors],
+                                "residual": pack_entries(rest_flat),
+                            }
+                        )
                 elif model is ConcurrencyModel.IO_OVERLAP:
                     data = yield gather_op
                     write_op = output.write(
@@ -461,3 +613,162 @@ class WiscSort(SortSystem):
             from repro.sim.engine import Join
 
             yield Join(overlap_writes)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _execute_recover(self, machine: "Machine", input_file: "SimFile"):
+        """Resume after a :class:`~repro.errors.SimulatedCrash`.
+
+        Loads the last committed manifest, classifies every on-device
+        artifact as salvageable (complete per the durability rules in
+        DESIGN.md) or torn (discarded and redone), and re-enters the sort
+        at the furthest checkpointed point.  Repeated crashes during
+        recovery are safe: every path below is itself checkpointed.
+        """
+        if not self.checkpoint:
+            raise RecoveryError(
+                f"{self.name}: recovery requires checkpoint=True"
+            )
+        self._check_checkpoint_config()
+        fmt = self.fmt
+        fs = machine.fs
+        n = input_file.size // fmt.record_size
+        controller = ThreadPoolController(machine, self.config)
+        output = (
+            fs.open(self.output_name)
+            if fs.exists(self.output_name)
+            else fs.create(self.output_name)
+        )
+        self._ckpt = CheckpointLog(fs, self._manifest_name())
+        state = self._ckpt.load()
+        # Same machine configuration => same OnePass/MergePass decision
+        # and chunking as the crashed run.
+        chunk = self._plan_chunk(machine, n)
+        self.used_merge_pass = chunk < n
+        self.last_recovery = metrics = {
+            "salvaged_bytes": 0,
+            "redone_bytes": 0,
+            "salvaged_runs": 0,
+            "redone_runs": 0,
+        }
+        machine.run(
+            self._recover_driver(
+                machine, input_file, output, controller, n, chunk, state, metrics
+            ),
+            name="wiscsort-recover",
+        )
+        return output
+
+    def _recover_driver(self, machine, input_file, output, controller, n,
+                        chunk, state, metrics):
+        fmt = self.fmt
+        fs = machine.fs
+        phase = state.get("phase") if state else None
+        if phase == "done":
+            # Crashed after the sort completed (e.g. during validation):
+            # the whole output is durable.
+            metrics["salvaged_bytes"] += output.size
+            return
+        if not self.used_merge_pass:
+            out_records = state["out_records"] if phase == "onepass" else 0
+            keep = out_records * fmt.record_size
+            if output.size > keep:
+                metrics["redone_bytes"] += output.size - keep
+                output.truncate(keep)
+            metrics["salvaged_bytes"] += keep
+            yield from self._one_pass(
+                machine, input_file, output, controller, n,
+                start_records=out_records,
+            )
+            return
+        if phase == "merge":
+            run_names = state["run_names"]
+            metrics["redone_bytes"] += self._drop_strays(fs, run_names)
+            keep = state["out_records"] * fmt.record_size
+            if output.size > keep:
+                metrics["redone_bytes"] += output.size - keep
+                output.truncate(keep)
+            metrics["salvaged_bytes"] += keep
+            for name in run_names:
+                metrics["salvaged_bytes"] += fs.open(name).size
+            metrics["salvaged_runs"] += len(run_names)
+            resume = {
+                "consumed": state["consumed"],
+                "out_records": state["out_records"],
+                "residual": state.get("residual", ""),
+            }
+            yield from self._merge_phase(
+                machine, input_file, output, controller, run_names,
+                resume=resume,
+            )
+            for name in run_names:
+                fs.delete(name)
+            yield from self._ckpt.save({"phase": "done"})
+            return
+        if phase == "intermediate":
+            run_names = state["run_names"]
+            metrics["redone_bytes"] += self._drop_strays(fs, run_names)
+            if output.size:
+                metrics["redone_bytes"] += output.size
+                output.truncate(0)
+            for name in run_names:
+                metrics["salvaged_bytes"] += fs.open(name).size
+            metrics["salvaged_runs"] += len(run_names)
+            yield from self._merge_tail(
+                machine, input_file, output, controller, run_names
+            )
+            return
+        # phase is "run" or None: salvage complete IndexMap runs by their
+        # expected exact size (torn writes are strict prefixes, so a
+        # full-size run file is known complete) and rebuild the rest.
+        entry = fmt.index_entry_size
+        if output.size:
+            metrics["redone_bytes"] += output.size
+            output.truncate(0)
+        firsts = list(range(0, n, chunk))
+        run_names: List[str] = []
+        write_pool = controller.write_threads()
+        for i, first in enumerate(firsts):
+            count = min(chunk, n - first)
+            name = f"{self.output_name}.indexmap.{i}"
+            expected = count * entry
+            run_names.append(name)
+            if fs.exists(name) and fs.open(name).size == expected:
+                metrics["salvaged_bytes"] += expected
+                metrics["salvaged_runs"] += 1
+                continue
+            if fs.exists(name):
+                metrics["redone_bytes"] += fs.open(name).size
+                fs.delete(name)
+            metrics["redone_bytes"] += expected
+            metrics["redone_runs"] += 1
+            imap = yield from self._load_sorted_chunk(
+                machine, input_file, controller, first, count
+            )
+            run_file = fs.create(name)
+            yield run_file.write(
+                0, imap.to_bytes(), tag="RUN write", threads=write_pool
+            )
+            yield from self._ckpt.save(
+                {"phase": "run", "runs_done": i + 1, "n_runs": len(firsts)}
+            )
+        yield from self._merge_tail(
+            machine, input_file, output, controller, run_names
+        )
+
+    def _drop_strays(self, fs, live) -> int:
+        """Delete artifacts the manifest disowns (torn intermediates,
+        already-merged inputs whose delete didn't happen before the
+        crash).  Returns the byte total dropped."""
+        keep = set(live)
+        keep.update(
+            (self.output_name, self._manifest_name(), self._ckpt.tmp_name)
+        )
+        prefix = self.output_name + "."
+        dropped = 0
+        for name in list(fs.list()):
+            if name.startswith(prefix) and name not in keep:
+                dropped += fs.open(name).size
+                fs.delete(name)
+        return dropped

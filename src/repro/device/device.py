@@ -105,6 +105,11 @@ class BraidRateModel(RateModel):
         self._cache: "OrderedDict[tuple, dict]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Global device-throughput multiplier in (0, 1].  The fault
+        #: injector lowers it during transient-degradation windows
+        #: (interference storms); it scales every I/O cap and is part of
+        #: the memo key so cached assignments stay exact.
+        self.degrade = 1.0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -138,7 +143,7 @@ class BraidRateModel(RateModel):
                 op._sig = sig
             pairs.append((sig, op))
         if self.memoize:
-            key = tuple(sorted(sig for sig, _ in pairs))
+            key = (self.degrade,) + tuple(sorted(sig for sig, _ in pairs))
             table = self._cache.get(key)
             if table is not None:
                 self._cache.move_to_end(key)
@@ -187,13 +192,13 @@ class BraidRateModel(RateModel):
         curve = self.profile.read_curve(op.attrs["pattern"])
         share = op.attrs["threads"] / max(1.0, n_readers)
         penalty = self.profile.interference.read_multiplier(n_writers)
-        return curve.aggregate(n_readers) * share * penalty
+        return curve.aggregate(n_readers) * share * penalty * self.degrade
 
     def _write_cap(self, op: FluidOp, n_writers: float, n_readers: float) -> float:
         curve = self.profile.write
         share = op.attrs["threads"] / max(1.0, n_writers)
         penalty = self.profile.interference.write_multiplier(n_readers)
-        return curve.aggregate(n_writers) * share * penalty
+        return curve.aggregate(n_writers) * share * penalty * self.degrade
 
     def _io_coefs(self, op: FluidOp) -> Dict[str, float]:
         return {

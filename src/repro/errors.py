@@ -33,7 +33,26 @@ class FileExistsInSimError(StorageError):
 
 
 class OutOfSpaceError(StorageError):
-    """The simulated device has no capacity left for the request."""
+    """The simulated device has no capacity left for the request.
+
+    Carries ``requested`` and ``available`` byte counts so callers (and
+    error messages) can report exactly how far over budget the request
+    was.  ``transient`` marks injector-scripted ENOSPC bursts that a
+    bounded-retry policy may retry; genuine capacity exhaustion is
+    permanent.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        requested: int = 0,
+        available: int = 0,
+        transient: bool = False,
+    ):
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+        self.transient = transient
 
 
 class DramBudgetError(ReproError):
@@ -50,3 +69,86 @@ class ValidationError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid or inconsistent configuration values."""
+
+
+class FaultError(ReproError):
+    """Base class for simulated device/media faults (:mod:`repro.faults`).
+
+    ``transient`` declares whether a bounded-retry policy may retry the
+    failed operation (transient bandwidth collapse, ENOSPC bursts) or
+    must escalate immediately (uncorrectable media errors).
+    """
+
+    #: Whether retrying the operation can possibly succeed.
+    transient: bool = False
+
+
+class MediaReadError(FaultError):
+    """An uncorrectable media error (poisoned line) on a read.
+
+    Permanent: the affected extent cannot be read back no matter how
+    often the request is retried, so the retry layer escalates it
+    immediately after charging the failed attempt to the device.
+    """
+
+    transient = False
+
+
+class TornWriteError(FaultError):
+    """A write persisted only a prefix of its payload.
+
+    Raised in two situations: (a) by the injector when a scripted torn
+    write fails mid-flight (the durable prefix stays on media and the
+    caller may retry the full write), and (b) by crash recovery when a
+    file's durable size does not match its manifest entry, i.e. a crash
+    interrupted the write.
+    """
+
+    transient = True
+
+    def __init__(self, message: str, durable_bytes: int = 0, expected_bytes: int = 0):
+        super().__init__(message)
+        self.durable_bytes = durable_bytes
+        self.expected_bytes = expected_bytes
+
+
+class TransientDeviceError(FaultError):
+    """A transient device failure (interference, controller hiccup).
+
+    Retryable: the retry layer backs off in simulated time and reissues
+    the operation, which typically succeeds.
+    """
+
+    transient = True
+
+
+class SimulatedCrash(FaultError):
+    """The machine lost power at a scripted point in the simulation.
+
+    In-flight writes are torn down to their durable prefix and the
+    exception unwinds the whole event loop.  Callers recover by
+    ``Machine.reboot()`` followed by the sorting system's ``recover()``
+    entry point (see :mod:`repro.faults.harness`).
+    """
+
+    transient = False
+
+    def __init__(self, message: str, at_time: float = 0.0, at_op: int = -1):
+        super().__init__(message)
+        self.at_time = at_time
+        self.at_op = at_op
+
+
+class RetryExhaustedError(FaultError):
+    """A transient fault persisted past the retry policy's attempt budget."""
+
+    transient = False
+
+    def __init__(self, message: str, attempts: int = 0, last_fault: Exception | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_fault = last_fault
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a resumable state."""

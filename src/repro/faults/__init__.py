@@ -1,0 +1,37 @@
+"""Deterministic fault injection and crash recovery (:mod:`repro.faults`).
+
+The subsystem has four parts:
+
+* :mod:`repro.faults.plan` -- :class:`FaultPlan`: a seeded, declarative
+  schedule of faults (scripted per-op events, per-op probabilities,
+  timed crash points, throughput-degradation windows) plus the
+  ``crash@50%``-style spec-string parser used by the CLI.
+* :mod:`repro.faults.injector` -- :class:`FaultInjector`: wraps the
+  storage layer; every timed file op consults it and may fail, retry or
+  crash.  Installed via :meth:`repro.machine.Machine.install_faults`.
+* :mod:`repro.faults.retry` -- :class:`RetryPolicy` and the engine
+  command implementing bounded retries with simulated-time exponential
+  backoff and seeded jitter.
+* :mod:`repro.faults.harness` -- :func:`run_with_faults`: drives a
+  sorting system through crash / reboot / ``recover()`` cycles.
+
+Everything is deterministic given ``FaultPlan.seed``: the same seed
+yields the same fault schedule, the same retry jitter and (because the
+simulation kernel is deterministic) the same final statistics.
+"""
+
+from repro.faults.harness import FaultRunReport, run_with_faults
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FaultEvent, FaultPlan, parse_fault_spec
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRunReport",
+    "FaultStats",
+    "RetryPolicy",
+    "parse_fault_spec",
+    "run_with_faults",
+]

@@ -54,6 +54,47 @@ class Machine:
         self.engine.fluid.interval_observers.append(self.stats.observe)
         self.fs = SimFS(self)
         self.dram = DramTracker(dram_budget)
+        #: Installed :class:`repro.faults.injector.FaultInjector`, if any.
+        self.faults = None
+
+    # ------------------------------------------------------------------
+    # Fault injection and crash recovery
+    # ------------------------------------------------------------------
+    def install_faults(self, plan, count_only: bool = False):
+        """Install a :class:`~repro.faults.plan.FaultPlan` on this machine.
+
+        Returns the :class:`~repro.faults.injector.FaultInjector`.  With
+        an empty plan the injector stays unarmed and the storage layer
+        takes its fault-free fast path (zero overhead); ``count_only``
+        arms it purely as an op counter (probe runs).
+        """
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(plan, count_only=count_only)
+        injector.attach(self)
+        self.faults = injector
+        return injector
+
+    def reboot(self) -> None:
+        """Crash recovery: replace the engine, carrying the clock forward.
+
+        Models a host restart after a :class:`~repro.errors.SimulatedCrash`:
+        volatile state (in-flight processes, DRAM contents, any transient
+        degradation) is lost, while the device -- filesystem contents and
+        accumulated statistics -- survives.  The new engine's clock
+        continues from the crash time, so recovery cost is visible in the
+        total simulated duration.  An installed fault injector is
+        re-attached and keeps its global op counter and fired-event
+        state.
+        """
+        now = self.engine.now
+        batch_ops = self.engine.batch_ops
+        self.rate_model.degrade = 1.0
+        self.engine = Engine(self.rate_model, batch_ops=batch_ops, start_time=now)
+        self.engine.fluid.interval_observers.append(self.stats.observe)
+        self.dram = DramTracker(self.dram.budget)
+        if self.faults is not None:
+            self.faults.attach(self)
 
     # ------------------------------------------------------------------
     # Op builders

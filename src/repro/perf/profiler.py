@@ -65,13 +65,42 @@ class SelfPerfProfiler:
 
 
 def collect_counters(machine) -> Dict[str, float]:
-    """Snapshot every self-performance counter of a machine's kernel."""
+    """Snapshot every self-performance counter of a machine's kernel.
+
+    With a fault injector installed (:meth:`Machine.install_faults`) the
+    snapshot grows ``fault_*`` entries -- retries, backoff, crashes,
+    salvaged-vs-redone recovery bytes -- so fault-injected runs report
+    their robustness overhead alongside the kernel counters.
+    """
     engine = machine.engine
     fluid = engine.fluid
     model = machine.rate_model
     hits = getattr(model, "cache_hits", 0)
     misses = getattr(model, "cache_misses", 0)
     lookups = hits + misses
+    counters = _base_counters(machine, engine, fluid, hits, misses, lookups)
+    if machine.faults is not None:
+        fs = machine.faults.stats
+        counters.update(
+            {
+                "fault_ops_seen": fs.ops_seen,
+                "fault_injected": fs.faults_injected,
+                "fault_retries": fs.retries,
+                "fault_backoff_seconds": fs.backoff_seconds,
+                "fault_retries_exhausted": fs.exhausted,
+                "fault_crashes": fs.crashes,
+                "fault_recoveries": fs.recoveries,
+                "fault_torn_writes": fs.torn_writes,
+                "fault_torn_bytes_discarded": fs.torn_bytes_discarded,
+                "fault_slow_windows": fs.slow_windows,
+                "fault_salvaged_bytes": fs.salvaged_bytes,
+                "fault_redone_bytes": fs.redone_bytes,
+            }
+        )
+    return counters
+
+
+def _base_counters(machine, engine, fluid, hits, misses, lookups) -> Dict[str, float]:
     return {
         "sim_seconds": engine.now,
         "engine_steps": engine.steps,
@@ -122,6 +151,28 @@ def render_report(
         )
     else:
         lines.append("  rate memo      : disabled / unused")
+    if "fault_ops_seen" in c:
+        lines.append(
+            "  faults         : "
+            f"{int(c['fault_injected'])} injected over "
+            f"{int(c['fault_ops_seen'])} file ops, "
+            f"{int(c['fault_crashes'])} crashes, "
+            f"{int(c['fault_slow_windows'])} slow windows"
+        )
+        lines.append(
+            "  retries        : "
+            f"{int(c['fault_retries'])} retries "
+            f"({c['fault_backoff_seconds']:.6f} s backoff), "
+            f"{int(c['fault_retries_exhausted'])} exhausted, "
+            f"{int(c['fault_torn_writes'])} torn writes "
+            f"({int(c['fault_torn_bytes_discarded'])} B discarded)"
+        )
+        lines.append(
+            "  recovery       : "
+            f"{int(c['fault_recoveries'])} recoveries, "
+            f"{int(c['fault_salvaged_bytes'])} B salvaged vs "
+            f"{int(c['fault_redone_bytes'])} B redone"
+        )
     if profiler is not None and profiler.phases:
         lines.append("  wall clock     :")
         for name, elapsed in profiler.ordered_phases():

@@ -107,7 +107,16 @@ class ParallelOps:
 class Process:
     """A simulated thread of control wrapping a generator."""
 
-    __slots__ = ("gen", "name", "pid", "done", "result", "_callbacks", "_resume_value")
+    __slots__ = (
+        "gen",
+        "name",
+        "pid",
+        "done",
+        "result",
+        "_callbacks",
+        "_resume_value",
+        "_resume_exc",
+    )
 
     def __init__(self, gen: SimGenerator, name: str, pid: int):
         self.gen = gen
@@ -117,6 +126,7 @@ class Process:
         self.result: Any = None
         self._callbacks: list[Callable[["Process"], None]] = []
         self._resume_value: Any = None
+        self._resume_exc: Optional[BaseException] = None
 
     def add_done_callback(self, fn: Callable[["Process"], None]) -> None:
         if self.done:
@@ -139,9 +149,13 @@ class Process:
 class Engine:
     """The event loop: owns the clock, ready queue and fluid scheduler."""
 
-    def __init__(self, rate_model: RateModel, batch_ops: bool = False):
-        self.now = 0.0
-        self.fluid = FluidScheduler(rate_model)
+    def __init__(
+        self, rate_model: RateModel, batch_ops: bool = False, start_time: float = 0.0
+    ):
+        #: ``start_time`` supports post-crash reboots: the replacement
+        #: engine continues the simulated clock of its predecessor.
+        self.now = start_time
+        self.fluid = FluidScheduler(rate_model, start_time=start_time)
         #: Aggregate homogeneous ops issued in one ParallelOps command
         #: into a single carrier op.  Off by default: batching changes
         #: float summation order, so results are equivalent only to
@@ -169,11 +183,35 @@ class Engine:
         self._ready.append(proc)
         return proc
 
-    def resume(self, proc: Process, value: Any = None) -> None:
-        """Make a blocked process ready again (used by primitives)."""
+    def resume(
+        self,
+        proc: Process,
+        value: Any = None,
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        """Make a blocked process ready again (used by primitives).
+
+        When ``exc`` is given the process is resumed by *throwing* the
+        exception into its generator at the suspended ``yield`` -- the
+        retry layer uses this to escalate permanent device faults into
+        the issuing simulated thread.
+        """
         self._blocked -= 1
         proc._resume_value = value
+        proc._resume_exc = exc
         self._ready.append(proc)
+
+    def issue_op(self, op: FluidOp, collector: Callable[[FluidOp], None]) -> None:
+        """Issue a fluid op outside any process context.
+
+        ``collector(op)`` runs when the op completes; used by command
+        objects (retrying I/O) that manage their own completion logic.
+        """
+        op._collector = collector
+        self.fluid.add(op, self.now)
+        if op.finished_at is not None:
+            # Zero-work op completed instantly.
+            self._complete_op(op)
 
     def block(self) -> None:
         """Account for a process that a primitive has parked."""
@@ -291,20 +329,36 @@ class Engine:
         if proc is not None:
             self.resume(proc, value)
 
-    def _issue_parallel(self, ops: list[FluidOp], proc: Process) -> None:
+    def _issue_parallel(self, ops: list, proc: Process) -> None:
         """Add ``ops`` to the fluid scheduler at the current instant and
-        park ``proc`` until every one has completed."""
+        park ``proc`` until every one has completed.
+
+        Besides plain :class:`FluidOp` items, the list may contain
+        command objects exposing ``_collect_execute(engine, callback)``
+        (the fault layer's retrying I/O): they run concurrently with the
+        fluid ops and deliver their result through the callback.  The
+        first command that fails resumes ``proc`` with the exception;
+        stragglers complete harmlessly afterwards.
+        """
         if not ops:
             proc._resume_value = []
             self._ready.append(proc)
             return
-        if self.batch_ops and len(ops) > 1:
-            groups = self._coalesce_parallel(ops)
+        fluid_items = [(i, op) for i, op in enumerate(ops) if isinstance(op, FluidOp)]
+        other_items = [(i, op) for i, op in enumerate(ops) if not isinstance(op, FluidOp)]
+        if self.batch_ops and len(fluid_items) > 1:
+            groups = self._coalesce_parallel(fluid_items)
         else:
-            groups = [(op, ((i, op),)) for i, op in enumerate(ops)]
+            groups = [(op, ((i, op),)) for i, op in fluid_items]
         self._blocked += 1
         results: list[Any] = [None] * len(ops)
-        pending = [len(groups)]
+        pending = [len(groups) + len(other_items)]
+        state = {"failed": False}
+
+        def finish_one() -> None:
+            pending[0] -= 1
+            if pending[0] == 0 and not state["failed"]:
+                self.resume(proc, results)
 
         def on_carrier_done(carrier: FluidOp, members) -> None:
             for i, op in members:
@@ -316,9 +370,19 @@ class Engine:
                 results[i] = (
                     op.on_complete(op) if op.on_complete is not None else op
                 )
-            pending[0] -= 1
-            if pending[0] == 0:
-                self.resume(proc, results)
+            finish_one()
+
+        def make_callback(i: int):
+            def callback(value: Any = None, exc: Optional[BaseException] = None):
+                if exc is not None:
+                    if not state["failed"]:
+                        state["failed"] = True
+                        self.resume(proc, exc=exc)
+                    return
+                results[i] = value
+                finish_one()
+
+            return callback
 
         for carrier, members in groups:
             carrier._collector = (
@@ -328,21 +392,24 @@ class Engine:
             if carrier.finished_at is not None:
                 # Zero-work carrier completed instantly.
                 self._complete_op(carrier)
+        for i, item in other_items:
+            item._collect_execute(self, make_callback(i))
 
-    def _coalesce_parallel(self, ops: list[FluidOp]):
+    def _coalesce_parallel(self, indexed_ops: list):
         """Merge homogeneous ops into carrier ops with summed work.
 
-        Ops sharing (kind, tag, attrs) progress at identical rates under
-        any attribute-driven model, so a carrier with their summed work
-        (and summed thread/core count, preserving the device's view of
-        total parallelism) finishes exactly when each member would have.
+        Takes ``(result_index, op)`` pairs.  Ops sharing (kind, tag,
+        attrs) progress at identical rates under any attribute-driven
+        model, so a carrier with their summed work (and summed
+        thread/core count, preserving the device's view of total
+        parallelism) finishes exactly when each member would have.
         Stats attribution is unaffected: submissions were credited at op
         creation, and interval observers see the same tag moving the
         same total bytes.
         """
         buckets: dict = {}
         order = []
-        for i, op in enumerate(ops):
+        for i, op in indexed_ops:
             attrs = op.attrs
             akey = None if attrs is None else tuple(sorted(attrs.items()))
             key = (op.kind, op.tag, akey)
@@ -377,8 +444,12 @@ class Engine:
     def _step(self, proc: Process) -> None:
         self.steps += 1
         value, proc._resume_value = proc._resume_value, None
+        exc, proc._resume_exc = proc._resume_exc, None
         try:
-            command = proc.gen.send(value)
+            if exc is not None:
+                command = proc.gen.throw(exc)
+            else:
+                command = proc.gen.send(value)
         except StopIteration as stop:
             self._live_processes -= 1
             proc._finish(stop.value)

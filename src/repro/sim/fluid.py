@@ -200,10 +200,10 @@ class FluidScheduler:
     current rates.
     """
 
-    def __init__(self, model: RateModel):
+    def __init__(self, model: RateModel, start_time: float = 0.0):
         self.model = model
         self.active: set[FluidOp] = set()
-        self._last_settled = 0.0
+        self._last_settled = start_time
         self.dirty = False
         #: Observers called as fn(t0, t1, ops) for every constant-rate
         #: interval, used by bandwidth timeline recorders.  Ops are
@@ -321,6 +321,19 @@ class FluidScheduler:
                             heapq.heappush(heap, (now, op.seq, op._heap_ver, op))
                 self.ops_rerated += n
         self.dirty = False
+
+    def invalidate_rates(self) -> None:
+        """Force a full re-rate at the next settle point.
+
+        Used when the rate model's *global* state changes mid-run (e.g.
+        a fault-injected throughput-degradation window opening or
+        closing): every resource group is marked dirty so the next
+        ``rerate`` call recomputes all active rates under the new model
+        state.
+        """
+        self._dirty_keys.update(self._groups)
+        if self._groups:
+            self.dirty = True
 
     def pop_completed(self, now: float) -> list[FluidOp]:
         """Remove and return ops whose scheduled finish time has arrived.

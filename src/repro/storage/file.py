@@ -11,6 +11,14 @@ Pooled operations: ``threads=N`` tells the rate model the op stands for
 N device threads working in parallel, which is how the sort
 implementations express thread-pool-sized I/O without spawning N
 simulated processes per buffer.
+
+Fault injection: when the owning filesystem carries an *armed*
+:class:`~repro.faults.injector.FaultInjector`, every timed operation is
+routed through it -- the injector may return the plain op (no fault), a
+retrying command object (transient faults, backoff in simulated time),
+or raise (crash / permanent media error).  With no injector, or an
+installed-but-empty one, the fast path below is taken and behaviour is
+bit-identical to a fault-free build.
 """
 
 from __future__ import annotations
@@ -64,9 +72,26 @@ class SimFile:
         arr = _as_u8(data)
         new_size = max(self.size, offset + arr.size)
         if new_size > self.size:
-            self._fs.charge_growth(new_size - self.size)
+            self._fs.charge_growth(new_size - self.size, name=self.name)
         self._ensure_capacity(new_size)
         self._data[offset : offset + arr.size] = arr
+        self.size = new_size
+
+    def truncate(self, new_size: int) -> None:
+        """Discard bytes past ``new_size`` (torn-write rollback, recovery).
+
+        Released capacity is returned to the filesystem; the zeroed tail
+        stays allocated in the backing array (it is simulator memory, not
+        simulated device space).
+        """
+        if new_size < 0 or new_size > self.size:
+            raise StorageError(
+                f"cannot truncate {self.name!r} (size {self.size}) to {new_size}"
+            )
+        if new_size == self.size:
+            return
+        self._data[new_size : self.size] = 0
+        self._fs.release(self.size - new_size)
         self.size = new_size
 
     # ------------------------------------------------------------------
@@ -77,6 +102,17 @@ class SimFile:
     ) -> FluidOp:
         """Sequential read; resumes with a copy of the bytes."""
         self._check_extent(offset, nbytes)
+        inj = self._fs.injector
+        if inj is not None and inj.armed:
+            return inj.issue_read(
+                self,
+                nbytes,
+                tag,
+                lambda: self._build_read(offset, nbytes, tag, threads),
+            )
+        return self._build_read(offset, nbytes, tag, threads)
+
+    def _build_read(self, offset: int, nbytes: int, tag: str, threads: int) -> FluidOp:
         payload = self._data[offset : offset + nbytes].copy()
         op = self._machine_io("read", Pattern.SEQ, nbytes, tag, threads=threads)
         op.on_complete = lambda _op: payload
@@ -87,6 +123,9 @@ class SimFile:
     ) -> FluidOp:
         """Sequential write at ``offset`` (extends the file if needed)."""
         arr = _as_u8(data)
+        inj = self._fs.injector
+        if inj is not None and inj.armed:
+            return inj.issue_write(self, offset, arr, tag, threads)
         self.poke(offset, arr)
         return self._machine_io("write", Pattern.SEQ, arr.size, tag, threads=threads)
 
@@ -121,19 +160,26 @@ class SimFile:
             raise StorageError("stride smaller than access size")
         last = offset + (count - 1) * stride + access_size
         self._check_extent(offset, last - offset)
-        starts = offset + _arange(count) * stride
-        payload = self._data[starts[:, None] + _arange(access_size)]
-        op = self._machine_io(
-            "read",
-            Pattern.STRIDED,
-            count * access_size,
-            tag,
-            accesses=count,
-            stride=stride,
-            threads=threads,
-        )
-        op.on_complete = lambda _op: payload
-        return op
+
+        def build() -> FluidOp:
+            starts = offset + _arange(count) * stride
+            payload = self._data[starts[:, None] + _arange(access_size)]
+            op = self._machine_io(
+                "read",
+                Pattern.STRIDED,
+                count * access_size,
+                tag,
+                accesses=count,
+                stride=stride,
+                threads=threads,
+            )
+            op.on_complete = lambda _op: payload
+            return op
+
+        inj = self._fs.injector
+        if inj is not None and inj.armed:
+            return inj.issue_read(self, count * access_size, tag, build)
+        return build()
 
     def read_gather(
         self,
@@ -157,17 +203,24 @@ class SimFile:
             raise StorageError(
                 f"gather outside file {self.name!r} (size {self.size})"
             )
-        payload = self._data[starts[:, None] + _arange(access_size)]
-        op = self._machine_io(
-            "read",
-            Pattern.RAND,
-            int(starts.size) * access_size,
-            tag,
-            accesses=int(starts.size),
-            threads=threads,
-        )
-        op.on_complete = lambda _op: payload
-        return op
+
+        def build() -> FluidOp:
+            payload = self._data[starts[:, None] + _arange(access_size)]
+            op = self._machine_io(
+                "read",
+                Pattern.RAND,
+                int(starts.size) * access_size,
+                tag,
+                accesses=int(starts.size),
+                threads=threads,
+            )
+            op.on_complete = lambda _op: payload
+            return op
+
+        inj = self._fs.injector
+        if inj is not None and inj.armed:
+            return inj.issue_read(self, int(starts.size) * access_size, tag, build)
+        return build()
 
     def read_gather_var(
         self,
@@ -192,14 +245,21 @@ class SimFile:
         ends = starts + sizes
         if starts.min() < 0 or int(ends.max()) > self.size:
             raise StorageError(f"variable gather outside file {self.name!r}")
-        pieces = [self._data[s:e] for s, e in zip(starts, ends)]
-        payload = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.uint8)
-        work = machine.profile.random_batch_work(sizes)
-        op = machine.io_raw(
-            work, "read", Pattern.RAND, int(sizes.sum()), tag, threads=threads
-        )
-        op.on_complete = lambda _op: payload
-        return op
+
+        def build() -> FluidOp:
+            pieces = [self._data[s:e] for s, e in zip(starts, ends)]
+            payload = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.uint8)
+            work = machine.profile.random_batch_work(sizes)
+            op = machine.io_raw(
+                work, "read", Pattern.RAND, int(sizes.sum()), tag, threads=threads
+            )
+            op.on_complete = lambda _op: payload
+            return op
+
+        inj = self._fs.injector
+        if inj is not None and inj.armed:
+            return inj.issue_read(self, int(sizes.sum()), tag, build)
+        return build()
 
     # ------------------------------------------------------------------
     def _machine_io(

@@ -27,6 +27,11 @@ class SimFS:
         self.machine = machine
         self._files: Dict[str, SimFile] = {}
         self.used = 0
+        #: Optional :class:`repro.faults.injector.FaultInjector`.  When
+        #: installed *and armed*, every timed SimFile operation consults
+        #: it; ``None`` (or an unarmed injector) is the zero-overhead
+        #: fast path.
+        self.injector = None
 
     @property
     def capacity(self) -> int:
@@ -57,15 +62,44 @@ class SimFS:
             raise FileNotFoundInSimError(name)
         self.used -= f.size
 
+    def rename(self, old: str, new: str) -> None:
+        """Atomically rename ``old`` to ``new``, replacing any existing file.
+
+        This is the checkpoint layer's commit primitive: a manifest is
+        written to a temporary name and renamed over the live one, so a
+        crash leaves either the old or the new manifest intact, never a
+        torn mixture.  Modelled as a free metadata operation.
+        """
+        f = self._files.pop(old, None)
+        if f is None:
+            raise FileNotFoundInSimError(old)
+        existing = self._files.pop(new, None)
+        if existing is not None:
+            self.used -= existing.size
+        f.name = new
+        self._files[new] = f
+
     def list(self) -> List[str]:
         return sorted(self._files)
 
-    def charge_growth(self, nbytes: int) -> None:
+    def charge_growth(self, nbytes: int, name: str = "") -> None:
         """Account for a file growing by ``nbytes`` (called by SimFile)."""
         if nbytes <= 0:
             return
-        if self.used + nbytes > self.capacity:
+        available = self.capacity - self.used
+        if nbytes > available:
+            where = f" growing {name!r}" if name else ""
             raise OutOfSpaceError(
-                f"device full: used {self.used} + {nbytes} > {self.capacity}"
+                f"device full{where}: requested {nbytes} B but only "
+                f"{available} B available (used {self.used} of "
+                f"{self.capacity} B)",
+                requested=nbytes,
+                available=available,
             )
         self.used += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` of capacity (truncation / torn-write rollback)."""
+        if nbytes < 0:
+            raise OutOfSpaceError("cannot release negative bytes")
+        self.used -= nbytes

@@ -1,0 +1,182 @@
+"""Injector behaviour: retries, backoff, tears, windows, zero overhead."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import SortConfig
+from repro.core.wiscsort import WiscSort
+from repro.errors import (
+    MediaReadError,
+    OutOfSpaceError,
+    RetryExhaustedError,
+    TransientDeviceError,
+)
+from repro.faults import FaultEvent, FaultPlan, RetryPolicy, parse_fault_spec
+from repro.faults.injector import FaultInjector
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.units import KiB, MiB
+
+
+def sort_under(plan, n=40_000, seed=3, merge=False):
+    """Run a small WiscSort under ``plan``; returns (machine, result).
+
+    The default OnePass workload issues exactly 3 timed file ops (key
+    read, record gather, run write); ``merge=True`` switches to a
+    many-run MergePass with hundreds of ops for probabilistic plans.
+    """
+    machine = Machine()
+    if plan is not None:
+        machine.install_faults(plan)
+    data = generate_dataset(machine, "input", n, seed=seed)
+    if merge:
+        system = WiscSort(
+            RecordFormat(),
+            SortConfig(read_buffer=8 * KiB, write_buffer=8 * KiB),
+            output_name="out",
+            force_merge_pass=True,
+            merge_chunk_entries=2_000,
+        )
+    else:
+        system = WiscSort(RecordFormat(), SortConfig(), output_name="out")
+    result = system.run(machine, data)
+    return machine, result
+
+
+class TestArming:
+    def test_empty_plan_is_unarmed(self):
+        inj = FaultInjector(FaultPlan())
+        assert not inj.armed
+
+    def test_count_only_is_armed(self):
+        inj = FaultInjector(FaultPlan(), count_only=True)
+        assert inj.armed
+
+    def test_unresolved_fractions_rejected(self):
+        plan = FaultPlan(events=[FaultEvent("crash", at_frac=0.5)])
+        with pytest.raises(ValueError):
+            FaultInjector(plan)
+
+    def test_empty_injector_leaves_results_identical(self):
+        m0, r0 = sort_under(None)
+        m1, r1 = sort_under(FaultPlan())
+        assert r1.total_time == r0.total_time
+        out0 = bytes(bytearray(m0.fs.open("out").peek()))
+        out1 = bytes(bytearray(m1.fs.open("out").peek()))
+        assert out0 == out1
+        # the empty injector never even counted ops (fast path)
+        assert m1.faults.stats.ops_seen == 0
+
+    def test_count_only_counts_every_timed_op(self):
+        machine = Machine()
+        inj = machine.install_faults(FaultPlan(), count_only=True)
+        data = generate_dataset(machine, "input", 40_000, seed=3)
+        WiscSort(RecordFormat(), SortConfig(), output_name="out").run(
+            machine, data
+        )
+        assert inj.op_index > 0
+        assert inj.stats.ops_seen == inj.op_index
+        assert inj.stats.faults_injected == 0
+
+
+class TestRetries:
+    def test_transient_fault_is_retried_and_charged(self):
+        plan = parse_fault_spec("transient@op:2", seed=1)
+        machine, result = sort_under(plan)
+        stats = machine.faults.stats
+        assert stats.faults_injected == 1
+        assert stats.by_kind == {"TransientDeviceError": 1}
+        assert stats.retries == 1
+        assert stats.backoff_seconds > 0
+        # the retried attempt shows up in total simulated time vs clean run
+        _m0, clean = sort_under(None)
+        assert result.total_time > clean.total_time
+
+    def test_retry_exhaustion_escalates(self):
+        # every attempt of every op fails transiently -> budget exhausted
+        plan = FaultPlan(
+            events=[FaultEvent("transient", p=1.0)],
+            retry=RetryPolicy(max_attempts=3),
+        )
+        with pytest.raises(RetryExhaustedError) as exc_info:
+            sort_under(plan)
+        assert exc_info.value.attempts == 3
+        assert isinstance(exc_info.value.last_fault, TransientDeviceError)
+
+    def test_media_read_error_escalates_immediately(self):
+        plan = parse_fault_spec("readerr@op:1", seed=1)
+        with pytest.raises(MediaReadError):
+            sort_under(plan)
+
+    def test_enospc_burst_is_survived_by_retries(self):
+        # window [2, 4): the op-2 write fails twice (virtual indices 2,
+        # 3), then the third attempt escapes the burst and succeeds
+        plan = parse_fault_spec("enospc@op:2+2", seed=1)
+        machine, _result = sort_under(plan)
+        stats = machine.faults.stats
+        assert stats.by_kind.get("OutOfSpaceError", 0) >= 1
+        assert stats.retries >= 1
+
+    def test_torn_write_is_retried_to_full_durability(self):
+        plan = parse_fault_spec("torn@op:2", seed=1)
+        machine, result = sort_under(plan)
+        stats = machine.faults.stats
+        assert stats.torn_writes == 1
+        assert stats.torn_bytes_discarded > 0
+        assert result.validated
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(base_delay=1e-3, multiplier=2.0, jitter=0.0)
+
+        class _NoJitter:
+            def random(self):
+                return 0.0
+
+        rng = _NoJitter()
+        assert policy.delay(1, rng) == pytest.approx(1e-3)
+        assert policy.delay(2, rng) == pytest.approx(2e-3)
+        assert policy.delay(3, rng) == pytest.approx(4e-3)
+
+
+class TestSlowWindow:
+    def test_degradation_slows_but_preserves_output(self):
+        plan = parse_fault_spec("slow@t:0.0005+0.01:x0.25", seed=1)
+        m1, slow = sort_under(plan)
+        m0, clean = sort_under(None)
+        assert m1.faults.stats.slow_windows == 1
+        assert slow.total_time > clean.total_time
+        assert bytes(bytearray(m1.fs.open("out").peek())) == bytes(
+            bytearray(m0.fs.open("out").peek())
+        )
+
+    def test_degrade_resets_after_window(self):
+        # window [0.0005, 0.0007] ends well before the sort does
+        plan = parse_fault_spec("slow@t:0.0005+0.0002:x0.1", seed=1)
+        machine, _result = sort_under(plan, merge=True)
+        assert machine.faults.stats.slow_windows == 1
+        assert machine.rate_model.degrade == 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule_and_stats(self):
+        def one(seed):
+            plan = FaultPlan(
+                events=[
+                    FaultEvent("transient", p=0.02),
+                    FaultEvent("torn", p=0.01),
+                ],
+                seed=seed,
+            )
+            machine, result = sort_under(plan, merge=True)
+            out = bytes(bytearray(machine.fs.open("out").peek()))
+            return machine.faults.stats.as_dict(), result.total_time, out
+
+        a = one(77)
+        b = one(77)
+        c = one(78)
+        assert a == b
+        # a different seed yields a different schedule (overwhelmingly)
+        assert a[0] != c[0] or a[1] != c[1]

@@ -1,0 +1,115 @@
+"""Tests for the fault-plan model and the ``--faults`` spec parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultEvent, FaultPlan, parse_fault_spec
+
+
+class TestFaultEvent:
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("crash")
+        with pytest.raises(ConfigError):
+            FaultEvent("crash", at_op=5, at_time=0.1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("gremlins", at_op=1)
+
+    def test_direction_follows_kind(self):
+        assert FaultEvent("readerr", at_op=1).direction == "read"
+        assert FaultEvent("torn", at_op=1).direction == "write"
+        assert FaultEvent("crash", at_op=1).direction is None
+
+    def test_probability_range_checked(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("transient", p=1.5)
+
+    def test_slow_needs_time_trigger(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("slow", at_op=3)
+
+
+class TestFaultPlan:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert not plan.needs_probe
+        assert not plan.has_crash
+
+    def test_resolve_fractions(self):
+        plan = FaultPlan(events=[FaultEvent("crash", at_frac=0.5)])
+        assert plan.needs_probe
+        resolved = plan.resolve_fractions(100)
+        assert not resolved.needs_probe
+        assert resolved.events[0].at_op == 50
+        # the original is untouched
+        assert plan.events[0].at_frac == 0.5
+
+    def test_resolve_fractions_clamps_to_last_op(self):
+        plan = FaultPlan(events=[FaultEvent("crash", at_frac=1.0)])
+        assert plan.resolve_fractions(10).events[0].at_op == 9
+
+    def test_non_event_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(events=["crash@op:5"])
+
+
+class TestParseFaultSpec:
+    def test_crash_at_op(self):
+        plan = parse_fault_spec("crash@op:1234")
+        assert plan.events[0].kind == "crash"
+        assert plan.events[0].at_op == 1234
+
+    def test_crash_at_time(self):
+        plan = parse_fault_spec("crash@t:0.005")
+        assert plan.events[0].at_time == pytest.approx(0.005)
+
+    def test_crash_at_fraction(self):
+        plan = parse_fault_spec("crash@50%")
+        assert plan.events[0].at_frac == pytest.approx(0.5)
+        assert plan.needs_probe
+
+    def test_probabilistic(self):
+        plan = parse_fault_spec("readerr@p:0.001")
+        assert plan.events[0].p == pytest.approx(0.001)
+
+    def test_enospc_burst(self):
+        plan = parse_fault_spec("enospc@op:10+4")
+        ev = plan.events[0]
+        assert ev.at_op == 10 and ev.count == 4
+
+    def test_slow_window(self):
+        plan = parse_fault_spec("slow@t:0.002+0.01:x0.25")
+        ev = plan.events[0]
+        assert ev.at_time == pytest.approx(0.002)
+        assert ev.duration == pytest.approx(0.01)
+        assert ev.factor == pytest.approx(0.25)
+
+    def test_seed_token_and_combination(self):
+        plan = parse_fault_spec("crash@op:5, transient@p:0.01, seed:7")
+        assert plan.seed == 7
+        assert len(plan.events) == 2
+        assert plan.has_crash
+
+    def test_default_seed_passthrough(self):
+        assert parse_fault_spec("crash@op:5", seed=42).seed == 42
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "crash",
+            "crash@",
+            "crash@op:x",
+            "crash@banana:3",
+            "slow@t:0.1",
+            "slow@t:0.1+0.2",
+            "bogus@op:3",
+        ],
+    )
+    def test_bad_tokens_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_fault_spec(bad)

@@ -181,6 +181,32 @@ class TestFilesystem:
         with pytest.raises(OutOfSpaceError):
             f.poke(0, np.zeros(2000, dtype=np.uint8))
 
+    def test_out_of_space_reports_requested_vs_available(self):
+        """Regression: ENOSPC must say how far over budget the request was."""
+        profile = pmem_profile(capacity=1000)
+        machine = Machine(profile=profile)
+        f = machine.fs.create("a")
+        f.poke(0, np.zeros(600, dtype=np.uint8))
+        with pytest.raises(OutOfSpaceError) as exc_info:
+            f.poke(600, np.zeros(700, dtype=np.uint8))
+        err = exc_info.value
+        assert err.requested == 700
+        assert err.available == 400
+        assert not err.transient
+        assert "700" in str(err) and "400" in str(err)
+        # the failed grow charged nothing
+        assert machine.fs.used == 600
+
+    def test_out_of_space_after_delete_frees_capacity(self):
+        profile = pmem_profile(capacity=1000)
+        machine = Machine(profile=profile)
+        f = machine.fs.create("a")
+        f.poke(0, np.zeros(800, dtype=np.uint8))
+        machine.fs.delete("a")
+        g = machine.fs.create("b")
+        g.poke(0, np.zeros(900, dtype=np.uint8))
+        assert machine.fs.used == 900
+
     def test_list_is_sorted(self, machine):
         for name in ("c", "a", "b"):
             machine.fs.create(name)

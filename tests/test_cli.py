@@ -87,3 +87,45 @@ class TestCommands:
         assert rc == 0
         for name in ("pmem", "dram", "bd-device", "brd-device", "bard-device"):
             assert name in out
+
+
+class TestFaultsFlag:
+    def test_crash_fraction_probes_and_recovers(self, capsys):
+        rc = main([
+            "sort", "--records", "20000", "--system", "wiscsort",
+            "--faults", "crash@50%",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "validated" in out
+        assert "1 crash(es)" in out and "1 recovery(ies)" in out
+        assert "salvaged" in out
+
+    def test_transient_faults_report_retries(self, capsys):
+        rc = main([
+            "sort", "--records", "20000", "--system", "wiscsort",
+            "--faults", "transient@op:1,seed:3", "--selfperf",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 injected" in out
+        assert "retries" in out and "backoff" in out
+
+    def test_crash_on_non_checkpointing_system_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main([
+                "sort", "--records", "2000", "--system", "sample-sort",
+                "--faults", "crash@op:1",
+            ])
+
+    def test_ems_crash_recovers(self, capsys):
+        rc = main([
+            "sort", "--records", "20000", "--system", "ems",
+            "--faults", "crash@op:5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "validated" in out
+        assert "1 crash(es)" in out
