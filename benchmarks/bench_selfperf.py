@@ -253,10 +253,13 @@ def compare_fingerprints(ours: Dict, baseline: Dict) -> List[str]:
 # ----------------------------------------------------------------------
 
 
-def run_workload(spec: Dict, empty_injector: bool = False) -> Dict:
+def run_workload(
+    spec: Dict, empty_injector: bool = False, sanitize: bool = False
+) -> Dict:
     """Run one frozen workload ``spec['reps']`` times; keep the best wall."""
     walls = []
     fp = counters = None
+    sanitizers = []
     for _rep in range(spec["reps"]):
         machine = Machine()
         if empty_injector:
@@ -266,6 +269,10 @@ def run_workload(spec: Dict, empty_injector: bool = False) -> Dict:
             from repro.faults import FaultPlan
 
             machine.install_faults(FaultPlan())
+        if sanitize:
+            # Observe-only gate: the runtime sanitizer must see zero
+            # charge drift and leave every fingerprint bit-identical.
+            sanitizers.append(machine.install_sanitizer())
         data = generate_dataset(
             machine, "input", spec["records"], spec["fmt"], seed=spec["seed"]
         )
@@ -281,6 +288,8 @@ def run_workload(spec: Dict, empty_injector: bool = False) -> Dict:
             counters = collect_counters(machine)
         elif this_fp != fp:
             raise AssertionError("simulator is not run-to-run deterministic")
+    for san in sanitizers:
+        san.check()  # raises ChargeDriftError on any accounting drift
     wall = min(walls)
     return {
         "wall_seconds": wall,
@@ -295,16 +304,17 @@ def run_workload(spec: Dict, empty_injector: bool = False) -> Dict:
     }
 
 
-def run_all(empty_injector: bool = False) -> Dict:
+def run_all(empty_injector: bool = False, sanitize: bool = False) -> Dict:
     report = {"schema": 1, "workloads": {}}
     for name, builder in WORKLOADS.items():
         spec = builder()
         print(f"[{name}] {spec['records']} records, "
               f"{spec['background']} background clients, {spec['reps']} reps"
               + (", empty injector installed" if empty_injector else "")
+              + (", sanitizer installed" if sanitize else "")
               + " ...",
               flush=True)
-        res = run_workload(spec, empty_injector=empty_injector)
+        res = run_workload(spec, empty_injector=empty_injector, sanitize=sanitize)
         base = PRE_PR_BASELINE[name]
         problems = compare_fingerprints(res["fingerprint"], base["fingerprint"])
         res["results_match_pre_pr"] = not problems
@@ -367,8 +377,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "every run; fingerprints must still match the frozen baselines "
         "(the zero-overhead-when-idle guarantee of repro.faults)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="install the runtime SimSanitizer before every run; the "
+        "charge audit must report zero drift and fingerprints must "
+        "still match the frozen baselines (observe-only guarantee of "
+        "repro.analysis.sanitizer)",
+    )
     args = parser.parse_args(argv)
-    report = run_all(empty_injector=args.empty_injector)
+    report = run_all(empty_injector=args.empty_injector, sanitize=args.sanitize)
     if args.check is not None:
         failures = check_against(report, args.check)
         if failures:

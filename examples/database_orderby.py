@@ -26,7 +26,7 @@ from repro import (
     WiscSort,
     pmem_profile,
 )
-from repro.units import KiB, MiB, fmt_bytes, fmt_seconds
+from repro.units import MiB, fmt_bytes, fmt_seconds
 
 #: Row layout: 8B order_total (big-endian, the sort key) followed by a
 #: 120B payload (customer, address, line items...).  Row-oriented binary

@@ -25,7 +25,6 @@ from repro import (
     RecordFormat,
     SortedIndex,
     WiscSort,
-    generate_dataset,
     indexmap_join,
     pmem_profile,
 )

@@ -1,0 +1,63 @@
+"""The ``# reprolint: disable=...`` escape hatch.
+
+Two forms, both expected to carry a human justification in the same
+comment::
+
+    x = set(...)
+    for item in x:   # reprolint: disable=SIM003 -- order restored by heap keys
+        ...
+
+    # reprolint: disable-file=DEV001 -- analytic baseline, charged via io_raw
+
+Line pragmas silence the named rules on their own physical line (and,
+for multi-line statements, any line of the statement works as long as
+it is the one the finding points at).  ``disable=all`` silences every
+rule.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+from repro.analysis.rules import Finding
+
+_LINE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _parse_rule_list(text: str) -> Set[str]:
+    return {part.strip() for part in text.split(",") if part.strip()}
+
+
+def collect_pragmas(source: str) -> tuple[Dict[int, Set[str]], Set[str]]:
+    """``(line -> disabled rules, file-wide disabled rules)`` for a module."""
+    per_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "reprolint" not in line:
+            continue
+        m = _FILE_RE.search(line)
+        if m:
+            file_wide |= _parse_rule_list(m.group(1))
+            continue
+        m = _LINE_RE.search(line)
+        if m:
+            per_line.setdefault(lineno, set()).update(_parse_rule_list(m.group(1)))
+    return per_line, file_wide
+
+
+def filter_findings(findings: List[Finding], source: str) -> List[Finding]:
+    """Drop findings silenced by line or file pragmas."""
+    if not findings:
+        return findings
+    per_line, file_wide = collect_pragmas(source)
+    if not per_line and not file_wide:
+        return findings
+    kept = []
+    for f in findings:
+        disabled = per_line.get(f.line, set()) | file_wide
+        if f.rule in disabled or "all" in disabled:
+            continue
+        kept.append(f)
+    return kept

@@ -154,7 +154,8 @@ class PMSort(SortSystem):
                     threads=1,
                 )
                 yield sweep
-                all_records = input_file.peek().reshape(-1, fmt.record_size)
+                with machine.fs.unaudited("PMSort record sweep, charged via io_raw above"):
+                    all_records = input_file.peek().reshape(-1, fmt.record_size)  # reprolint: disable=DEV001 -- charged via the io_raw sweep op above
                 data = all_records[imap.pointers[file_order] // fmt.record_size]
                 key_order = np.empty_like(file_order)
                 key_order[file_order] = np.arange(file_order.size)

@@ -86,10 +86,11 @@ class SampleSort(SortSystem):
             raise ConfigError("input size not a multiple of record size")
         output = machine.fs.create(self.output_name)
         # Real data movement (untimed): in-place semantics, but we leave
-        # the input intact so valsort can compare input vs output.
-        records = input_file.peek().reshape(-1, self.fmt.record_size)
+        # the input intact so valsort can compare input vs output.  The
+        # device cost is charged analytically by _drive() below.
+        records = input_file.peek().reshape(-1, self.fmt.record_size)  # reprolint: disable=DEV001 -- analytic model, charged in _drive
         order = record_sort_indices(records, self.fmt.key_size)
-        output.poke(0, records[order].reshape(-1))
+        output.poke(0, records[order].reshape(-1))  # reprolint: disable=DEV001 -- analytic model, charged in _drive
         machine.run(self._drive(machine, input_file), name="sample-sort")
         return output
 

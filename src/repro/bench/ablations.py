@@ -6,7 +6,7 @@ decision and sweeps it, validating the claim the paper makes in passing.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -242,7 +242,6 @@ def ablation_merge_fanin(
     dataset writes, while WiscSort's intermediate phases move only
     key-pointer entries, so extra phases cost it far less.
     """
-    from repro.core.multipass import max_fanin
 
     n = 40_000_000 // scale
     pmem = pmem_profile()

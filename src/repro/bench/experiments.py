@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.baselines import ExternalMergeSort, PMSort, PMSortPlus, SampleSort
 from repro.core.base import ConcurrencyModel, SortConfig, SortResult
 from repro.core.wiscsort import WiscSort
-from repro.device.profile import DeviceProfile, Pattern
+from repro.device.profile import DeviceProfile
 from repro.device.profiles import (
     bard_device_profile,
     bd_device_profile,

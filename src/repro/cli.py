@@ -108,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
              "'transient@p:0.01,slow@t:0.002+0.01:x0.25,seed:7'; "
              "crash specs enable checkpointing and automatic recovery "
              "(wiscsort / ems only)")
+    p_sort.add_argument("--sanitize", action="store_true",
+                        help="install the runtime SimSanitizer: deadlock "
+                             "diagnostics that name stuck coroutines, plus a "
+                             "charge-accounting audit (exit 1 on drift)")
+    p_sort.add_argument("--verify-determinism", action="store_true",
+                        help="run the workload twice on fresh machines and "
+                             "diff the full event traces; exit 1 on any "
+                             "divergence")
     p_sort.add_argument("--timeline", action="store_true",
                         help="print the resource-usage sparkline plot")
     p_sort.add_argument("--selfperf", action="store_true",
@@ -131,20 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def cmd_sort(args: argparse.Namespace) -> int:
-    profile = PROFILE_FACTORIES[args.device]()
+def _run_sort(args, fmt, config, prof, sanitizer=None, validate=True):
+    """Build a fresh machine, generate the dataset and run the sort.
+
+    Shared between the normal ``sort`` path and ``--verify-determinism``
+    (which calls it twice on fresh machines with tracing sanitizers).
+    Returns ``(machine, data, result, fault_report)``.
+    """
     machine = Machine(
-        profile=profile,
+        profile=PROFILE_FACTORIES[args.device](),
         dram_budget=args.dram_budget,
         memoize_rates=not args.no_memoize,
     )
-    fmt = RecordFormat(key_size=args.key_size, value_size=args.value_size)
-    prof = SelfPerfProfiler()
+    if sanitizer is not None:
+        sanitizer.install(machine)
     with prof.phase("generate"):
         data = generate_dataset(
             machine, "input", args.records, fmt, seed=args.seed
         )
-    config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
     system = SYSTEMS[args.system](fmt, config)
     fault_report = None
     if args.faults is not None:
@@ -167,12 +179,38 @@ def cmd_sort(args: argparse.Namespace) -> int:
         machine.install_faults(plan)
         with prof.phase("sort"):
             result, fault_report = run_with_faults(
-                system, machine, data, validate=not args.no_validate
+                system, machine, data, validate=validate
             )
     else:
         with prof.phase("sort"):
-            result = system.run(machine, data, validate=not args.no_validate)
-    print(f"device : {profile.describe()}")
+            result = system.run(machine, data, validate=validate)
+    return machine, data, result, fault_report
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    fmt = RecordFormat(key_size=args.key_size, value_size=args.value_size)
+    config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
+    prof = SelfPerfProfiler()
+    if args.verify_determinism:
+        from repro.analysis.sanitizer import verify_determinism
+
+        def run_once(san):
+            _run_sort(args, fmt, config, SelfPerfProfiler(), sanitizer=san,
+                      validate=not args.no_validate)
+
+        report = verify_determinism(run_once, runs=2)
+        print(report.render())
+        return 0 if report.ok else 1
+    sanitizer = None
+    if args.sanitize:
+        from repro.analysis.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer()
+    machine, data, result, fault_report = _run_sort(
+        args, fmt, config, prof, sanitizer=sanitizer,
+        validate=not args.no_validate,
+    )
+    print(f"device : {machine.profile.describe()}")
     print(f"input  : {args.records} records x {fmt.record_size}B "
           f"({fmt_bytes(data.size)})")
     print(f"system : {result.system}")
@@ -195,6 +233,21 @@ def cmd_sort(args: argparse.Namespace) -> int:
             if fault_report.crashes:
                 print(f"  recovery: {fmt_bytes(stats['salvaged_bytes'])} "
                       f"salvaged, {fmt_bytes(stats['redone_bytes'])} redone")
+    if sanitizer is not None:
+        from repro.errors import ChargeDriftError
+
+        audit = sanitizer.audit_report()
+        try:
+            sanitizer.check()
+        except ChargeDriftError as exc:
+            print(f"sanitize: {exc}")
+            return 1
+        print(
+            f"sanitize: zero drift -- "
+            f"{fmt_bytes(audit['moved_read'])} read / "
+            f"{fmt_bytes(audit['moved_write'])} written at the storage "
+            f"layer, all charged to the device model"
+        )
     if args.timeline:
         print()
         print(render_timeline(machine))

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.base import ConcurrencyModel, SortConfig, SortSystem
+from repro.core.base import SortConfig, SortSystem
 from repro.core.controller import ThreadPoolController
 from repro.core.indexmap import IndexMap
 from repro.core.kway import (
@@ -142,7 +142,8 @@ class WiscSortKLV(SortSystem):
         the header bytes cross the memory bus.
         """
         fmt = self.fmt
-        data = input_file.peek(first_byte, nbytes)
+        with machine.fs.unaudited("KLV header scan, charged via io_raw below"):
+            data = input_file.peek(first_byte, nbytes)  # reprolint: disable=DEV001 -- charged via the io_raw scan op below
         keys, offsets, vlens = scan_klv_headers(data, fmt)
         work = machine.profile.io_work(Pattern.SEQ, nbytes)
         op = machine.io_raw(

@@ -152,10 +152,10 @@ class RunCursor:
         less = 0
         for col, b in zip(self._cols, bound_words):
             seg = col[lo:hi]
-            l = int(seg.searchsorted(b, side="left"))
+            lt = int(seg.searchsorted(b, side="left"))
             r = int(seg.searchsorted(b, side="right"))
-            less += l
-            lo, hi = lo + l, lo + r
+            less += lt
+            lo, hi = lo + lt, lo + r
             if lo == hi:
                 break
         return less + (hi - lo)

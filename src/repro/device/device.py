@@ -33,7 +33,6 @@ refill/flush populations) hit the cache almost always; see DESIGN.md
 
 from __future__ import annotations
 
-import math
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Tuple
 
@@ -253,11 +252,11 @@ def _waterfill(
             for op, cap, _ in active:
                 rates[op] = cap
             break
-        saturated = {
+        saturated = [
             res
-            for res, total in capacities.items()
-            if remaining[res] <= _REL_EPS * max(total, 1.0)
-        }
+            for res in sorted(capacities)
+            if remaining[res] <= _REL_EPS * max(capacities[res], 1.0)
+        ]
         frozen = [
             e for e in active if any(e[2].get(res, 0.0) > 0 for res in saturated)
         ]

@@ -16,7 +16,7 @@ submitted (the observer only sees internal work).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.device.host import HostModel
@@ -77,11 +77,14 @@ class DeviceStats:
         io_cpu_bw = self.host.io_cpu_bw
         copy_bw = self.host.copy_bw_per_core
         tags = self.tags
-        active_tags = set()
+        # Insertion-ordered (issue-order) rather than a set: string-set
+        # iteration order depends on PYTHONHASHSEED, and determinism
+        # here must not rely on the per-tag updates being independent.
+        active_tags: dict = {}
         for op in ops:
             tag = op.tag
             if tag:
-                active_tags.add(tag)
+                active_tags[tag] = True
             kind = op.kind
             if kind == "io":
                 rate = op.rate

@@ -152,3 +152,16 @@ class RetryExhaustedError(FaultError):
 
 class RecoveryError(ReproError):
     """Crash recovery could not restore a resumable state."""
+
+
+class SanitizerError(ReproError):
+    """An invariant checked by :mod:`repro.analysis.sanitizer` was violated."""
+
+
+class ChargeDriftError(SanitizerError):
+    """Bytes moved at the storage layer drifted from bytes charged to the
+    device model (or a raw, uncharged byte move happened mid-run)."""
+
+
+class DeterminismError(SanitizerError):
+    """Two runs of the same seeded workload produced different event traces."""

@@ -318,22 +318,26 @@ class FaultInjector:
         before the failure surfaced.
         """
         rec = None
-        if fault is None:
-            if self._crash_pending:
-                pre_end = min(f.size, offset + n)
-                pre = (
-                    f._data[offset:pre_end].copy()
-                    if pre_end > offset
-                    else np.zeros(0, dtype=np.uint8)
-                )
-                rec = _InflightWrite(None, f, offset, n, pre, f.size)
-            f.poke(offset, arr)
-        elif isinstance(fault, TornWriteError):
-            self.stats.torn_writes += 1
-            self.stats.torn_bytes_discarded += n - fault.durable_bytes
-            if fault.durable_bytes > 0:
-                f.poke(offset, arr[: fault.durable_bytes])
-        op = f._machine_io("write", Pattern.SEQ, n, tag, threads=threads)
+        # The audit scope announces the attempt's full transfer: even torn
+        # and failed attempts are charged for n bytes (the device worked
+        # on the request before the failure surfaced).
+        with f._audit("write", n):
+            if fault is None:
+                if self._crash_pending:
+                    pre_end = min(f.size, offset + n)
+                    pre = (
+                        f._data[offset:pre_end].copy()
+                        if pre_end > offset
+                        else np.zeros(0, dtype=np.uint8)
+                    )
+                    rec = _InflightWrite(None, f, offset, n, pre, f.size)
+                f.poke(offset, arr)
+            elif isinstance(fault, TornWriteError):
+                self.stats.torn_writes += 1
+                self.stats.torn_bytes_discarded += n - fault.durable_bytes
+                if fault.durable_bytes > 0:
+                    f.poke(offset, arr[: fault.durable_bytes])
+            op = f._machine_io("write", Pattern.SEQ, n, tag, threads=threads)
         if rec is not None:
             rec.op = op
             self._track(op, rec)

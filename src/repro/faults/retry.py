@@ -100,11 +100,14 @@ class _RetryingIO:
         self._proc: Optional["Process"] = None
         self._callback = None
 
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics aid
+        return f"RetryingIO({self._tag!r}, attempt {self._attempts})"
+
     # -- engine command protocols --------------------------------------
     def _sim_execute(self, engine: "Engine", proc: "Process") -> None:
         """Direct ``yield simfile.read(...)`` path."""
         self._proc = proc
-        engine.block()
+        engine.block(proc, self, "retrying-io")
         self._launch()
 
     def _collect_execute(self, engine: "Engine", callback) -> None:

@@ -56,6 +56,8 @@ class Machine:
         self.dram = DramTracker(dram_budget)
         #: Installed :class:`repro.faults.injector.FaultInjector`, if any.
         self.faults = None
+        #: Installed :class:`repro.analysis.sanitizer.SimSanitizer`, if any.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Fault injection and crash recovery
@@ -74,6 +76,23 @@ class Machine:
         injector.attach(self)
         self.faults = injector
         return injector
+
+    def install_sanitizer(self, trace: bool = False):
+        """Install a :class:`~repro.analysis.sanitizer.SimSanitizer`.
+
+        Opt-in runtime checking: deadlock diagnostics that name stuck
+        coroutines, a charge-accounting audit cross-checking storage
+        byte moves against device charges, and (with ``trace=True``) an
+        event trace for determinism diffing.  Returns the sanitizer;
+        call its :meth:`~repro.analysis.sanitizer.SimSanitizer.check`
+        after the run to raise on accounting drift.
+        """
+        from repro.analysis.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer(trace=trace)
+        sanitizer.install(self)
+        self.sanitizer = sanitizer
+        return sanitizer
 
     def reboot(self) -> None:
         """Crash recovery: replace the engine, carrying the clock forward.
@@ -95,6 +114,10 @@ class Machine:
         self.dram = DramTracker(self.dram.budget)
         if self.faults is not None:
             self.faults.attach(self)
+        if self.sanitizer is not None:
+            # Waits-for state was volatile; fs.audit and the stats
+            # wrapper live on persistent objects and survive as-is.
+            self.sanitizer.attach_engine(self.engine)
 
     # ------------------------------------------------------------------
     # Op builders
@@ -178,11 +201,11 @@ class Machine:
     def now(self) -> float:
         return self.engine.now
 
-    def barrier(self, parties: int) -> Barrier:
-        return Barrier(self.engine, parties)
+    def barrier(self, parties: int, name: str = "") -> Barrier:
+        return Barrier(self.engine, parties, name=name)
 
-    def semaphore(self, count: int = 1) -> Semaphore:
-        return Semaphore(self.engine, count)
+    def semaphore(self, count: int = 1, name: str = "") -> Semaphore:
+        return Semaphore(self.engine, count, name=name)
 
-    def queue(self, maxsize: Optional[int] = None) -> SimQueue:
-        return SimQueue(self.engine, maxsize)
+    def queue(self, maxsize: Optional[int] = None, name: str = "") -> SimQueue:
+        return SimQueue(self.engine, maxsize, name=name)

@@ -10,7 +10,6 @@ motivation for rethinking HTAP operators on BRAID).
 
 from __future__ import annotations
 
-import bisect
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 

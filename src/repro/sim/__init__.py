@@ -13,7 +13,14 @@ items and an injected :class:`~repro.sim.fluid.RateModel`.
 """
 
 from repro.sim.engine import Engine, Process, Sleep, Spawn, Join, Now
-from repro.sim.fluid import FluidOp, FluidScheduler, RateModel, UniformRateModel
+from repro.sim.fluid import (
+    FluidOp,
+    FluidScheduler,
+    RateModel,
+    UniformRateModel,
+    time_eq,
+    time_ne,
+)
 from repro.sim.primitives import Barrier, Semaphore, SimQueue
 
 __all__ = [
@@ -27,6 +34,8 @@ __all__ = [
     "FluidScheduler",
     "RateModel",
     "UniformRateModel",
+    "time_eq",
+    "time_ne",
     "Barrier",
     "Semaphore",
     "SimQueue",

@@ -167,6 +167,14 @@ class Engine:
         self._pids = itertools.count(1)
         self._blocked = 0
         self._live_processes = 0
+        #: True while ``run`` / ``run_until`` is executing; raw storage
+        #: access outside the loop (fixtures, post-run validation) is
+        #: legitimate and the charge auditor ignores it.
+        self.running = False
+        #: Optional :class:`repro.analysis.sanitizer.SimSanitizer`.  All
+        #: hook sites guard on ``is None`` so the fast path costs one
+        #: attribute load when no sanitizer is installed.
+        self.sanitizer = None
         # Self-performance counters (read by repro.perf).
         self.steps = 0
         self.advances = 0
@@ -197,6 +205,8 @@ class Engine:
         the issuing simulated thread.
         """
         self._blocked -= 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_wake(proc)
         proc._resume_value = value
         proc._resume_exc = exc
         self._ready.append(proc)
@@ -213,9 +223,18 @@ class Engine:
             # Zero-work op completed instantly.
             self._complete_op(op)
 
-    def block(self) -> None:
-        """Account for a process that a primitive has parked."""
+    def block(
+        self, proc: Optional[Process] = None, resource: Any = None, verb: str = "wait"
+    ) -> None:
+        """Account for a process that a primitive has parked.
+
+        Callers pass the parked process and the resource it waits on so
+        an installed sanitizer can maintain the waits-for graph used in
+        deadlock diagnostics; both are optional and unused otherwise.
+        """
         self._blocked += 1
+        if self.sanitizer is not None and proc is not None:
+            self.sanitizer.on_wait(proc, resource, verb)
 
     def call_at(self, t: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at absolute simulated time ``t``."""
@@ -225,15 +244,20 @@ class Engine:
 
     def run(self) -> float:
         """Run until no work remains; returns the final simulated time."""
-        while True:
-            self._drain_ready()
-            if self._settle_and_complete():
-                continue
-            if not self._advance():
-                break
+        self.running = True
+        try:
+            while True:
+                self._drain_ready()
+                if self._settle_and_complete():
+                    continue
+                if not self._advance():
+                    break
+        finally:
+            self.running = False
         if self._blocked:
             raise DeadlockError(
                 f"simulation ended with {self._blocked} blocked process(es)"
+                + self._deadlock_detail()
             )
         return self.now
 
@@ -245,14 +269,21 @@ class Engine:
         watched process completes, and in-flight background ops are
         simply abandoned.  Raises if the engine runs dry first.
         """
-        while not proc.done:
-            self._drain_ready()
-            if proc.done:
-                break
-            if self._settle_and_complete():
-                continue
-            if not self._advance():
-                raise DeadlockError(f"engine ran out of events before {proc!r} finished")
+        self.running = True
+        try:
+            while not proc.done:
+                self._drain_ready()
+                if proc.done:
+                    break
+                if self._settle_and_complete():
+                    continue
+                if not self._advance():
+                    raise DeadlockError(
+                        f"engine ran out of events before {proc!r} finished"
+                        + self._deadlock_detail()
+                    )
+        finally:
+            self.running = False
         return proc.result
 
     def run_process(self, gen: SimGenerator, name: str = "") -> Any:
@@ -262,6 +293,15 @@ class Engine:
         if not proc.done:
             raise SimulationError(f"{proc!r} did not finish")
         return proc.result
+
+    def _deadlock_detail(self) -> str:
+        """Sanitizer waits-for graph as an error-message suffix.
+
+        Without a sanitizer, points at the ``--sanitize`` flag instead.
+        """
+        if self.sanitizer is None:
+            return " (run with --sanitize for a waits-for graph)"
+        return "\n" + self.sanitizer.deadlock_detail()
 
     # ------------------------------------------------------------------
     # Event loop internals
@@ -294,7 +334,7 @@ class Engine:
             if self.fluid.active:
                 raise DeadlockError(
                     "all in-flight ops are stalled at rate 0 and no timed "
-                    "events remain"
+                    "events remain" + self._deadlock_detail()
                 )
             return False
         if t_heap is None or (t_fluid is not None and t_fluid <= t_heap):
@@ -312,12 +352,16 @@ class Engine:
             self.timer_events += 1
             if isinstance(item, Process):
                 self._blocked -= 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_wake(item)
                 self._ready.append(item)
             else:
                 item()
         return True
 
     def _complete_op(self, op: FluidOp) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_op_complete(op, self.now)
         collector = op._collector
         if collector is not None:
             op._collector = None
@@ -351,6 +395,8 @@ class Engine:
         else:
             groups = [(op, ((i, op),)) for i, op in fluid_items]
         self._blocked += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_wait(proc, ops, "parallel")
         results: list[Any] = [None] * len(ops)
         pending = [len(groups) + len(other_items)]
         state = {"failed": False}
@@ -452,6 +498,8 @@ class Engine:
                 command = proc.gen.send(value)
         except StopIteration as stop:
             self._live_processes -= 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_proc_finish(proc, self.now)
             proc._finish(stop.value)
             return
         self._dispatch(command, proc)
@@ -460,12 +508,16 @@ class Engine:
         if isinstance(command, FluidOp):
             command._waiter = proc
             self._blocked += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_wait(proc, command, "io")
             self.fluid.add(command, self.now)
             if command.finished_at is not None:
                 # Zero-work op completed instantly.
                 self._complete_op(command)
         elif isinstance(command, Sleep):
             self._blocked += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_wait(proc, command, "sleep")
             heapq.heappush(self._heap, (self.now + command.dt, next(self._seq), proc))
         elif isinstance(command, Spawn):
             child = self.spawn(command.gen, command.name)
@@ -491,6 +543,8 @@ class Engine:
             self._ready.append(proc)
             return
         self._blocked += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_wait(proc, command, "join")
         remaining = {"n": len(pending)}
 
         def on_done(_finished: Process) -> None:

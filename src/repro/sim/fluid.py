@@ -53,6 +53,23 @@ from repro.errors import SimulationError
 #: outstanding.
 _EPSILON = 1e-12
 
+#: Tolerance for comparing simulated-time instants.  Event times are
+#: sums of float intervals, so exact ``==`` between independently
+#: computed instants is schedule-dependent; reprolint rule SIM004
+#: points offenders at these helpers.
+_TIME_EPSILON = 1e-12
+
+
+def time_eq(a: float, b: float, eps: float = _TIME_EPSILON) -> bool:
+    """Whether two simulated-time instants coincide (within ``eps``)."""
+    return abs(a - b) <= eps
+
+
+def time_ne(a: float, b: float, eps: float = _TIME_EPSILON) -> bool:
+    """Whether two simulated-time instants genuinely differ."""
+    return abs(a - b) > eps
+
+
 _op_counter = itertools.count()
 
 _SEQ_KEY = attrgetter("seq")
@@ -290,7 +307,12 @@ class FluidScheduler:
                 affected: Iterable[FluidOp] = self.active
             else:
                 affected = []
-                for key in keys:
+                # Dirty-key order cannot leak into results: the rate
+                # model canonicalises assignment order by signature and
+                # completions are ordered by the (time, seq) heap keys.
+                # Keys may mix types (shared "*" vs per-op ints), so
+                # sorted() is not an option.
+                for key in keys:  # reprolint: disable=SIM003 -- order-independent, see comment above
                     group = groups.get(key)
                     if group:
                         affected.extend(group)

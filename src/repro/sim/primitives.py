@@ -35,7 +35,7 @@ class _AcquireCommand:
             proc._resume_value = None
             engine._ready.append(proc)
         else:
-            engine.block()
+            engine.block(proc, self.sem, "acquire")
             self.sem._waiters.append(proc)
 
 
@@ -46,11 +46,12 @@ class Semaphore:
     ``sem.release()`` is a plain call and wakes one waiter if any.
     """
 
-    def __init__(self, engine, count: int = 1):
+    def __init__(self, engine, count: int = 1, name: str = ""):
         if count < 0:
             raise ValueError("semaphore count must be >= 0")
         self._engine = engine
         self._count = count
+        self.name = name
         self._waiters: deque = deque()
 
     @property
@@ -87,18 +88,19 @@ class _BarrierCommand:
             proc._resume_value = None
             engine._ready.append(proc)
         else:
-            engine.block()
+            engine.block(proc, bar, "wait")
             bar._waiters.append(proc)
 
 
 class Barrier:
     """Cyclic barrier for a fixed number of parties."""
 
-    def __init__(self, engine, parties: int):
+    def __init__(self, engine, parties: int, name: str = ""):
         if parties < 1:
             raise ValueError("barrier needs at least one party")
         self._engine = engine
         self.parties = parties
+        self.name = name
         self.generation = 0
         self._arrived = 0
         self._waiters: list = []
@@ -117,7 +119,7 @@ class _PutCommand:
     def _sim_execute(self, engine, proc) -> None:
         q = self.queue
         if q.maxsize is not None and len(q._items) >= q.maxsize:
-            engine.block()
+            engine.block(proc, q, "put")
             q._put_waiters.append((proc, self.item))
             return
         q._deliver(engine, self.item)
@@ -139,7 +141,7 @@ class _GetCommand:
             proc._resume_value = item
             engine._ready.append(proc)
         else:
-            engine.block()
+            engine.block(proc, q, "get")
             q._get_waiters.append(proc)
 
 
@@ -150,11 +152,12 @@ class SimQueue:
     empty.  ``maxsize=None`` means unbounded.
     """
 
-    def __init__(self, engine, maxsize: Optional[int] = None):
+    def __init__(self, engine, maxsize: Optional[int] = None, name: str = ""):
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be >= 1 or None")
         self._engine = engine
         self.maxsize = maxsize
+        self.name = name
         self._items: deque = deque()
         self._get_waiters: deque = deque()
         self._put_waiters: deque = deque()

@@ -23,17 +23,21 @@ bit-identical to a fault-free build.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro.device.device import make_io_op
 from repro.device.profile import Pattern
 from repro.errors import StorageError
 from repro.sim.fluid import FluidOp
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.filesystem import SimFS
+
+#: Shared no-op context for the audit hooks below: ``nullcontext`` is
+#: reentrant and stateless, so one instance serves every unaudited op.
+_NO_AUDIT = nullcontext()
 
 _ARANGE_MEMO: dict = {}
 
@@ -65,11 +69,17 @@ class SimFile:
         if nbytes is None:
             nbytes = self.size - offset
         self._check_extent(offset, nbytes)
+        aud = self._fs.audit
+        if aud is not None:
+            aud.note_raw(self.name, "peek", nbytes)
         return self._data[offset : offset + nbytes].copy()
 
     def poke(self, offset: int, data: np.ndarray | bytes) -> None:
         """Untimed write (workload generation / fixtures)."""
         arr = _as_u8(data)
+        aud = self._fs.audit
+        if aud is not None:
+            aud.note_raw(self.name, "poke", arr.size)
         new_size = max(self.size, offset + arr.size)
         if new_size > self.size:
             self._fs.charge_growth(new_size - self.size, name=self.name)
@@ -113,8 +123,9 @@ class SimFile:
         return self._build_read(offset, nbytes, tag, threads)
 
     def _build_read(self, offset: int, nbytes: int, tag: str, threads: int) -> FluidOp:
-        payload = self._data[offset : offset + nbytes].copy()
-        op = self._machine_io("read", Pattern.SEQ, nbytes, tag, threads=threads)
+        with self._audit("read", nbytes):
+            payload = self._data[offset : offset + nbytes].copy()
+            op = self._machine_io("read", Pattern.SEQ, nbytes, tag, threads=threads)
         op.on_complete = lambda _op: payload
         return op
 
@@ -126,8 +137,9 @@ class SimFile:
         inj = self._fs.injector
         if inj is not None and inj.armed:
             return inj.issue_write(self, offset, arr, tag, threads)
-        self.poke(offset, arr)
-        return self._machine_io("write", Pattern.SEQ, arr.size, tag, threads=threads)
+        with self._audit("write", arr.size):
+            self.poke(offset, arr)
+            return self._machine_io("write", Pattern.SEQ, arr.size, tag, threads=threads)
 
     def append(self, data: np.ndarray | bytes, tag: str, threads: int = 1) -> FluidOp:
         """Sequential write at the current end of file."""
@@ -151,9 +163,10 @@ class SimFile:
         """
         if count == 0:
             payload = np.zeros((0, access_size), dtype=np.uint8)
-            op = self._machine_io(
-                "read", Pattern.STRIDED, 0, tag, accesses=1, stride=stride, threads=threads
-            )
+            with self._audit("read", 0):
+                op = self._machine_io(
+                    "read", Pattern.STRIDED, 0, tag, accesses=1, stride=stride, threads=threads
+                )
             op.on_complete = lambda _op: payload
             return op
         if stride < access_size:
@@ -162,17 +175,18 @@ class SimFile:
         self._check_extent(offset, last - offset)
 
         def build() -> FluidOp:
-            starts = offset + _arange(count) * stride
-            payload = self._data[starts[:, None] + _arange(access_size)]
-            op = self._machine_io(
-                "read",
-                Pattern.STRIDED,
-                count * access_size,
-                tag,
-                accesses=count,
-                stride=stride,
-                threads=threads,
-            )
+            with self._audit("read", count * access_size):
+                starts = offset + _arange(count) * stride
+                payload = self._data[starts[:, None] + _arange(access_size)]
+                op = self._machine_io(
+                    "read",
+                    Pattern.STRIDED,
+                    count * access_size,
+                    tag,
+                    accesses=count,
+                    stride=stride,
+                    threads=threads,
+                )
             op.on_complete = lambda _op: payload
             return op
 
@@ -196,7 +210,8 @@ class SimFile:
         starts = np.asarray(offsets, dtype=np.int64)
         if starts.size == 0:
             payload = np.zeros((0, access_size), dtype=np.uint8)
-            op = self._machine_io("read", Pattern.RAND, 0, tag, threads=threads)
+            with self._audit("read", 0):
+                op = self._machine_io("read", Pattern.RAND, 0, tag, threads=threads)
             op.on_complete = lambda _op: payload
             return op
         if starts.min() < 0 or int(starts.max()) + access_size > self.size:
@@ -205,15 +220,16 @@ class SimFile:
             )
 
         def build() -> FluidOp:
-            payload = self._data[starts[:, None] + _arange(access_size)]
-            op = self._machine_io(
-                "read",
-                Pattern.RAND,
-                int(starts.size) * access_size,
-                tag,
-                accesses=int(starts.size),
-                threads=threads,
-            )
+            with self._audit("read", int(starts.size) * access_size):
+                payload = self._data[starts[:, None] + _arange(access_size)]
+                op = self._machine_io(
+                    "read",
+                    Pattern.RAND,
+                    int(starts.size) * access_size,
+                    tag,
+                    accesses=int(starts.size),
+                    threads=threads,
+                )
             op.on_complete = lambda _op: payload
             return op
 
@@ -239,7 +255,8 @@ class SimFile:
             raise StorageError("offsets and lengths must have equal shape")
         machine = self._fs.machine
         if starts.size == 0:
-            op = machine.io_raw(0.0, "read", Pattern.RAND, 0, tag, threads=threads)
+            with self._audit("read", 0):
+                op = machine.io_raw(0.0, "read", Pattern.RAND, 0, tag, threads=threads)
             op.on_complete = lambda _op: np.zeros(0, dtype=np.uint8)
             return op
         ends = starts + sizes
@@ -247,12 +264,13 @@ class SimFile:
             raise StorageError(f"variable gather outside file {self.name!r}")
 
         def build() -> FluidOp:
-            pieces = [self._data[s:e] for s, e in zip(starts, ends)]
-            payload = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.uint8)
-            work = machine.profile.random_batch_work(sizes)
-            op = machine.io_raw(
-                work, "read", Pattern.RAND, int(sizes.sum()), tag, threads=threads
-            )
+            with self._audit("read", int(sizes.sum())):
+                pieces = [self._data[s:e] for s, e in zip(starts, ends)]
+                payload = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.uint8)
+                work = machine.profile.random_batch_work(sizes)
+                op = machine.io_raw(
+                    work, "read", Pattern.RAND, int(sizes.sum()), tag, threads=threads
+                )
             op.on_complete = lambda _op: payload
             return op
 
@@ -262,6 +280,11 @@ class SimFile:
         return build()
 
     # ------------------------------------------------------------------
+    def _audit(self, direction: str, nbytes: int):
+        """Charge-audit scope for one timed op (no-op unless auditing)."""
+        aud = self._fs.audit
+        return _NO_AUDIT if aud is None else aud.timed(direction, nbytes)
+
     def _machine_io(
         self,
         direction: str,

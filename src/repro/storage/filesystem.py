@@ -7,6 +7,7 @@ files and output all fit on the BRAID device (Sec 2.5).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.errors import (
@@ -32,6 +33,32 @@ class SimFS:
         #: it; ``None`` (or an unarmed injector) is the zero-overhead
         #: fast path.
         self.injector = None
+        #: Optional :class:`repro.analysis.sanitizer.ChargeAuditor`
+        #: (installed by :meth:`repro.machine.Machine.install_sanitizer`).
+        #: ``None`` is the zero-overhead fast path: SimFile consults it
+        #: with a single attribute load per operation.
+        self.audit = None
+
+    @contextmanager
+    def unaudited(self, reason: str = ""):
+        """Declare a raw (peek/poke) byte move as analytically charged.
+
+        The charge auditor treats untimed access during a run as a
+        charge-accounting violation; code that moves bytes raw *and*
+        charges the device through an explicit analytic op (the
+        sample-sort / PMSort / KLV-scan idiom) wraps the raw access in
+        this context to vouch for it.  No-op when no auditor is
+        installed.
+        """
+        aud = self.audit
+        if aud is None:
+            yield
+            return
+        aud.begin_exempt(reason)
+        try:
+            yield
+        finally:
+            aud.end_exempt()
 
     @property
     def capacity(self) -> int:

@@ -1,0 +1,306 @@
+"""Per-rule unit tests for reprolint (repro.analysis.lint / .rules)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths, lint_source, main
+from repro.analysis.rules import RULES, rules_for_path
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: A src-tree-looking path so no rule is path-exempted.
+SRC = "src/repro/sim/something.py"
+#: A core path, where DEV001 is live.
+CORE = "src/repro/core/something.py"
+
+
+def rules_hit(source, path=SRC, select=None):
+    return sorted({f.rule for f in lint_source(source, path, select)})
+
+
+# ----------------------------------------------------------------------
+# SIM001: wall-clock reads
+# ----------------------------------------------------------------------
+
+
+class TestSIM001:
+    def test_time_module_call_flagged(self):
+        src = "import time\nt = time.perf_counter()\n"
+        (f,) = lint_source(src, SRC, ["SIM001"])
+        assert f.rule == "SIM001"
+        assert "perf_counter" in f.message
+        assert f.line == 2
+
+    def test_aliased_import_flagged(self):
+        src = "import time as _t\nx = _t.monotonic()\n"
+        assert rules_hit(src, select=["SIM001"]) == ["SIM001"]
+
+    def test_from_import_flagged(self):
+        src = "from time import perf_counter\nx = perf_counter()\n"
+        assert rules_hit(src, select=["SIM001"]) == ["SIM001"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nx = datetime.now()\n"
+        assert rules_hit(src, select=["SIM001"]) == ["SIM001"]
+
+    def test_simulated_clock_ok(self):
+        src = "def f(engine):\n    return engine.now\n"
+        assert rules_hit(src, select=["SIM001"]) == []
+
+    def test_time_sleep_ok(self):
+        # Only clock *reads* are flagged (sleep is caught by review, not
+        # this rule) -- time.sleep is not in the wall-clock read set.
+        src = "import time\ntime.sleep(1)\n"
+        assert rules_hit(src, select=["SIM001"]) == []
+
+    def test_perf_paths_exempt(self):
+        src = "import time\nt = time.perf_counter()\n"
+        for path in ("src/repro/perf/profiler.py", "benchmarks/bench_x.py",
+                     "tests/test_x.py"):
+            assert lint_source(src, path, ["SIM001"]) == []
+
+
+# ----------------------------------------------------------------------
+# SIM002: unseeded RNG
+# ----------------------------------------------------------------------
+
+
+class TestSIM002:
+    def test_module_level_random_flagged(self):
+        src = "import random\nx = random.random()\n"
+        (f,) = lint_source(src, SRC, ["SIM002"])
+        assert "seeded" in f.message
+
+    def test_unseeded_random_instance_flagged(self):
+        src = "import random\nrng = random.Random()\n"
+        assert rules_hit(src, select=["SIM002"]) == ["SIM002"]
+
+    def test_seeded_random_instance_ok(self):
+        src = "import random\nrng = random.Random(42)\n"
+        assert rules_hit(src, select=["SIM002"]) == []
+
+    def test_np_legacy_global_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_hit(src, select=["SIM002"]) == ["SIM002"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_hit(src, select=["SIM002"]) == ["SIM002"]
+
+    def test_seeded_default_rng_ok(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert rules_hit(src, select=["SIM002"]) == []
+
+    def test_not_exempt_in_tests(self):
+        # Unlike the other rules, SIM002 applies everywhere -- a test
+        # with unseeded randomness is a flaky test.
+        src = "import random\nx = random.random()\n"
+        assert rules_hit(src, path="tests/test_x.py", select=["SIM002"]) == [
+            "SIM002"
+        ]
+
+
+# ----------------------------------------------------------------------
+# SIM003: unordered iteration
+# ----------------------------------------------------------------------
+
+
+class TestSIM003:
+    def test_for_over_set_literal_flagged(self):
+        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert rules_hit(src, select=["SIM003"]) == ["SIM003"]
+
+    def test_for_over_set_variable_flagged(self):
+        src = "s = set()\nfor x in s:\n    print(x)\n"
+        assert rules_hit(src, select=["SIM003"]) == ["SIM003"]
+
+    def test_sorted_wrapper_ok(self):
+        src = "s = set()\nfor x in sorted(s):\n    print(x)\n"
+        assert rules_hit(src, select=["SIM003"]) == []
+
+    def test_dict_values_flagged(self):
+        src = "d = {}\nxs = [v for v in d.values()]\n"
+        assert rules_hit(src, select=["SIM003"]) == ["SIM003"]
+
+    def test_list_of_set_flagged(self):
+        src = "s = set()\nxs = list(s)\n"
+        assert rules_hit(src, select=["SIM003"]) == ["SIM003"]
+
+    def test_known_set_attribute_flagged(self):
+        # fluid.FluidScheduler.active and ._dirty_keys are known sets
+        # even through an attribute alias.
+        src = "def f(self):\n    keys = self._dirty_keys\n    for k in keys:\n        pass\n"
+        assert rules_hit(src, select=["SIM003"]) == ["SIM003"]
+
+    def test_rebinding_clears_tracking(self):
+        src = "s = set()\ns = [1, 2]\nfor x in s:\n    pass\n"
+        assert rules_hit(src, select=["SIM003"]) == []
+
+    def test_membership_test_ok(self):
+        src = "s = set()\nif 3 in s:\n    pass\n"
+        assert rules_hit(src, select=["SIM003"]) == []
+
+    def test_building_a_set_ok(self):
+        # set comprehension *over* a set: the result is unordered anyway.
+        src = "s = set()\nt = {x for x in s}\n"
+        assert rules_hit(src, select=["SIM003"]) == []
+
+
+# ----------------------------------------------------------------------
+# SIM004: float equality on simulated time
+# ----------------------------------------------------------------------
+
+
+class TestSIM004:
+    def test_eq_on_time_name_flagged(self):
+        src = "def f(now, deadline):\n    return now == deadline\n"
+        (f,) = lint_source(src, SRC, ["SIM004"])
+        assert "time_eq" in f.message
+
+    def test_ne_on_time_suffix_flagged(self):
+        src = "def f(op):\n    return op.finished_at != 0.0\n"
+        assert rules_hit(src, select=["SIM004"]) == ["SIM004"]
+
+    def test_comparison_with_none_ok(self):
+        src = "def f(op):\n    return op.finished_at is None or op.finished_at == None\n"
+        assert rules_hit(src, select=["SIM004"]) == []
+
+    def test_ordering_comparisons_ok(self):
+        src = "def f(now, deadline):\n    return now <= deadline\n"
+        assert rules_hit(src, select=["SIM004"]) == []
+
+    def test_non_time_names_ok(self):
+        src = "def f(count, total):\n    return count == total\n"
+        assert rules_hit(src, select=["SIM004"]) == []
+
+
+# ----------------------------------------------------------------------
+# DEV001: uncharged byte moves in core/ and baselines/
+# ----------------------------------------------------------------------
+
+
+class TestDEV001:
+    def test_peek_in_core_flagged(self):
+        src = "def f(input_file):\n    return input_file.peek()\n"
+        (f,) = lint_source(src, CORE, ["DEV001"])
+        assert "peek" in f.message
+
+    def test_poke_in_baselines_flagged(self):
+        src = "def f(out):\n    out.poke(0, b'x')\n"
+        path = "src/repro/baselines/x.py"
+        assert rules_hit(src, path=path, select=["DEV001"]) == ["DEV001"]
+
+    def test_data_attribute_in_core_flagged(self):
+        src = "def f(f2):\n    return f2._data[0]\n"
+        assert rules_hit(src, path=CORE, select=["DEV001"]) == ["DEV001"]
+
+    def test_inactive_outside_core(self):
+        src = "def f(input_file):\n    return input_file.peek()\n"
+        assert rules_hit(src, path=SRC, select=["DEV001"]) == []
+
+    def test_tests_exempt(self):
+        src = "def f(input_file):\n    return input_file.peek()\n"
+        path = "tests/core/test_x.py"
+        assert rules_hit(src, path=path, select=["DEV001"]) == []
+
+    def test_timed_apis_ok(self):
+        src = "def f(input_file):\n    yield input_file.read(0, 10, tag='RUN read')\n"
+        assert rules_hit(src, path=CORE, select=["DEV001"]) == []
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+
+
+class TestPragmas:
+    def test_line_disable(self):
+        src = "import time\nt = time.perf_counter()  # reprolint: disable=SIM001 -- justified\n"
+        assert lint_source(src, SRC, ["SIM001"]) == []
+
+    def test_line_disable_wrong_rule_keeps_finding(self):
+        src = "import time\nt = time.perf_counter()  # reprolint: disable=SIM002\n"
+        assert rules_hit(src, select=["SIM001"]) == ["SIM001"]
+
+    def test_disable_all(self):
+        src = "import time\nt = time.perf_counter()  # reprolint: disable=all\n"
+        assert lint_source(src, SRC) == []
+
+    def test_file_disable(self):
+        src = (
+            "# reprolint: disable-file=SIM001\n"
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.monotonic()\n"
+        )
+        assert lint_source(src, SRC, ["SIM001"]) == []
+
+    def test_multiple_rules_one_pragma(self):
+        src = (
+            "import time, random\n"
+            "x = [time.perf_counter(), random.random()]  "
+            "# reprolint: disable=SIM001,SIM002\n"
+        )
+        assert lint_source(src, SRC, ["SIM001", "SIM002"]) == []
+
+
+# ----------------------------------------------------------------------
+# Driver behaviour
+# ----------------------------------------------------------------------
+
+
+class TestDriver:
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(ValueError):
+            rules_for_path(SRC, ["SIM999"])
+
+    def test_rules_registry_complete(self):
+        assert set(RULES) == {"SIM001", "SIM002", "SIM003", "SIM004", "DEV001"}
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        findings = lint_paths([str(bad)])
+        assert len(findings) == 1
+        assert findings[0].rule == "E999"
+
+    def test_json_output(self, tmp_path, capsys):
+        mod = tmp_path / "src" / "repro" / "sim" / "m.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import time\nt = time.time()\n")
+        rc = main([str(mod), "--format", "json"])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert out["files_checked"] == 1
+        assert out["findings"][0]["rule"] == "SIM001"
+        assert out["summary"]["total"] == 1
+
+    def test_clean_file_exit_zero(self, tmp_path, capsys):
+        mod = tmp_path / "clean.py"
+        mod.write_text("x = 1\n")
+        assert main([str(mod)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_no_paths_usage_error(self, capsys):
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_repo_src_tree_is_clean(self):
+        """The acceptance gate: the shipped tree lints clean."""
+        findings = lint_paths([str(REPO / "src" / "repro")])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_module_entrypoint_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "SIM001" in proc.stdout

@@ -9,7 +9,6 @@ from repro.baselines.external_merge_sort import ExternalMergeSort
 from repro.core.wiscsort import WiscSort
 from repro.errors import ConfigError
 from repro.machine import Machine
-from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
 
 

@@ -11,7 +11,6 @@ from repro.core.compression import (
     estimate_benefit,
 )
 from repro.core.wiscsort import WiscSort
-from repro.device.host import HostModel
 from repro.errors import ConfigError
 from repro.machine import Machine
 from repro.records.format import RecordFormat

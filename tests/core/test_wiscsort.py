@@ -9,12 +9,10 @@ from hypothesis import strategies as st
 
 from repro.core.base import ConcurrencyModel, SortConfig
 from repro.core.wiscsort import WiscSort
-from repro.errors import ConfigError, ValidationError
+from repro.errors import ConfigError
 from repro.machine import Machine
 from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
-from repro.records.validate import validate_sorted_file
-from repro.units import MiB
 
 
 def sort_run(pmem, n, fmt=None, system=None, dram_budget=None, seed=0):

@@ -6,7 +6,6 @@ import pytest
 
 from repro.device.curves import InterferenceModel, ScalingCurve
 from repro.device.device import BraidRateModel, make_io_op, _waterfill
-from repro.device.host import HostModel
 from repro.device.profile import DeviceProfile, Pattern
 from repro.sim.fluid import FluidOp
 from repro.units import GB

@@ -8,7 +8,6 @@ deadlock or violate work conservation.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

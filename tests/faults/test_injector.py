@@ -18,7 +18,7 @@ from repro.faults.injector import FaultInjector
 from repro.machine import Machine
 from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
-from repro.units import KiB, MiB
+from repro.units import KiB
 
 
 def sort_under(plan, n=40_000, seed=3, merge=False):

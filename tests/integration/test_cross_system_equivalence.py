@@ -9,7 +9,6 @@ invariant over the entire stack.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

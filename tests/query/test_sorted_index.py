@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.base import SortConfig
 from repro.core.wiscsort import WiscSort
 from repro.errors import ConfigError
 from repro.machine import Machine

@@ -7,9 +7,9 @@ import pytest
 
 from repro.errors import ValidationError
 from repro.machine import Machine
-from repro.records.format import RecordFormat, record_sort_indices
+from repro.records.format import record_sort_indices
 from repro.records.gensort import make_records
-from repro.records.klv import KLVFormat, decode_klv, encode_klv
+from repro.records.klv import KLVFormat, encode_klv
 from repro.records.validate import (
     validate_sorted_file,
     validate_sorted_klv,

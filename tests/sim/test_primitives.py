@@ -88,7 +88,7 @@ class TestBarrier:
         engine.spawn(worker(3.0, "c"))
         engine.run()
         assert {t for _, t in released} == {3.0}
-        assert {l for l, _ in released} == {"a", "b", "c"}
+        assert {lbl for lbl, _ in released} == {"a", "b", "c"}
 
     def test_barrier_is_cyclic(self, engine):
         barrier = Barrier(engine, parties=2)
@@ -106,7 +106,7 @@ class TestBarrier:
         assert barrier.generation == 3
         # Each lap completes at the same instant for both workers.
         for lap in range(3):
-            times = {t for l, g, t in laps if g == lap}
+            times = {t for _lbl, g, t in laps if g == lap}
             assert len(times) == 1
 
     def test_single_party_barrier_never_blocks(self, engine):

@@ -6,7 +6,6 @@ The full-scale runs (and the paper-shape assertions on them) live in
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import (
     fig01_motivation,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.device.profile import Pattern
 from repro.machine import Machine
