@@ -15,32 +15,25 @@ Run:  python examples/future_devices.py
 
 from __future__ import annotations
 
-from repro import (
-    ExternalMergeSort,
-    HostModel,
-    Machine,
-    RecordFormat,
-    SampleSort,
-    WiscSort,
-    calibrate_device,
-    generate_dataset,
-    PROFILE_FACTORIES,
-)
+from repro import HostModel, api, calibrate_device, get_profile
 from repro.units import fmt_seconds
 
+#: registry name -> display name
+STRATEGIES = {
+    "ems": "external merge sort",
+    "sample-sort": "in-place sample sort",
+    "wiscsort": "wiscsort",
+}
 
-def best_strategy(profile, n_records: int):
-    fmt = RecordFormat()
-    systems = {
-        "external merge sort": ExternalMergeSort(fmt),
-        "in-place sample sort": SampleSort(fmt),
-        "wiscsort": WiscSort(fmt),
-    }
+
+def best_strategy(device_name: str, n_records: int):
     times = {}
-    for name, system in systems.items():
-        machine = Machine(profile=profile)
-        data = generate_dataset(machine, "input", n_records, fmt, seed=1)
-        times[name] = system.run(machine, data, validate=False).total_time
+    for system, label in STRATEGIES.items():
+        result = api.sort(
+            records=n_records, system=system, device=device_name,
+            seed=1, validate=False,
+        )
+        times[label] = result.total_time
     return times
 
 
@@ -48,14 +41,14 @@ def main() -> None:
     n = 50_000
     host = HostModel()
     for device_name in ("pmem", "bd-device", "brd-device", "bard-device"):
-        profile = PROFILE_FACTORIES[device_name]()
+        profile = get_profile(device_name)()
         calibration = calibrate_device(profile, host)
         print(f"=== {device_name} ===")
         print(f"  {profile.describe()}")
         print(f"  calibrated pools: seq-read={calibration.seq_read.best_threads}, "
               f"rand-read={calibration.rand_read.best_threads}, "
               f"write={calibration.write.best_threads}")
-        times = best_strategy(profile, n)
+        times = best_strategy(device_name, n)
         winner = min(times, key=times.get)
         for name, t in sorted(times.items(), key=lambda kv: kv[1]):
             marker = "  <-- best" if name == winner else ""

@@ -1,42 +1,27 @@
 #!/usr/bin/env python3
 """Quickstart: sort a sortbenchmark dataset with WiscSort.
 
-Creates a simulated PMEM machine, generates 100k gensort-style records
-(10 B keys, 90 B values), sorts them with WiscSort and with the
-external-merge-sort baseline, validates both outputs byte-exactly, and
-prints the phase breakdown and speedup.
+Uses the one-call programmatic facade, :func:`repro.api.sort`: each call
+builds a simulated PMEM machine, generates 100k gensort-style records
+(10 B keys, 90 B values), sorts them with the named system, and
+validates the output byte-exactly.  Prints the phase breakdown and the
+WiscSort speedup over the external-merge-sort baseline.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import (
-    ExternalMergeSort,
-    Machine,
-    RecordFormat,
-    WiscSort,
-    generate_dataset,
-    pmem_profile,
-)
+from repro import api
 from repro.units import fmt_bandwidth, fmt_bytes, fmt_seconds
-
-
-def run_system(system, n_records: int):
-    """One sorting run on a fresh simulated machine."""
-    machine = Machine(profile=pmem_profile())
-    fmt = RecordFormat()  # 10B key + 90B value, 5B pointers
-    input_file = generate_dataset(machine, "input", n_records, fmt, seed=42)
-    result = system.run(machine, input_file)  # validates the output
-    return machine, result
 
 
 def main() -> None:
     n = 100_000
     print(f"sorting {n} records ({fmt_bytes(n * 100)}) on simulated PMEM\n")
 
-    machine, wisc = run_system(WiscSort(), n)
-    _, ems = run_system(ExternalMergeSort(), n)
+    wisc = api.sort(records=n, system="wiscsort", device="pmem", seed=42)
+    ems = api.sort(records=n, system="ems", device="pmem", seed=42)
 
     for result in (wisc, ems):
         print(f"{result.system}")
@@ -50,6 +35,7 @@ def main() -> None:
 
     print(f"WiscSort speedup over external merge sort: "
           f"{ems.total_time / wisc.total_time:.2f}x")
+    machine = wisc.extras["machine"]
     print(f"peak read bandwidth observed: "
           f"{fmt_bandwidth(machine.stats.peak_read_bw())}")
 

@@ -62,8 +62,29 @@ from repro.errors import (
     StorageError,
     ValidationError,
 )
+from repro.errors import UnknownSystemError
 from repro.machine import Machine
+from repro import api
+from repro.cluster import (
+    Cluster,
+    ClusterStats,
+    Job,
+    JobScheduler,
+    ShardedFile,
+    ShardedWiscSort,
+    generate_cluster_dataset,
+)
 from repro.query import JoinResult, QueryResult, SortedIndex, indexmap_join
+from repro.registry import (
+    available,
+    create_system,
+    get_experiment,
+    get_profile,
+    get_system,
+    register_experiment,
+    register_profile,
+    register_system,
+)
 from repro.core.compression import CompressionModel, estimate_benefit
 from repro.records import (
     KLVFormat,
@@ -127,6 +148,24 @@ __all__ = [
     "JoinResult",
     "CompressionModel",
     "estimate_benefit",
+    # facade & registry
+    "api",
+    "available",
+    "create_system",
+    "get_experiment",
+    "get_profile",
+    "get_system",
+    "register_experiment",
+    "register_profile",
+    "register_system",
+    # cluster (scale-out)
+    "Cluster",
+    "ClusterStats",
+    "Job",
+    "JobScheduler",
+    "ShardedFile",
+    "ShardedWiscSort",
+    "generate_cluster_dataset",
     # errors
     "ReproError",
     "SimulationError",
@@ -135,4 +174,5 @@ __all__ = [
     "ValidationError",
     "ConfigError",
     "DramBudgetError",
+    "UnknownSystemError",
 ]

@@ -287,6 +287,20 @@ class SimSanitizer:
         self.attach_engine(machine.engine)
         self.auditor.install(machine)
 
+    def install_cluster(self, cluster) -> None:
+        """Hook a :class:`repro.cluster.Cluster`: one sanitizer watches
+        the shared engine and audits every shard's storage layer.
+
+        Charge pairing is synchronous (a timed op opens and closes its
+        audit scope while being built), so one auditor serves all shard
+        filesystems without interleaving hazards.
+        """
+        self.machine = cluster.shards[0]
+        self.attach_engine(cluster.engine)
+        for shard in cluster.shards:
+            self.auditor.install(shard)
+        cluster.sanitizer = self
+
     def attach_engine(self, engine: "Engine") -> None:
         """Hook one engine (re-run by ``Machine.reboot`` on the
         replacement engine; pre-crash waiters died with the old one)."""

@@ -1,0 +1,146 @@
+"""The one programmatic entry point: ``repro.api.sort``.
+
+Everything the CLI's ``sort`` command does -- build a machine from a
+profile name, generate the dataset, instantiate a registered system,
+optionally arm fault injection or the runtime sanitizer, run and
+validate -- behind a single function call::
+
+    from repro import api
+
+    result = api.sort(records=200_000, system="wiscsort", device="pmem")
+    print(result.total_time, result.phases)
+
+The returned :class:`~repro.core.base.SortResult` carries the machine in
+``result.extras["machine"]`` for timeline/stats inspection, and the
+fault report (when ``faults`` was given) in
+``result.extras["fault_report"]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import SortConfig, SortResult
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.registry import create_system, get_profile
+
+
+def _build_machine(
+    device: str,
+    dram_budget: Optional[int],
+    memoize_rates: bool,
+) -> Machine:
+    return Machine(
+        profile=get_profile(device)(),
+        dram_budget=dram_budget,
+        memoize_rates=memoize_rates,
+    )
+
+
+def _probe_op_count(
+    records: int,
+    system: str,
+    device: str,
+    fmt: RecordFormat,
+    config: SortConfig,
+    seed: int,
+    dram_budget: Optional[int],
+    memoize_rates: bool,
+    checkpoint: bool,
+) -> int:
+    """Fault-free probe run counting timed file ops (resolves crash@N%).
+
+    Mirrors the real run exactly -- same dataset, system and (crucially)
+    checkpoint setting, since checkpoint writes are part of the op
+    stream the fault-plan fractions index into.
+    """
+    from repro.faults import FaultPlan
+
+    machine = _build_machine(device, dram_budget, memoize_rates)
+    data = generate_dataset(machine, "input", records, fmt, seed=seed)
+    probe_system = create_system(system, fmt, config=config)
+    if checkpoint:
+        probe_system.checkpoint = True
+    injector = machine.install_faults(FaultPlan(), count_only=True)
+    probe_system.run(machine, data, validate=False)
+    return injector.op_index
+
+
+def sort(
+    records: int = 100_000,
+    system: str = "wiscsort",
+    device: str = "pmem",
+    fmt: Optional[RecordFormat] = None,
+    config: Optional[SortConfig] = None,
+    seed: int = 42,
+    faults: Optional[str] = None,
+    sanitize: bool = False,
+    validate: bool = True,
+    dram_budget: Optional[int] = None,
+    memoize_rates: bool = True,
+    sanitizer=None,
+) -> SortResult:
+    """Sort a generated gensort dataset with a registered system.
+
+    Parameters mirror the CLI flags one-to-one.  ``system`` and
+    ``device`` are registry names
+    (:func:`repro.registry.available` lists them); unknown names raise
+    :class:`~repro.errors.UnknownSystemError`.  ``faults`` takes the
+    fault-spec grammar of ``--faults`` (e.g. ``"crash@50%"``).
+    ``sanitize`` installs the runtime
+    :class:`~repro.analysis.sanitizer.SimSanitizer` and raises
+    :class:`~repro.errors.ChargeDriftError` on accounting drift after a
+    completed run; advanced callers may instead pass a pre-built
+    ``sanitizer`` (e.g. a tracing one for determinism diffing).
+
+    Returns the :class:`~repro.core.base.SortResult`; ``extras`` carries
+    ``machine``, ``sanitizer`` (when installed) and ``fault_report``
+    (when faults were injected).
+    """
+    fmt = fmt if fmt is not None else RecordFormat()
+    config = config if config is not None else SortConfig()
+    machine = _build_machine(device, dram_budget, memoize_rates)
+    if sanitize and sanitizer is None:
+        from repro.analysis.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer()
+    if sanitizer is not None:
+        sanitizer.install(machine)
+    data = generate_dataset(machine, "input", records, fmt, seed=seed)
+    sort_system = create_system(system, fmt, config=config)
+    fault_report = None
+    if faults is not None:
+        from repro.errors import ConfigError
+        from repro.faults import parse_fault_spec, run_with_faults
+
+        plan = parse_fault_spec(faults, seed=seed)
+        if plan.has_crash:
+            if not hasattr(sort_system, "checkpoint"):
+                raise ConfigError(
+                    f"faults with a crash need a checkpointing system "
+                    f"(wiscsort or ems), not {system!r}"
+                )
+            sort_system.checkpoint = True
+        if plan.needs_probe:
+            plan = plan.resolve_fractions(
+                _probe_op_count(
+                    records, system, device, fmt, config, seed,
+                    dram_budget, memoize_rates, plan.has_crash,
+                )
+            )
+        machine.install_faults(plan)
+        result, fault_report = run_with_faults(
+            sort_system, machine, data, validate=validate
+        )
+    else:
+        result = sort_system.run(machine, data, validate=validate)
+    result.extras["machine"] = machine
+    if fault_report is not None:
+        result.extras["fault_report"] = fault_report
+    if sanitizer is not None:
+        result.extras["sanitizer"] = sanitizer
+        if sanitize:
+            sanitizer.check()
+    return result

@@ -35,6 +35,7 @@ from repro.device.profile import Pattern
 from repro.errors import ConfigError, RecoveryError
 from repro.records.format import RecordFormat, record_sort_indices
 from repro.records.validate import validate_sorted_file
+from repro.registry import register_system
 from repro.sim.engine import Join, Spawn
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -42,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.file import SimFile
 
 
+@register_system("ems")
 class ExternalMergeSort(SortSystem):
     """Record-moving external merge sort with configurable concurrency."""
 

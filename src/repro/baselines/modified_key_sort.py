@@ -27,6 +27,7 @@ from repro.device.profile import Pattern
 from repro.errors import ConfigError
 from repro.records.format import RecordFormat
 from repro.records.validate import validate_sorted_file
+from repro.registry import register_system
 from repro.units import ceil_div
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.file import SimFile
 
 
+@register_system("modified-key-sort")
 class ModifiedKeySort(SortSystem):
     """Key-pointer sort with sequential-pass value gathering.
 

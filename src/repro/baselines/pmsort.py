@@ -36,6 +36,7 @@ from repro.device.profile import Pattern
 from repro.errors import ConfigError
 from repro.records.format import RecordFormat
 from repro.records.validate import validate_sorted_file
+from repro.registry import register_system
 from repro.sim.engine import Join, Spawn
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.file import SimFile
 
 
+@register_system("pmsort")
 class PMSort(SortSystem):
     """Faithful single-threaded PMSort."""
 
@@ -186,6 +188,7 @@ class PMSort(SortSystem):
         yield from flush(final=True)
 
 
+@register_system("pmsort+")
 class PMSortPlus(SortSystem):
     """PMSort's data movement under Fig 2a/2b concurrency (the paper's
     own extension for a fair multi-threaded comparison)."""

@@ -25,15 +25,17 @@ real sorted permutation); the ops only account time.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.base import SortSystem
+from repro.core.base import SortConfig, SortSystem
 from repro.core.scheduler import run_ops_parallel
 from repro.device.profile import Pattern
 from repro.errors import ConfigError
 from repro.records.format import RecordFormat, record_sort_indices
 from repro.records.validate import validate_sorted_file
+from repro.registry import register_system
 from repro.units import NS
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,16 +65,36 @@ class SampleSortCostModel:
                 raise ConfigError(f"{name} must be >= 0")
 
 
+@register_system("sample-sort")
 class SampleSort(SortSystem):
-    """In-place concurrent sample sort directly on the device."""
+    """In-place concurrent sample sort directly on the device.
+
+    Accepts the uniform ``(fmt, config=...)`` constructor surface shared
+    by every :class:`~repro.core.base.SortSystem`.  The algorithm is
+    deliberately concurrency-unaware, so only ``config.validate`` and
+    explicit thread overrides are meaningful -- but the config is now
+    *kept* (previous builds silently dropped the one the CLI passed).
+    """
 
     def __init__(
         self,
         fmt: Optional[RecordFormat] = None,
+        config: Optional[SortConfig] = None,
         cost: Optional[SampleSortCostModel] = None,
         output_name: str = "samplesort.out",
     ):
+        if isinstance(config, SampleSortCostModel):
+            # Deprecated positional surface: SampleSort(fmt, cost_model).
+            warnings.warn(
+                "passing SampleSortCostModel as the second positional "
+                "argument of SampleSort is deprecated; use the cost= "
+                "keyword (shim scheduled for removal in 2.0)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config, cost = None, config
         self.fmt = fmt if fmt is not None else RecordFormat()
+        self.config = config if config is not None else SortConfig()
         self.cost = cost if cost is not None else SampleSortCostModel()
         self.output_name = output_name
         self.name = "sample-sort[in-place]"
@@ -100,7 +122,10 @@ class SampleSort(SortSystem):
         n = total // self.fmt.record_size
         ncores = machine.host.ncores
         cost = self.cost
-        io_threads = cost.device_threads
+        # Explicit config overrides win; the default is the cost model's
+        # deliberately oversubscribed pool (Fig 2a behaviour).
+        read_threads = self.config.read_threads or cost.device_threads
+        write_threads = self.config.write_threads or cost.device_threads
         ops = []
         if cost.rand_read_passes > 0:
             nbytes = int(total * cost.rand_read_passes)
@@ -108,21 +133,21 @@ class SampleSort(SortSystem):
                 machine.io(
                     "read", Pattern.RAND, nbytes, tag="SORT read",
                     accesses=max(1, nbytes // cost.block_bytes),
-                    threads=io_threads,
+                    threads=read_threads,
                 )
             )
         if cost.seq_read_passes > 0:
             ops.append(
                 machine.io(
                     "read", Pattern.SEQ, int(total * cost.seq_read_passes),
-                    tag="SORT read", threads=io_threads,
+                    tag="SORT read", threads=read_threads,
                 )
             )
         if cost.write_passes > 0:
             ops.append(
                 machine.io(
                     "write", Pattern.SEQ, int(total * cost.write_passes),
-                    tag="SORT write", threads=io_threads,
+                    tag="SORT write", threads=write_threads,
                 )
             )
         # Direct-on-device element touches (pointer chasing, swaps).

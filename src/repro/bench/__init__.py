@@ -27,8 +27,10 @@ from repro.bench.experiments import (
     fig11_future_devices,
     tab01_compliance,
 )
+from repro.bench.scaleout import cluster_scaleout
 
 __all__ = [
+    "cluster_scaleout",
     "ablation_buffer_size",
     "ablation_natural_runs",
     "ablation_compression",

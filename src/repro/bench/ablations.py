@@ -10,21 +10,21 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.baselines import ExternalMergeSort
 from repro.bench.experiments import SORTBENCH_FMT, _fmt_ms, _run_system
 from repro.core.base import SortConfig
 from repro.core.compression import CompressionModel, estimate_benefit
-from repro.core.wiscsort import WiscSort
 from repro.device.host import HostModel
 from repro.device.profiles import pmem_profile
 from repro.machine import Machine
 from repro.metrics.report import BenchTable
 from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
+from repro.registry import get_system, register_experiment
 from repro.units import KiB, MiB
 from repro.workloads.datasets import DEFAULT_SCALE
 
 
+@register_experiment("ablation-write-pool")
 def ablation_write_pool(
     scale: int = DEFAULT_SCALE,
     pool_sizes: Tuple[int, ...] = (1, 2, 5, 8, 16, 32),
@@ -40,12 +40,13 @@ def ablation_write_pool(
     )
     for threads in pool_sizes:
         config = SortConfig(write_threads=threads)
-        result = _run_system(WiscSort(SORTBENCH_FMT, config=config), pmem, n)
+        result = _run_system(get_system("wiscsort")(SORTBENCH_FMT, config=config), pmem, n)
         table.add_row(threads, _fmt_ms(result.total_time))
     table.add_note("controller default picks ~5 threads; ends of the sweep lose")
     return table
 
 
+@register_experiment("ablation-pointer")
 def ablation_pointer_size(scale: int = DEFAULT_SCALE) -> BenchTable:
     """5-byte vs 8-byte pointers (paper Sec 3.3 footnote): the wider
     pointer costs extra IndexMap traffic -- write reduction vs EMS drops
@@ -57,11 +58,11 @@ def ablation_pointer_size(scale: int = DEFAULT_SCALE) -> BenchTable:
         title=f"Ablation: pointer width, WiscSort MergePass ({n} records)",
         headers=["pointer B", "time (ms)", "run-write bytes", "write reduction vs ems"],
     )
-    ems = _run_system(ExternalMergeSort(SORTBENCH_FMT), pmem, n)
+    ems = _run_system(get_system("ems")(SORTBENCH_FMT), pmem, n)
     ems_run_write = ems.extras["machine"].stats.tags["RUN write"].user_bytes
     for pointer in (5, 8):
         fmt = RecordFormat(key_size=10, value_size=90, pointer_size=pointer)
-        system = WiscSort(fmt, force_merge_pass=True, merge_chunk_entries=chunk)
+        system = get_system("wiscsort")(fmt, force_merge_pass=True, merge_chunk_entries=chunk)
         result = _run_system(system, pmem, n, fmt=fmt)
         run_write = result.extras["machine"].stats.tags["RUN write"].user_bytes
         table.add_row(
@@ -74,6 +75,7 @@ def ablation_pointer_size(scale: int = DEFAULT_SCALE) -> BenchTable:
     return table
 
 
+@register_experiment("ablation-dram")
 def ablation_dram_budget(
     scale: int = DEFAULT_SCALE,
     budget_fractions: Tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.25),
@@ -89,7 +91,7 @@ def ablation_dram_budget(
     )
     for fraction in budget_fractions:
         budget = max(64 * KiB, int(imap_bytes * fraction))
-        system = WiscSort(SORTBENCH_FMT)
+        system = get_system("wiscsort")(SORTBENCH_FMT)
         result = _run_system(system, pmem, n, dram_budget=budget)
         table.add_row(
             f"{fraction:.2f}",
@@ -100,6 +102,7 @@ def ablation_dram_budget(
     return table
 
 
+@register_experiment("ablation-buffers")
 def ablation_buffer_size(
     scale: int = DEFAULT_SCALE,
     write_buffers: Tuple[int, ...] = (1 * MiB, 2 * MiB, 5 * MiB, 10 * MiB),
@@ -114,12 +117,13 @@ def ablation_buffer_size(
     )
     for wb in write_buffers:
         config = SortConfig(write_buffer=wb)
-        result = _run_system(WiscSort(SORTBENCH_FMT, config=config), pmem, n)
+        result = _run_system(get_system("wiscsort")(SORTBENCH_FMT, config=config), pmem, n)
         table.add_row(wb // MiB, _fmt_ms(result.total_time))
     table.add_note("paper: buffer size choice has no effect (times ~flat)")
     return table
 
 
+@register_experiment("ablation-compression")
 def ablation_compression(scale: int = DEFAULT_SCALE) -> BenchTable:
     """IndexMap compression (Sec 5 future work): measure the tradeoff on
     an incompressible (uniform gensort) and a compressible
@@ -148,7 +152,7 @@ def ablation_compression(scale: int = DEFAULT_SCALE) -> BenchTable:
         for compress in (False, True):
             machine = Machine(profile=pmem)
             f = build(machine)
-            system = WiscSort(
+            system = get_system("wiscsort")(
                 SORTBENCH_FMT,
                 force_merge_pass=True,
                 merge_chunk_entries=chunk,
@@ -175,6 +179,7 @@ def ablation_compression(scale: int = DEFAULT_SCALE) -> BenchTable:
     return table
 
 
+@register_experiment("ablation-natural-runs")
 def ablation_natural_runs(
     scale: int = DEFAULT_SCALE,
     presorted_fractions: Tuple[float, ...] = (0.0, 0.5, 1.0),
@@ -187,7 +192,6 @@ def ablation_natural_runs(
     devices like BARD -- quantifying why the paper treats the technique
     as orthogonal rather than essential.
     """
-    from repro.core.natural_runs import NaturalRunWiscSort
     from repro.device.profiles import bard_device_profile
     from repro.records.format import record_sort_indices
 
@@ -219,8 +223,8 @@ def ablation_natural_runs(
         ("bard-device", bard_device_profile()),
     ):
         for fraction in presorted_fractions:
-            base, _ = run_one(profile, fraction, WiscSort)
-            nat, system = run_one(profile, fraction, NaturalRunWiscSort)
+            base, _ = run_one(profile, fraction, get_system("wiscsort"))
+            nat, system = run_one(profile, fraction, get_system("wiscsort-natural"))
             table.add_row(
                 device_name,
                 f"{fraction:.0%}",
@@ -232,6 +236,7 @@ def ablation_natural_runs(
     return table
 
 
+@register_experiment("ablation-merge-fanin")
 def ablation_merge_fanin(
     scale: int = DEFAULT_SCALE,
     read_buffers: Tuple[int, ...] = (4 * KiB, 16 * KiB, 64 * KiB, 1 * MiB),
@@ -254,10 +259,10 @@ def ablation_merge_fanin(
     )
     for rb in read_buffers:
         config = SortConfig(read_buffer=rb, write_buffer=max(4 * KiB, rb // 2))
-        ems_system = ExternalMergeSort(fmt, config=config)
+        ems_system = get_system("ems")(fmt, config=config)
         ems = _run_system(ems_system, pmem, n)
         chunk = max(1, min(n // 8, rb // fmt.index_entry_size * 4))
-        wisc_system = WiscSort(
+        wisc_system = get_system("wiscsort")(
             fmt, config=config, force_merge_pass=True, merge_chunk_entries=chunk
         )
         wisc = _run_system(wisc_system, pmem, n)

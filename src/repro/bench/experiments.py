@@ -10,9 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.baselines import ExternalMergeSort, PMSort, PMSortPlus, SampleSort
 from repro.core.base import ConcurrencyModel, SortConfig, SortResult
-from repro.core.wiscsort import WiscSort
 from repro.device.profile import DeviceProfile
 from repro.device.profiles import (
     bard_device_profile,
@@ -26,6 +24,7 @@ from repro.metrics.efficiency import io_efficiency_rows
 from repro.metrics.report import BenchTable
 from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
+from repro.registry import get_system, register_experiment
 from repro.units import GiB, MiB
 from repro.workloads.background import BackgroundClients
 from repro.workloads.datasets import DEFAULT_SCALE, sortbenchmark_records_for_gb
@@ -63,16 +62,17 @@ def _fmt_ms(seconds: float) -> str:
 # ----------------------------------------------------------------------
 # Figure 1 -- motivation: sorting approaches on PMEM (20 GB / 200M recs)
 # ----------------------------------------------------------------------
+@register_experiment("fig01")
 def fig01_motivation(scale: int = DEFAULT_SCALE) -> BenchTable:
     """In-place sample sort vs external merge sort vs WiscSort on PMEM."""
     n = 200_000_000 // scale
     pmem = pmem_profile()
     dram = dram_profile(capacity=8 * GiB)
     results = {
-        "in-place sample sort (PMEM)": _run_system(SampleSort(SORTBENCH_FMT), pmem, n),
-        "external merge sort": _run_system(ExternalMergeSort(SORTBENCH_FMT), pmem, n),
-        "wiscsort": _run_system(WiscSort(SORTBENCH_FMT), pmem, n),
-        "in-place sample sort (DRAM)": _run_system(SampleSort(SORTBENCH_FMT), dram, n),
+        "in-place sample sort (PMEM)": _run_system(get_system("sample-sort")(SORTBENCH_FMT), pmem, n),
+        "external merge sort": _run_system(get_system("ems")(SORTBENCH_FMT), pmem, n),
+        "wiscsort": _run_system(get_system("wiscsort")(SORTBENCH_FMT), pmem, n),
+        "in-place sample sort (DRAM)": _run_system(get_system("sample-sort")(SORTBENCH_FMT), dram, n),
     }
     table = BenchTable(
         title=f"Fig 1: sorting approaches on PMEM ({n} records, 10B/90B)",
@@ -100,6 +100,7 @@ COMPLIANCE_MATRIX: List[Tuple[str, bool, bool, bool, bool, bool]] = [
 ]
 
 
+@register_experiment("tab01")
 def tab01_compliance() -> BenchTable:
     """The BRAID compliance matrix (Table 1)."""
     table = BenchTable(
@@ -121,6 +122,7 @@ FIG4_PHASES = [
 ]
 
 
+@register_experiment("fig04")
 def fig04_sortbenchmark(
     scale: int = DEFAULT_SCALE,
     paper_gbs: Tuple[float, ...] = (40, 80, 120, 160, 200),
@@ -140,9 +142,9 @@ def fig04_sortbenchmark(
     for gb in paper_gbs:
         n = sortbenchmark_records_for_gb(gb, scale)
         ems = _run_system(
-            ExternalMergeSort(SORTBENCH_FMT), pmem, n, dram_budget=dram_budget
+            get_system("ems")(SORTBENCH_FMT), pmem, n, dram_budget=dram_budget
         )
-        wisc_system = WiscSort(SORTBENCH_FMT)
+        wisc_system = get_system("wiscsort")(SORTBENCH_FMT)
         wisc = _run_system(wisc_system, pmem, n, dram_budget=dram_budget)
         for label, result, passname, speed in (
             ("ems", ems, "run+merge", ""),
@@ -198,13 +200,14 @@ def _resource_table(title: str, results: Dict[str, SortResult]) -> BenchTable:
     return table
 
 
+@register_experiment("fig05")
 def fig05_resources_onepass(scale: int = DEFAULT_SCALE) -> BenchTable:
     """EMS vs WiscSort OnePass resource usage for a 40 GB sort."""
     n = sortbenchmark_records_for_gb(40, scale)
     pmem = pmem_profile()
     results = {
-        "ems": _run_system(ExternalMergeSort(SORTBENCH_FMT), pmem, n),
-        "wiscsort-onepass": _run_system(WiscSort(SORTBENCH_FMT), pmem, n),
+        "ems": _run_system(get_system("ems")(SORTBENCH_FMT), pmem, n),
+        "wiscsort-onepass": _run_system(get_system("wiscsort")(SORTBENCH_FMT), pmem, n),
     }
     table = _resource_table(
         "Fig 5: resource usage, EMS vs OnePass (40 GB scaled)", results
@@ -217,6 +220,7 @@ def fig05_resources_onepass(scale: int = DEFAULT_SCALE) -> BenchTable:
     return table
 
 
+@register_experiment("fig06")
 def fig06_resources_mergepass(scale: int = DEFAULT_SCALE) -> BenchTable:
     """EMS vs WiscSort MergePass resource usage for a 160 GB sort."""
     n = sortbenchmark_records_for_gb(160, scale)
@@ -225,10 +229,10 @@ def fig06_resources_mergepass(scale: int = DEFAULT_SCALE) -> BenchTable:
     config = SortConfig(read_buffer=12 * MiB, write_buffer=5 * MiB)
     results = {
         "ems": _run_system(
-            ExternalMergeSort(SORTBENCH_FMT), pmem, n, dram_budget=dram_budget
+            get_system("ems")(SORTBENCH_FMT), pmem, n, dram_budget=dram_budget
         ),
         "wiscsort-mergepass": _run_system(
-            WiscSort(SORTBENCH_FMT, config=config),
+            get_system("wiscsort")(SORTBENCH_FMT, config=config),
             pmem, n, dram_budget=dram_budget,
         ),
     }
@@ -248,6 +252,7 @@ def fig06_resources_mergepass(scale: int = DEFAULT_SCALE) -> BenchTable:
 # ----------------------------------------------------------------------
 # Figure 7 -- concurrency & interference optimisations (400M records)
 # ----------------------------------------------------------------------
+@register_experiment("fig07")
 def fig07_concurrency(scale: int = DEFAULT_SCALE) -> BenchTable:
     """All systems under all concurrency models (Fig 7)."""
     n = 400_000_000 // scale
@@ -256,7 +261,7 @@ def fig07_concurrency(scale: int = DEFAULT_SCALE) -> BenchTable:
     chunk = max(1, n // 4)
 
     def ws(model: ConcurrencyModel, merge: bool) -> WiscSort:
-        return WiscSort(
+        return get_system("wiscsort")(
             SORTBENCH_FMT,
             config=SortConfig(concurrency=model),
             force_merge_pass=merge,
@@ -264,13 +269,13 @@ def fig07_concurrency(scale: int = DEFAULT_SCALE) -> BenchTable:
         )
 
     systems = [
-        ("ems no-sync", ExternalMergeSort(
+        ("ems no-sync", get_system("ems")(
             SORTBENCH_FMT, config=SortConfig(concurrency=ConcurrencyModel.NO_SYNC))),
-        ("ems no-io-overlap", ExternalMergeSort(SORTBENCH_FMT)),
-        ("pmsort single-thread", PMSort(SORTBENCH_FMT)),
-        ("pmsort+ no-sync", PMSortPlus(
+        ("ems no-io-overlap", get_system("ems")(SORTBENCH_FMT)),
+        ("pmsort single-thread", get_system("pmsort")(SORTBENCH_FMT)),
+        ("pmsort+ no-sync", get_system("pmsort+")(
             SORTBENCH_FMT, config=SortConfig(concurrency=ConcurrencyModel.NO_SYNC))),
-        ("pmsort+ io-overlap", PMSortPlus(
+        ("pmsort+ io-overlap", get_system("pmsort+")(
             SORTBENCH_FMT, config=SortConfig(concurrency=ConcurrencyModel.IO_OVERLAP))),
         ("wiscsort-mp no-sync", ws(ConcurrencyModel.NO_SYNC, True)),
         ("wiscsort-mp io-overlap", ws(ConcurrencyModel.IO_OVERLAP, True)),
@@ -296,6 +301,7 @@ def fig07_concurrency(scale: int = DEFAULT_SCALE) -> BenchTable:
 # ----------------------------------------------------------------------
 # Figure 8 -- key-value splitting benefit vs value size (400M records)
 # ----------------------------------------------------------------------
+@register_experiment("fig08")
 def fig08_kv_split(
     scale: int = DEFAULT_SCALE,
     value_sizes: Tuple[int, ...] = (10, 50, 90, 256, 502),
@@ -310,10 +316,10 @@ def fig08_kv_split(
     )
     for v in value_sizes:
         fmt = RecordFormat(key_size=10, value_size=v, pointer_size=5)
-        ems = _run_system(ExternalMergeSort(fmt), pmem, n, fmt=fmt)
-        one = _run_system(WiscSort(fmt), pmem, n, fmt=fmt)
+        ems = _run_system(get_system("ems")(fmt), pmem, n, fmt=fmt)
+        one = _run_system(get_system("wiscsort")(fmt), pmem, n, fmt=fmt)
         merge = _run_system(
-            WiscSort(fmt, force_merge_pass=True, merge_chunk_entries=max(1, n // 4)),
+            get_system("wiscsort")(fmt, force_merge_pass=True, merge_chunk_entries=max(1, n // 4)),
             pmem, n, fmt=fmt,
         )
         table.add_row(
@@ -331,6 +337,7 @@ def fig08_kv_split(
 # ----------------------------------------------------------------------
 # Figure 9 -- IndexMap load: strided vs sequential (400M records)
 # ----------------------------------------------------------------------
+@register_experiment("fig09")
 def fig09_strided_vs_seq(
     scale: int = DEFAULT_SCALE,
     value_sizes: Tuple[int, ...] = (10, 50, 90, 256, 502),
@@ -382,6 +389,7 @@ def fig09_strided_vs_seq(
 # ----------------------------------------------------------------------
 # Figure 10 -- background I/O interference (400M records)
 # ----------------------------------------------------------------------
+@register_experiment("fig10")
 def fig10_interference(
     scale: int = DEFAULT_SCALE,
     client_counts: Tuple[int, ...] = (0, 1, 2, 4, 8),
@@ -398,10 +406,10 @@ def fig10_interference(
     for kind in ("read", "write"):
         for clients in client_counts:
             wisc = _run_system(
-                WiscSort(SORTBENCH_FMT), pmem, n, background=(kind, clients)
+                get_system("wiscsort")(SORTBENCH_FMT), pmem, n, background=(kind, clients)
             )
             ems = _run_system(
-                ExternalMergeSort(SORTBENCH_FMT), pmem, n, background=(kind, clients)
+                get_system("ems")(SORTBENCH_FMT), pmem, n, background=(kind, clients)
             )
             if clients == 0:
                 baselines[f"wisc-{kind}"] = wisc.total_time
@@ -429,6 +437,7 @@ FIG11_DEVICES: Dict[str, Callable[[], DeviceProfile]] = {
 }
 
 
+@register_experiment("fig11")
 def fig11_future_devices(
     scale: int = DEFAULT_SCALE,
     devices: Tuple[str, ...] = ("bd-device", "brd-device", "bard-device"),
@@ -443,12 +452,12 @@ def fig11_future_devices(
         profile = FIG11_DEVICES[device_name]()
         chunk = max(1, n // 4)
         systems = [
-            ("sample sort", SampleSort(SORTBENCH_FMT)),
-            ("ems", ExternalMergeSort(SORTBENCH_FMT)),
-            ("wiscsort onepass", WiscSort(SORTBENCH_FMT)),
-            ("wiscsort mergepass", WiscSort(
+            ("sample sort", get_system("sample-sort")(SORTBENCH_FMT)),
+            ("ems", get_system("ems")(SORTBENCH_FMT)),
+            ("wiscsort onepass", get_system("wiscsort")(SORTBENCH_FMT)),
+            ("wiscsort mergepass", get_system("wiscsort")(
                 SORTBENCH_FMT, force_merge_pass=True, merge_chunk_entries=chunk)),
-            ("wiscsort mergepass io-overlap", WiscSort(
+            ("wiscsort mergepass io-overlap", get_system("wiscsort")(
                 SORTBENCH_FMT,
                 config=SortConfig(concurrency=ConcurrencyModel.IO_OVERLAP),
                 force_merge_pass=True, merge_chunk_entries=chunk)),

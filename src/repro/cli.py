@@ -4,14 +4,22 @@ Commands
 --------
 ``sort``        sort a generated dataset with a chosen system and print
                 the phase breakdown and resource timeline.
+``cluster``     run K concurrent sort jobs on an N-shard cluster behind
+                the job scheduler and print queue/service/slowdown and
+                per-shard device statistics.
 ``calibrate``   run the device microbenchmark suite on a profile.
-``bench``       run one paper experiment (fig01 ... fig11, tab01, or an
-                ablation) and print its table.
+``bench``       run one paper experiment (fig01 ... fig11, tab01, an
+                ablation, or cluster-scaleout) and print its table.
 ``profiles``    list the available device profiles.
+
+Systems, experiments and profiles all resolve through
+:mod:`repro.registry`; registering a new system makes it immediately
+available to every command here without touching this module.
 
 Examples::
 
     python -m repro sort --records 200000 --system wiscsort --device pmem
+    python -m repro cluster --shards 4 --jobs 8 --policy fair
     python -m repro calibrate --device bard-device
     python -m repro bench fig08 --scale 2000
     python -m repro profiles
@@ -21,61 +29,24 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
-from repro import bench as bench_module
-from repro.baselines import (
-    ExternalMergeSort,
-    ModifiedKeySort,
-    PMSort,
-    PMSortPlus,
-    SampleSort,
-)
+from repro import api
 from repro.calibrate import calibrate_device
 from repro.core.base import ConcurrencyModel, SortConfig
-from repro.core.wiscsort import WiscSort
 from repro.device.host import HostModel
-from repro.device.profiles import PROFILE_FACTORIES
-from repro.machine import Machine
+from repro.metrics.cluster_report import render_job_table, render_shard_table
 from repro.metrics.timeline import render_timeline
 from repro.perf import SelfPerfProfiler, render_report
 from repro.records.format import RecordFormat
-from repro.records.gensort import generate_dataset
+from repro.registry import RegistryView, get_experiment, get_profile
 from repro.units import fmt_bytes, fmt_seconds
 
-#: name -> constructor(fmt, config) for the ``sort`` command.
-SYSTEMS: Dict[str, Callable] = {
-    "wiscsort": lambda fmt, config: WiscSort(fmt, config=config),
-    "wiscsort-merge": lambda fmt, config: WiscSort(
-        fmt, config=config, force_merge_pass=True
-    ),
-    "ems": lambda fmt, config: ExternalMergeSort(fmt, config=config),
-    "pmsort": lambda fmt, config: PMSort(fmt, config=config),
-    "pmsort+": lambda fmt, config: PMSortPlus(fmt, config=config),
-    "sample-sort": lambda fmt, config: SampleSort(fmt),
-    "modified-key-sort": lambda fmt, config: ModifiedKeySort(fmt, config=config),
-}
-
-#: Experiment registry for the ``bench`` command.
-EXPERIMENTS: Dict[str, Callable] = {
-    "tab01": bench_module.tab01_compliance,
-    "fig01": bench_module.fig01_motivation,
-    "fig04": bench_module.fig04_sortbenchmark,
-    "fig05": bench_module.fig05_resources_onepass,
-    "fig06": bench_module.fig06_resources_mergepass,
-    "fig07": bench_module.fig07_concurrency,
-    "fig08": bench_module.fig08_kv_split,
-    "fig09": bench_module.fig09_strided_vs_seq,
-    "fig10": bench_module.fig10_interference,
-    "fig11": bench_module.fig11_future_devices,
-    "ablation-write-pool": bench_module.ablation_write_pool,
-    "ablation-pointer": bench_module.ablation_pointer_size,
-    "ablation-dram": bench_module.ablation_dram_budget,
-    "ablation-buffers": bench_module.ablation_buffer_size,
-    "ablation-compression": bench_module.ablation_compression,
-    "ablation-natural-runs": bench_module.ablation_natural_runs,
-    "ablation-merge-fanin": bench_module.ablation_merge_fanin,
-}
+#: Read-only mapping views over the registry; kept under the historical
+#: names so ``from repro.cli import SYSTEMS, EXPERIMENTS`` keeps working.
+SYSTEMS = RegistryView("system")
+EXPERIMENTS = RegistryView("experiment")
+PROFILES = RegistryView("profile")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,9 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--key-size", type=int, default=10)
     p_sort.add_argument("--value-size", type=int, default=90)
     p_sort.add_argument("--system", choices=sorted(SYSTEMS), default="wiscsort")
-    p_sort.add_argument(
-        "--device", choices=sorted(PROFILE_FACTORIES), default="pmem"
-    )
+    p_sort.add_argument("--device", choices=sorted(PROFILES), default="pmem")
     p_sort.add_argument(
         "--concurrency",
         choices=[m.value for m in ConcurrencyModel],
@@ -125,10 +94,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="debug: disable the rate-model memo cache "
                              "(results must be identical either way)")
 
-    p_cal = sub.add_parser("calibrate", help="probe a device profile")
-    p_cal.add_argument(
-        "--device", choices=sorted(PROFILE_FACTORIES), default="pmem"
+    p_cluster = sub.add_parser(
+        "cluster", help="run concurrent sort jobs on a multi-device cluster"
     )
+    p_cluster.add_argument("--shards", type=int, default=4,
+                           help="number of homogeneous device shards")
+    p_cluster.add_argument(
+        "--devices", default=None, metavar="NAME[,NAME...]",
+        help="heterogeneous cluster: one profile name per shard, "
+             "comma-separated (overrides --shards/--device)")
+    p_cluster.add_argument("--device", choices=sorted(PROFILES), default="pmem")
+    p_cluster.add_argument("--jobs", type=int, default=8,
+                           help="number of sort jobs to submit")
+    p_cluster.add_argument("--policy", choices=["fifo", "fair"], default="fifo")
+    p_cluster.add_argument("--tenants", type=int, default=2,
+                           help="jobs are assigned round-robin to this many "
+                                "tenants (fair-share accounting unit)")
+    p_cluster.add_argument("--system", choices=sorted(SYSTEMS),
+                           default="wiscsort")
+    p_cluster.add_argument("--records-per-job", type=int, default=50_000)
+    p_cluster.add_argument("--seed", type=int, default=42)
+    p_cluster.add_argument("--dram-budget", type=int, default=None,
+                           help="cluster-wide DRAM pool in bytes; admitted "
+                                "jobs hold reservations against it")
+    p_cluster.add_argument("--sanitize", action="store_true",
+                           help="install the SimSanitizer across all shards "
+                                "(exit 1 on charge-accounting drift)")
+    p_cluster.add_argument("--verify-determinism", action="store_true",
+                           help="run the whole cluster workload twice and "
+                                "diff the event traces; exit 1 on divergence")
+
+    p_cal = sub.add_parser("calibrate", help="probe a device profile")
+    p_cal.add_argument("--device", choices=sorted(PROFILES), default="pmem")
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -139,66 +136,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_sort(args, fmt, config, prof, sanitizer=None, validate=True):
-    """Build a fresh machine, generate the dataset and run the sort.
-
-    Shared between the normal ``sort`` path and ``--verify-determinism``
-    (which calls it twice on fresh machines with tracing sanitizers).
-    Returns ``(machine, data, result, fault_report)``.
-    """
-    machine = Machine(
-        profile=PROFILE_FACTORIES[args.device](),
-        dram_budget=args.dram_budget,
-        memoize_rates=not args.no_memoize,
-    )
-    if sanitizer is not None:
-        sanitizer.install(machine)
-    with prof.phase("generate"):
-        data = generate_dataset(
-            machine, "input", args.records, fmt, seed=args.seed
-        )
-    system = SYSTEMS[args.system](fmt, config)
-    fault_report = None
-    if args.faults is not None:
-        from repro.errors import ConfigError
-        from repro.faults import parse_fault_spec, run_with_faults
-
-        plan = parse_fault_spec(args.faults, seed=args.seed)
-        if plan.has_crash:
-            if not hasattr(system, "checkpoint"):
-                raise ConfigError(
-                    f"--faults with a crash needs a checkpointing system "
-                    f"(wiscsort or ems), not {args.system!r}"
-                )
-            system.checkpoint = True
-        if plan.needs_probe:
-            with prof.phase("fault-probe"):
-                plan = plan.resolve_fractions(
-                    _probe_op_count(args, fmt, config, plan.has_crash)
-                )
-        machine.install_faults(plan)
-        with prof.phase("sort"):
-            result, fault_report = run_with_faults(
-                system, machine, data, validate=validate
-            )
-    else:
-        with prof.phase("sort"):
-            result = system.run(machine, data, validate=validate)
-    return machine, data, result, fault_report
-
-
 def cmd_sort(args: argparse.Namespace) -> int:
     fmt = RecordFormat(key_size=args.key_size, value_size=args.value_size)
     config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
     prof = SelfPerfProfiler()
+
+    def run_once(sanitizer=None):
+        with prof.phase("sort"):
+            return api.sort(
+                records=args.records,
+                system=args.system,
+                device=args.device,
+                fmt=fmt,
+                config=config,
+                seed=args.seed,
+                faults=args.faults,
+                validate=not args.no_validate,
+                dram_budget=args.dram_budget,
+                memoize_rates=not args.no_memoize,
+                sanitizer=sanitizer,
+            )
+
     if args.verify_determinism:
         from repro.analysis.sanitizer import verify_determinism
 
-        def run_once(san):
-            _run_sort(args, fmt, config, SelfPerfProfiler(), sanitizer=san,
-                      validate=not args.no_validate)
-
-        report = verify_determinism(run_once, runs=2)
+        report = verify_determinism(lambda san: run_once(sanitizer=san), runs=2)
         print(report.render())
         return 0 if report.ok else 1
     sanitizer = None
@@ -206,13 +168,12 @@ def cmd_sort(args: argparse.Namespace) -> int:
         from repro.analysis.sanitizer import SimSanitizer
 
         sanitizer = SimSanitizer()
-    machine, data, result, fault_report = _run_sort(
-        args, fmt, config, prof, sanitizer=sanitizer,
-        validate=not args.no_validate,
-    )
+    result = run_once(sanitizer=sanitizer)
+    machine = result.extras["machine"]
+    fault_report = result.extras.get("fault_report")
     print(f"device : {machine.profile.describe()}")
     print(f"input  : {args.records} records x {fmt.record_size}B "
-          f"({fmt_bytes(data.size)})")
+          f"({fmt_bytes(fmt.file_bytes(args.records))})")
     print(f"system : {result.system}")
     print(f"total  : {fmt_seconds(result.total_time)} (simulated)")
     for tag, busy in result.phases.items():
@@ -234,14 +195,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
                 print(f"  recovery: {fmt_bytes(stats['salvaged_bytes'])} "
                       f"salvaged, {fmt_bytes(stats['redone_bytes'])} redone")
     if sanitizer is not None:
-        from repro.errors import ChargeDriftError
-
         audit = sanitizer.audit_report()
-        try:
-            sanitizer.check()
-        except ChargeDriftError as exc:
-            print(f"sanitize: {exc}")
-            return 1
         print(
             f"sanitize: zero drift -- "
             f"{fmt_bytes(audit['moved_read'])} read / "
@@ -257,31 +211,79 @@ def cmd_sort(args: argparse.Namespace) -> int:
     return 0
 
 
-def _probe_op_count(args, fmt, config, checkpoint: bool) -> int:
-    """Fault-free probe run counting timed file ops (resolves crash@N%).
+def _run_cluster(args: argparse.Namespace, sanitizer=None):
+    """Build a fresh cluster, submit and run the jobs; returns both."""
+    from repro.cluster import Cluster, JobScheduler
 
-    The probe mirrors the real run exactly -- same dataset, system and
-    (crucially) checkpoint setting, since checkpoint writes are part of
-    the op stream the fractions index into.
-    """
-    from repro.faults import FaultPlan
+    if args.devices:
+        cluster = Cluster(
+            profiles=[name.strip() for name in args.devices.split(",")],
+            dram_budget=args.dram_budget,
+        )
+    else:
+        cluster = Cluster(
+            shards=args.shards,
+            profile=get_profile(args.device)(),
+            dram_budget=args.dram_budget,
+        )
+    if sanitizer is not None:
+        sanitizer.install_cluster(cluster)
+    scheduler = JobScheduler(cluster, policy=args.policy)
+    tenants = max(1, args.tenants)
+    for j in range(args.jobs):
+        scheduler.submit(
+            f"job{j:02d}",
+            system=args.system,
+            n_records=args.records_per_job,
+            seed=args.seed + j,
+            tenant=f"tenant{j % tenants}",
+        )
+    jobs = scheduler.run()
+    return cluster, jobs
 
-    machine = Machine(
-        profile=PROFILE_FACTORIES[args.device](),
-        dram_budget=args.dram_budget,
-        memoize_rates=not args.no_memoize,
-    )
-    data = generate_dataset(machine, "input", args.records, fmt, seed=args.seed)
-    system = SYSTEMS[args.system](fmt, config)
-    if checkpoint:
-        system.checkpoint = True
-    injector = machine.install_faults(FaultPlan(), count_only=True)
-    system.run(machine, data, validate=False)
-    return injector.op_index
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print("cluster: need at least one job", file=sys.stderr)
+        return 2
+    if args.verify_determinism:
+        from repro.analysis.sanitizer import verify_determinism
+
+        report = verify_determinism(
+            lambda san: _run_cluster(args, sanitizer=san), runs=2
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+    sanitizer = None
+    if args.sanitize:
+        from repro.analysis.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer()
+    cluster, jobs = _run_cluster(args, sanitizer=sanitizer)
+    print(cluster.describe())
+    print(f"policy : {args.policy}, {args.jobs} jobs, "
+          f"{args.records_per_job} records/job")
+    if cluster.dram.budget is not None:
+        print(f"dram   : {fmt_bytes(cluster.dram.budget)} pool, "
+              f"peak {fmt_bytes(cluster.dram.peak)} reserved")
+    print()
+    print(render_job_table(jobs))
+    print()
+    print(render_shard_table(cluster))
+    if sanitizer is not None:
+        from repro.errors import ChargeDriftError
+
+        try:
+            sanitizer.check()
+        except ChargeDriftError as exc:
+            print(f"sanitize: {exc}")
+            return 1
+        print("sanitize: zero drift across all shards")
+    return 0
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
-    profile = PROFILE_FACTORIES[args.device]()
+    profile = get_profile(args.device)()
     result = calibrate_device(profile, HostModel(), use_cache=False)
     for line in result.table():
         print(line)
@@ -289,15 +291,15 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    fn = EXPERIMENTS[args.experiment]
+    fn = get_experiment(args.experiment)
     table = fn() if args.experiment == "tab01" else fn(scale=args.scale)
     print(table.render())
     return 0
 
 
 def cmd_profiles(_args: argparse.Namespace) -> int:
-    for name in sorted(PROFILE_FACTORIES):
-        print(PROFILE_FACTORIES[name]().describe())
+    for name in sorted(PROFILES):
+        print(get_profile(name)().describe())
     return 0
 
 
@@ -305,6 +307,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "sort": cmd_sort,
+        "cluster": cmd_cluster,
         "calibrate": cmd_calibrate,
         "bench": cmd_bench,
         "profiles": cmd_profiles,

@@ -1,0 +1,28 @@
+"""Scale-out: multi-device sharded sorting and a cluster job scheduler.
+
+One shared :class:`~repro.sim.engine.Engine` hosts N device shards (each
+a full :class:`~repro.machine.Machine` routed through a
+:class:`~repro.sim.domains.DomainRouter`), so concurrent per-shard sorts
+contend realistically on their own devices while sharing one simulated
+clock and one DRAM pool.
+
+* :class:`Cluster` -- owns the engine, the shards and the shared DRAM.
+* :class:`ShardedWiscSort` -- range-partitioning shuffle + per-shard
+  WiscSort; merged output is byte-identical to a single-device run.
+* :class:`JobScheduler` -- FIFO / fair-share admission of K concurrent
+  sort jobs with per-job DRAM reservations and queueing metrics.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterStats, ShardedFile, generate_cluster_dataset
+from repro.cluster.scheduler import Job, JobScheduler
+from repro.cluster.sharded import ShardedWiscSort
+
+__all__ = [
+    "Cluster",
+    "ClusterStats",
+    "ShardedFile",
+    "generate_cluster_dataset",
+    "Job",
+    "JobScheduler",
+    "ShardedWiscSort",
+]

@@ -1,0 +1,221 @@
+"""A multi-device cluster: N shards on one shared simulation engine.
+
+Each shard is an ordinary :class:`~repro.machine.Machine` joined to the
+cluster's engine through a :class:`~repro.sim.domains.DomainRouter`: the
+shard's ops are stamped with its domain key and rated against its own
+:class:`~repro.device.device.BraidRateModel`, so devices never interfere
+with each other (one NUMA socket per device, as on the paper's testbed)
+while everything shares one simulated clock.
+
+Homogeneous clusters share a single profile object and host model across
+shards, so the thread-pool controller's calibration cache is hit once
+per cluster rather than once per shard.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import SortConfig
+from repro.device.host import HostModel
+from repro.device.profile import DeviceProfile
+from repro.device.stats import TagStats
+from repro.errors import ConfigError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import make_records
+from repro.registry import get_profile
+from repro.sim.domains import DomainRouter
+from repro.sim.engine import Engine, SimGenerator
+from repro.sim.primitives import Semaphore
+from repro.storage.dram import DramTracker
+from repro.storage.file import SimFile
+
+
+class ClusterStats:
+    """Aggregate read-only statistics view over all shard devices.
+
+    Duck-types the slice of :class:`~repro.device.stats.DeviceStats`
+    that :meth:`repro.core.base.SortSystem._drive_and_harvest` consumes.
+    Per-tag aggregates merge shard tables in shard order (deterministic
+    float summation); ``busy_time`` sums *device*-busy seconds across
+    shards, so overlapping shards legitimately report more busy time
+    than wall clock.
+    """
+
+    def __init__(self, shards: Sequence[Machine]):
+        self._shards = shards
+
+    @property
+    def bytes_read_internal(self) -> float:
+        return sum(m.stats.bytes_read_internal for m in self._shards)
+
+    @property
+    def bytes_written_internal(self) -> float:
+        return sum(m.stats.bytes_written_internal for m in self._shards)
+
+    @property
+    def tags(self) -> dict:
+        merged: dict = {}
+        for shard in self._shards:
+            for tag, s in shard.stats.tags.items():
+                agg = merged.get(tag)
+                if agg is None:
+                    agg = TagStats()
+                    merged[tag] = agg
+                agg.busy_time += s.busy_time
+                agg.internal_bytes += s.internal_bytes
+                agg.user_bytes += s.user_bytes
+                agg.op_count += s.op_count
+                if s.first_active < agg.first_active:
+                    agg.first_active = s.first_active
+                if s.last_active > agg.last_active:
+                    agg.last_active = s.last_active
+                if s.direction:
+                    agg.direction = s.direction
+                if s.pattern:
+                    agg.pattern = s.pattern
+        return merged
+
+    def tag_table(self) -> List[Tuple[str, TagStats]]:
+        return sorted(self.tags.items(), key=lambda kv: kv[1].first_active)
+
+
+class Cluster:
+    """N device shards behind one engine, one clock and one DRAM pool.
+
+    ``profiles`` takes one entry per shard -- a profile name from the
+    registry or a :class:`~repro.device.profile.DeviceProfile` -- for
+    heterogeneous clusters (e.g. 2x pmem + 2x bd-device).  Without it,
+    ``shards`` homogeneous shards share a single default-pmem profile.
+    The cluster duck-types the machine surface sort systems harvest
+    (``now`` / ``stats`` / ``faults`` / ``run``), so a
+    :class:`~repro.cluster.sharded.ShardedWiscSort` runs on it through
+    the ordinary :meth:`~repro.core.base.SortSystem.run` entry point.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        profiles: Optional[Sequence[Union[str, DeviceProfile]]] = None,
+        profile: Optional[DeviceProfile] = None,
+        host: Optional[HostModel] = None,
+        dram_budget: Optional[int] = None,
+        config: Optional[SortConfig] = None,
+        memoize_rates: bool = True,
+    ):
+        if profiles is not None:
+            resolved = [
+                get_profile(p)() if isinstance(p, str) else p for p in profiles
+            ]
+        else:
+            if shards < 1:
+                raise ConfigError("a cluster needs at least one shard")
+            shared = profile if profile is not None else get_profile("pmem")()
+            resolved = [shared] * shards
+        if not resolved:
+            raise ConfigError("a cluster needs at least one shard")
+        self.router = DomainRouter()
+        self.engine = Engine(self.router)
+        self.host = host if host is not None else HostModel()
+        self.dram = DramTracker(dram_budget)
+        self.config = config if config is not None else SortConfig()
+        self.shards: List[Machine] = [
+            Machine(
+                profile=prof,
+                host=self.host,
+                memoize_rates=memoize_rates,
+                engine=self.engine,
+                domain=f"shard{i}",
+                dram=self.dram,
+            )
+            for i, prof in enumerate(resolved)
+        ]
+        self.stats = ClusterStats(self.shards)
+        #: Cluster-level fault injection is not modelled yet; the None
+        #: matches the machine surface result harvesting expects.
+        self.faults = None
+        #: Installed :class:`repro.analysis.sanitizer.SimSanitizer`, if any.
+        self.sanitizer = None
+
+    # ------------------------------------------------------------------
+    def run(self, gen: SimGenerator, name: str = "cluster-main"):
+        """Run a root process on the shared engine; returns its result."""
+        proc = self.engine.spawn(gen, name)
+        return self.engine.run_until(proc)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def semaphore(self, count: int = 1, name: str = "") -> Semaphore:
+        return Semaphore(self.engine, count, name=name)
+
+    def install_sanitizer(self, trace: bool = False):
+        """Install one :class:`~repro.analysis.sanitizer.SimSanitizer`
+        across the shared engine and every shard's storage layer."""
+        from repro.analysis.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer(trace=trace)
+        sanitizer.install_cluster(self)
+        return sanitizer
+
+    def describe(self) -> str:
+        kinds = ", ".join(m.profile.describe() for m in self.shards)
+        return f"cluster[{len(self.shards)} shards]: {kinds}"
+
+
+class ShardedFile:
+    """An ordered set of per-shard :class:`SimFile` parts.
+
+    Shard order *is* global record order: part ``i`` holds the records
+    that come before part ``i+1``'s in the logical whole.  ``merged()``
+    materialises that whole (untimed -- validation/reporting only).
+    """
+
+    def __init__(self, name: str, parts: Sequence[SimFile]):
+        self.name = name
+        self.parts = list(parts)
+
+    @property
+    def size(self) -> int:
+        return sum(p.size for p in self.parts)
+
+    def merged(self) -> np.ndarray:
+        chunks = [p.peek() for p in self.parts if p.size]
+        if not chunks:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate(chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardedFile({self.name!r}, parts={len(self.parts)}, size={self.size})"
+
+
+def generate_cluster_dataset(
+    cluster: Cluster,
+    name: str,
+    n_records: int,
+    fmt: Optional[RecordFormat] = None,
+    seed: int = 0,
+) -> ShardedFile:
+    """Generate one gensort dataset split contiguously across shards.
+
+    The concatenation of the shard parts in shard order is byte-for-byte
+    the dataset a single machine would generate with the same seed, so a
+    sharded sort can be checked for byte identity against a single-device
+    run of the same ``(n_records, fmt, seed)``.
+    """
+    fmt = fmt if fmt is not None else RecordFormat()
+    records = make_records(n_records, fmt, seed=seed)
+    n_shards = len(cluster.shards)
+    bounds = [n_records * i // n_shards for i in range(n_shards + 1)]
+    parts = []
+    for i, shard in enumerate(cluster.shards):
+        part = shard.fs.create(f"{name}.shard{i}")
+        block = records[bounds[i] : bounds[i + 1]]
+        if block.size:
+            part.poke(0, block.reshape(-1))
+        parts.append(part)
+    return ShardedFile(name, parts)

@@ -1,0 +1,245 @@
+"""Cluster job scheduler: admission control for concurrent sort jobs.
+
+K independent sort jobs are placed round-robin across shards and run as
+concurrent simulated processes on the cluster's shared engine, so jobs
+on the same shard contend for its device and every admitted job holds a
+DRAM reservation against the one cluster-wide
+:class:`~repro.storage.dram.DramTracker` (a tight cluster budget can
+push a concurrent WiscSort into MergePass -- exactly the contention the
+scheduler exists to arbitrate).
+
+Admission policies:
+
+* ``fifo`` -- strict submission order with head-of-line blocking: if the
+  oldest pending job's reservation does not fit, nothing younger may
+  jump the queue.
+* ``fair`` -- least-attained-service fair share: among tenants with
+  pending work, admit the next job of the tenant that has accumulated
+  the least service time (ties break by tenant name), stalling when the
+  chosen job does not fit.
+
+Per-job metrics follow the queueing literature: ``queue_time`` from
+submission to admission, ``service_time`` from admission to completion,
+and ``slowdown`` = (queue + service) / service.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.base import SortConfig
+from repro.errors import ConfigError, DramBudgetError
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.records.validate import validate_sorted_file
+from repro.registry import create_system
+from repro.sim.engine import Now, Spawn
+from repro.sim.primitives import Semaphore
+
+from repro.cluster.cluster import Cluster
+
+POLICIES = ("fifo", "fair")
+
+
+class Job:
+    """One sort job: a dataset on one shard plus its lifecycle metrics."""
+
+    def __init__(
+        self,
+        name: str,
+        tenant: str,
+        system: str,
+        n_records: int,
+        seed: int,
+        dram_bytes: int,
+    ):
+        self.name = name
+        self.tenant = tenant
+        self.system = system
+        self.n_records = n_records
+        self.seed = seed
+        #: DRAM reserved for the job's whole residency (IndexMap + buffers).
+        self.dram_bytes = dram_bytes
+        self.shard = None
+        self.input_file = None
+        self.output_file = None
+        self.submit_time: float = 0.0
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+
+    @property
+    def queue_time(self) -> float:
+        if self.start_time is None:
+            return 0.0
+        return self.start_time - self.submit_time
+
+    @property
+    def service_time(self) -> float:
+        if self.start_time is None or self.finish_time is None:
+            return 0.0
+        return self.finish_time - self.start_time
+
+    @property
+    def slowdown(self) -> float:
+        service = self.service_time
+        if service <= 0.0:
+            return 1.0
+        return (self.finish_time - self.submit_time) / service
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Job({self.name!r}, tenant={self.tenant!r}, system={self.system!r})"
+
+
+class JobScheduler:
+    """Admits submitted jobs onto cluster shards under one DRAM pool."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: str = "fifo",
+        fmt: Optional[RecordFormat] = None,
+        config: Optional[SortConfig] = None,
+    ):
+        if policy not in POLICIES:
+            raise ConfigError(
+                f"unknown scheduling policy {policy!r}; choices: "
+                + ", ".join(POLICIES)
+            )
+        self.cluster = cluster
+        self.policy = policy
+        self.fmt = fmt if fmt is not None else RecordFormat()
+        self.config = config if config is not None else cluster.config
+        self.jobs: List[Job] = []
+        self._rr = 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        system: str = "wiscsort",
+        n_records: int = 100_000,
+        seed: int = 0,
+        tenant: str = "default",
+        dram_bytes: Optional[int] = None,
+    ) -> Job:
+        """Queue one job; its dataset is generated on its shard now.
+
+        ``dram_bytes`` defaults to the job's IndexMap footprint plus its
+        I/O buffers -- the reservation WiscSort needs resident for an
+        OnePass sort.
+        """
+        if n_records < 1:
+            raise ConfigError("a job needs at least one record")
+        if dram_bytes is None:
+            dram_bytes = (
+                n_records * self.fmt.index_entry_size
+                + self.config.read_buffer
+                + self.config.write_buffer
+            )
+        budget = self.cluster.dram.budget
+        if budget is not None and dram_bytes > budget:
+            raise DramBudgetError(
+                f"job {name!r} reserves {dram_bytes} B but the cluster "
+                f"DRAM budget is {budget} B; it can never be admitted"
+            )
+        shard = self.cluster.shards[self._rr % len(self.cluster.shards)]
+        self._rr += 1
+        job = Job(name, tenant, system, n_records, seed, dram_bytes)
+        job.shard = shard
+        job.input_file = generate_dataset(
+            shard, f"{name}.in", n_records, self.fmt, seed=seed
+        )
+        job.submit_time = self.cluster.now
+        self.jobs.append(job)
+        return job
+
+    def run(self, validate: bool = True) -> List[Job]:
+        """Drive every submitted job to completion; returns the jobs.
+
+        ``validate`` checks each job's output post-run (untimed).
+        """
+        if not self.jobs:
+            return []
+        self.cluster.run(self._admission(), name=f"scheduler[{self.policy}]")
+        if validate:
+            for job in self.jobs:
+                validate_sorted_file(job.input_file, job.output_file, self.fmt)
+        return self.jobs
+
+    # ------------------------------------------------------------------
+    def _admission(self):
+        """The admission loop as one simulated process."""
+        pending = list(self.jobs)
+        done = Semaphore(self.cluster.engine, 0, name="scheduler-done")
+        service: Dict[str, float] = {}
+        in_service: Dict[str, int] = {}
+        for job in pending:
+            service.setdefault(job.tenant, 0.0)
+            in_service.setdefault(job.tenant, 0)
+        running = 0
+        while pending or running:
+            while pending:
+                job = self._pick(pending, service, in_service)
+                if not self.cluster.dram.would_fit(job.dram_bytes):
+                    if running == 0:
+                        raise DramBudgetError(
+                            f"job {job.name!r} needs {job.dram_bytes} B but "
+                            f"only {self.cluster.dram.available} B remain "
+                            f"with no job left to finish"
+                        )
+                    break
+                pending.remove(job)
+                self.cluster.dram.allocate(job.dram_bytes)
+                in_service[job.tenant] += 1
+                job.start_time = yield Now()
+                yield Spawn(
+                    self._job_body(job, done, service, in_service),
+                    name=f"job:{job.name}",
+                )
+                running += 1
+            yield done.acquire()
+            running -= 1
+
+    def _pick(
+        self,
+        pending: List[Job],
+        service: Dict[str, float],
+        in_service: Dict[str, int],
+    ) -> Job:
+        if self.policy == "fifo":
+            return pending[0]
+        # fair: least attained service among tenants with pending work;
+        # ties break toward the tenant with fewer jobs currently being
+        # served (so a burst from one tenant cannot grab every slot
+        # before anyone finishes), then by tenant name.
+        tenants = []
+        for job in pending:
+            if job.tenant not in tenants:
+                tenants.append(job.tenant)
+        chosen = min(tenants, key=lambda t: (service[t], in_service[t], t))
+        for job in pending:
+            if job.tenant == chosen:
+                return job
+        raise AssertionError("unreachable: chosen tenant has pending work")
+
+    def _job_body(
+        self,
+        job: Job,
+        done: Semaphore,
+        service: Dict[str, float],
+        in_service: Dict[str, int],
+    ):
+        system = create_system(job.system, self.fmt, config=self.config)
+        if not hasattr(system, "sort_process"):
+            raise ConfigError(
+                f"system {job.system!r} cannot run as a scheduled job "
+                f"(no sort_process); use a wiscsort variant"
+            )
+        system.output_name = f"{job.name}.out"
+        output = yield from system.sort_process(job.shard, job.input_file)
+        job.output_file = output
+        job.finish_time = yield Now()
+        self.cluster.dram.free(job.dram_bytes)
+        service[job.tenant] += job.service_time
+        in_service[job.tenant] -= 1
+        done.release()

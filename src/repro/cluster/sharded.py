@@ -1,0 +1,291 @@
+"""Range-partitioned sorting across cluster shards.
+
+``ShardedWiscSort`` turns N per-shard input files into N per-shard
+sorted outputs whose concatenation is byte-identical to what a single
+device running WiscSort over the whole dataset would produce:
+
+1. **Plan** -- every shard gathers its key column (the strided key
+   gather WiscSort itself uses) and the driver picks ``N-1`` splitters
+   from deterministic stride samples of those keys (no RNG: the same
+   input always yields the same splitters).
+2. **Shuffle** -- each source shard streams its records sequentially,
+   splits every batch by partition id, and writes each slice into the
+   destination shard's staging file at a *reserved* offset.  Offsets
+   are precomputed from the per-(source, dest) record counts so staging
+   content lands in global input order no matter how the concurrent
+   writes interleave in time -- timing and content are fully decoupled,
+   which is what keeps the merged output deterministic and stable.
+   Writes into each destination device are admitted one at a time by
+   the :class:`~repro.core.controller.WritePoolArbiter`, each using the
+   destination's calibrated write-pool thread count (the paper's write
+   discipline, extended across shards).
+3. **Sort** -- every shard runs an unmodified per-shard sort (WiscSort
+   by default, any registered system exposing ``sort_process``) over
+   its staging file; the per-shard sorts run concurrently on the shared
+   engine.
+
+Byte identity argument: partitions are key ranges in shard order (keys
+equal to a splitter all land in the same shard), the reserved-offset
+shuffle preserves global input order inside each partition, and the
+per-shard sort is stable -- so ties keep input order exactly like the
+single-device stable sort, and concatenating the shard outputs *is* the
+single-device output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import SortConfig, SortSystem
+from repro.core.controller import WritePoolArbiter
+from repro.device.profile import Pattern
+from repro.errors import ConfigError
+from repro.records.format import (
+    RecordFormat,
+    key_sort_indices,
+    leq_mask,
+)
+from repro.records.validate import validate_sorted_records
+from repro.registry import create_system
+from repro.sim.engine import Join, ParallelOps, Spawn
+
+from repro.cluster.cluster import Cluster, ShardedFile
+
+
+class ShardedWiscSort(SortSystem):
+    """Cross-shard shuffle + concurrent per-shard sorts on a Cluster."""
+
+    def __init__(
+        self,
+        fmt: Optional[RecordFormat] = None,
+        config: Optional[SortConfig] = None,
+        system: str = "wiscsort",
+        output_name: str = "sharded-wiscsort.out",
+        oversample: int = 32,
+    ):
+        self.fmt = fmt if fmt is not None else RecordFormat()
+        self.config = config if config is not None else SortConfig()
+        #: Registered name of the per-shard sorting system.
+        self.system = system
+        self.output_name = output_name
+        #: Splitter samples per shard boundary (balance knob only --
+        #: correctness never depends on where the splitters land).
+        if oversample < 1:
+            raise ConfigError("oversample must be >= 1")
+        self.oversample = oversample
+        self.name = f"sharded-{system}[{self.config.concurrency}]"
+        #: Chosen splitter keys of the last run ((n_shards-1, key_size)).
+        self.splitters: Optional[np.ndarray] = None
+        #: Per-(source, dest) record counts of the last shuffle.
+        self.shuffle_counts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _validate(self, cluster, sharded_input, sharded_output) -> int:
+        rec = self.fmt.record_size
+        inp = sharded_input.merged().reshape(-1, rec)
+        out = sharded_output.merged().reshape(-1, rec)
+        validate_sorted_records(inp, out, self.fmt.key_size)
+        return inp.shape[0]
+
+    def _execute(self, cluster: Cluster, sharded_input: ShardedFile) -> ShardedFile:
+        n_shards = len(cluster.shards)
+        if len(sharded_input.parts) != n_shards:
+            raise ConfigError(
+                f"input has {len(sharded_input.parts)} parts for a "
+                f"{n_shards}-shard cluster"
+            )
+        for part in sharded_input.parts:
+            if part.size % self.fmt.record_size:
+                raise ConfigError(
+                    f"part {part.name!r} size is not a multiple of record size"
+                )
+        arbiter = WritePoolArbiter(cluster)
+        stagings = [
+            shard.fs.create(f"{self.output_name}.stage{d}")
+            for d, shard in enumerate(cluster.shards)
+        ]
+        outputs: List = [None] * n_shards
+        cluster.run(
+            self._drive(cluster, sharded_input, stagings, arbiter, outputs),
+            name=f"sharded-{self.system}",
+        )
+        for d, shard in enumerate(cluster.shards):
+            shard.fs.delete(stagings[d].name)
+        return ShardedFile(self.output_name, outputs)
+
+    # ------------------------------------------------------------------
+    def _drive(self, cluster, sharded_input, stagings, arbiter, outputs):
+        fmt = self.fmt
+        rec = fmt.record_size
+        n_shards = len(cluster.shards)
+
+        # -- Plan: concurrent per-shard key gathers ---------------------
+        plan_procs = []
+        for shard, part in zip(cluster.shards, sharded_input.parts):
+            ctrl = arbiter.controller(shard.domain)
+            proc = yield Spawn(
+                self._gather_keys(shard, part, ctrl), name=f"plan:{shard.domain}"
+            )
+            plan_procs.append(proc)
+        shard_keys = yield Join(plan_procs)
+
+        splitters = self._choose_splitters(shard_keys, n_shards)
+        self.splitters = splitters
+        pids = [self._partition_ids(keys, splitters) for keys in shard_keys]
+        counts = np.zeros((n_shards, n_shards), dtype=np.int64)
+        for s in range(n_shards):
+            if pids[s].size:
+                counts[s] = np.bincount(pids[s], minlength=n_shards)
+        self.shuffle_counts = counts
+
+        # Charge the partition scan (classifying every key against the
+        # splitters is a DRAM-bandwidth-bound sweep of the key arrays).
+        scan_ops = []
+        for shard, keys in zip(cluster.shards, shard_keys):
+            ctrl = arbiter.controller(shard.domain)
+            scan_ops.append(
+                shard.copy(
+                    keys.shape[0] * fmt.key_size,
+                    tag="SHUFFLE partition",
+                    cores=ctrl.sort_cores(),
+                )
+            )
+        yield ParallelOps(scan_ops)
+
+        # Reserved staging offsets: source s writes its dest-d records at
+        # [base, base + counts[s][d]*rec) where base skips all earlier
+        # sources' records -- staging content order == global input order.
+        bases = np.zeros((n_shards, n_shards), dtype=np.int64)
+        bases[1:] = np.cumsum(counts[:-1], axis=0)
+        bases *= rec
+
+        # -- Shuffle: concurrent per-source streaming scatter -----------
+        shuffle_procs = []
+        for s, (shard, part) in enumerate(zip(cluster.shards, sharded_input.parts)):
+            ctrl = arbiter.controller(shard.domain)
+            proc = yield Spawn(
+                self._shuffle_source(
+                    cluster, part, pids[s], bases[s].copy(), stagings, arbiter, ctrl
+                ),
+                name=f"shuffle:{shard.domain}",
+            )
+            shuffle_procs.append(proc)
+        yield Join(shuffle_procs)
+
+        # -- Sort: unmodified per-shard sorts, concurrently -------------
+        sort_procs = []
+        for d, shard in enumerate(cluster.shards):
+            part_name = f"{self.output_name}.shard{d}"
+            if stagings[d].size == 0:
+                outputs[d] = shard.fs.create(part_name)
+                continue
+            system = self._make_shard_system(part_name)
+            proc = yield Spawn(
+                system.sort_process(shard, stagings[d]), name=f"sort:{shard.domain}"
+            )
+            sort_procs.append((d, proc))
+        if sort_procs:
+            results = yield Join([proc for _d, proc in sort_procs])
+            for (d, _proc), output in zip(sort_procs, results):
+                outputs[d] = output
+
+    # ------------------------------------------------------------------
+    def _gather_keys(self, shard, part, ctrl):
+        """Per-shard plan step: strided gather of the full key column."""
+        fmt = self.fmt
+        n = part.size // fmt.record_size
+        keys = yield part.read_strided(
+            0,
+            n,
+            fmt.record_size,
+            fmt.key_size,
+            tag="SHUFFLE plan",
+            threads=ctrl.read_threads(Pattern.STRIDED),
+        )
+        return keys
+
+    def _choose_splitters(self, shard_keys, n_shards: int) -> np.ndarray:
+        """Deterministic stride-sampled splitters (no RNG).
+
+        Samples ``oversample * n_shards`` keys per shard at a fixed
+        stride, sorts the union, and takes the boundary quantiles.
+        """
+        key_size = self.fmt.key_size
+        if n_shards == 1:
+            return np.zeros((0, key_size), dtype=np.uint8)
+        target = self.oversample * n_shards
+        samples = []
+        for keys in shard_keys:
+            n = keys.shape[0]
+            if n == 0:
+                continue
+            step = max(1, n // target)
+            samples.append(keys[::step])
+        if not samples:
+            return np.zeros((0, key_size), dtype=np.uint8)
+        pool = np.concatenate(samples)
+        pool = pool[key_sort_indices(pool)]
+        m = pool.shape[0]
+        rows = [pool[min(m - 1, (j + 1) * m // n_shards)] for j in range(n_shards - 1)]
+        return np.stack(rows)
+
+    def _partition_ids(self, keys: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+        """Partition id per key: the count of splitters the key exceeds.
+
+        Keys equal to a splitter stay in the lower shard, so equal keys
+        always share a shard -- a precondition for stable-tie byte
+        identity with the single-device sort.
+        """
+        pid = np.zeros(keys.shape[0], dtype=np.int64)
+        if keys.shape[0] == 0:
+            return pid
+        for j in range(splitters.shape[0]):
+            pid += ~leq_mask(keys, splitters[j])
+        return pid
+
+    def _shuffle_source(self, cluster, part, pids, cursors, stagings, arbiter, ctrl):
+        """Stream one source shard, scattering batches to staging files.
+
+        ``cursors`` holds this source's next reserved write offset per
+        destination; content placement never depends on op timing.
+        """
+        fmt = self.fmt
+        rec = fmt.record_size
+        n_shards = len(cluster.shards)
+        chunk_bytes = max(1, self.config.read_buffer // rec) * rec
+        read_threads = ctrl.read_threads(Pattern.SEQ)
+        row = 0
+        for offset in range(0, part.size, chunk_bytes):
+            nbytes = min(chunk_bytes, part.size - offset)
+            data = yield part.read(
+                offset, nbytes, tag="SHUFFLE read", threads=read_threads
+            )
+            rows = data.reshape(-1, rec)
+            batch_pids = pids[row : row + rows.shape[0]]
+            row += rows.shape[0]
+            for d in range(n_shards):
+                slice_rows = rows[batch_pids == d]
+                if slice_rows.shape[0] == 0:
+                    continue
+                dest = cluster.shards[d].domain
+                yield arbiter.acquire(dest)
+                yield stagings[d].write(
+                    int(cursors[d]),
+                    slice_rows.reshape(-1),
+                    tag="SHUFFLE write",
+                    threads=arbiter.write_threads(dest),
+                )
+                arbiter.release(dest)
+                cursors[d] += slice_rows.size
+
+    def _make_shard_system(self, output_name: str):
+        system = create_system(self.system, self.fmt, config=self.config)
+        if not hasattr(system, "sort_process"):
+            raise ConfigError(
+                f"system {self.system!r} cannot run as a cluster shard "
+                f"process (no sort_process); use a wiscsort variant"
+            )
+        system.output_name = output_name
+        return system

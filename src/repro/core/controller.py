@@ -67,3 +67,39 @@ class ThreadPoolController:
             f"rand-read={self.read_threads(Pattern.RAND)}, "
             f"write={self.write_threads()}, sort={self.sort_cores()}"
         )
+
+
+class WritePoolArbiter:
+    """Per-device write admission for cross-shard shuffles (Sec 3.4 at
+    cluster scale).
+
+    Each destination device gets one calibrated write pool; concurrent
+    source shards pushing partitions to the same destination must take
+    that device's slot before writing, so a device never sees more than
+    its controller-chosen write-thread count -- the single-machine
+    write-pool discipline, extended across shards.
+    """
+
+    def __init__(self, cluster):
+        self._slots = {}
+        self._controllers = {}
+        for shard in cluster.shards:
+            controller = ThreadPoolController(shard, cluster.config)
+            self._controllers[shard.domain] = controller
+            self._slots[shard.domain] = shard.semaphore(
+                1, name=f"write-pool:{shard.domain}"
+            )
+
+    def write_threads(self, domain: str) -> int:
+        """The destination device's calibrated write-pool size."""
+        return self._controllers[domain].write_threads()
+
+    def controller(self, domain: str) -> ThreadPoolController:
+        return self._controllers[domain]
+
+    def acquire(self, domain: str):
+        """Yieldable acquire of the destination device's write slot."""
+        return self._slots[domain].acquire()
+
+    def release(self, domain: str) -> None:
+        self._slots[domain].release()

@@ -27,6 +27,7 @@ from repro.core.wiscsort import WiscSort
 from repro.device.profile import Pattern
 from repro.errors import SimulationError
 from repro.records.format import keys_ascending
+from repro.registry import register_system
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.file import SimFile
@@ -120,6 +121,7 @@ class NaturalRunCursor(RunCursor):
         return None
 
 
+@register_system("wiscsort-natural")
 class NaturalRunWiscSort(WiscSort):
     """WiscSort MergePass with natural-run elision.
 

@@ -46,6 +46,7 @@ from repro.device.profile import Pattern
 from repro.errors import ConfigError, RecoveryError
 from repro.records.format import RecordFormat
 from repro.records.validate import validate_sorted_file
+from repro.registry import register_system
 from repro.units import ceil_div
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.file import SimFile
 
 
+@register_system("wiscsort")
 class WiscSort(SortSystem):
     """The paper's sorting system for fixed-size records."""
 
@@ -96,6 +98,19 @@ class WiscSort(SortSystem):
         return validate_sorted_file(input_file, output_file, self.fmt)
 
     def _execute(self, machine: "Machine", input_file: "SimFile") -> "SimFile":
+        gen, output, name = self._prepare(machine, input_file)
+        machine.run(gen, name=name)
+        return output
+
+    def _prepare(self, machine: "Machine", input_file: "SimFile"):
+        """Plan the sort without driving the engine.
+
+        Returns ``(generator, output_file, process_name)``.  The split
+        lets a standalone run drive the generator via ``machine.run``
+        while an already-running engine (cluster shards, the job
+        scheduler) spawns it as a child process instead -- the engine
+        cannot be re-entered from inside a simulated process.
+        """
         fmt = self.fmt
         if input_file.size % fmt.record_size:
             raise ConfigError(
@@ -118,15 +133,22 @@ class WiscSort(SortSystem):
         chunk = self._plan_chunk(machine, n)
         self.used_merge_pass = chunk < n
         if not self.used_merge_pass:
-            machine.run(
-                self._one_pass(machine, input_file, output, controller, n),
-                name="wiscsort-onepass",
-            )
+            gen = self._one_pass(machine, input_file, output, controller, n)
+            name = "wiscsort-onepass"
         else:
-            machine.run(
-                self._merge_pass(machine, input_file, output, controller, n, chunk),
-                name="wiscsort-mergepass",
-            )
+            gen = self._merge_pass(machine, input_file, output, controller, n, chunk)
+            name = "wiscsort-mergepass"
+        return gen, output, name
+
+    def sort_process(self, machine: "Machine", input_file: "SimFile"):
+        """Run the whole sort as one simulated process (yield from).
+
+        For callers that already own a running engine: cluster shards
+        sorting concurrently, or scheduler-admitted jobs.  Returns the
+        output file as the process result.
+        """
+        gen, output, _name = self._prepare(machine, input_file)
+        yield from gen
         return output
 
     def _manifest_name(self) -> str:
@@ -772,3 +794,11 @@ class WiscSort(SortSystem):
                 dropped += fs.open(name).size
                 fs.delete(name)
         return dropped
+
+
+@register_system("wiscsort-merge")
+def _wiscsort_forced_merge(
+    fmt: Optional[RecordFormat] = None, config: Optional[SortConfig] = None
+) -> WiscSort:
+    """WiscSort with MergePass forced regardless of DRAM headroom."""
+    return WiscSort(fmt, config=config, force_merge_pass=True)

@@ -71,6 +71,22 @@ class ConfigError(ReproError):
     """Invalid or inconsistent configuration values."""
 
 
+class UnknownSystemError(ConfigError):
+    """A name was looked up in a :mod:`repro.registry` that has no entry.
+
+    Raised for unknown sorting systems, experiments and device profiles
+    alike; the message always lists the valid choices so callers (and
+    CLI users) see what is available without a second lookup.
+    """
+
+    def __init__(self, name: str, kind: str = "system", choices: tuple = ()):
+        self.name = name
+        self.kind = kind
+        self.choices = tuple(choices)
+        listing = ", ".join(self.choices) if self.choices else "<none registered>"
+        super().__init__(f"unknown {kind} {name!r}; choices: {listing}")
+
+
 class FaultError(ReproError):
     """Base class for simulated device/media faults (:mod:`repro.faults`).
 

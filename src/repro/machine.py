@@ -26,6 +26,7 @@ from repro.device.host import HostModel
 from repro.device.profile import DeviceProfile, Pattern
 from repro.device.profiles import pmem_profile
 from repro.device.stats import DeviceStats
+from repro.errors import ConfigError
 from repro.sim.engine import Engine, SimGenerator
 from repro.sim.fluid import FluidOp
 from repro.sim.primitives import Barrier, Semaphore, SimQueue
@@ -34,7 +35,18 @@ from repro.storage.filesystem import SimFS
 
 
 class Machine:
-    """A simulated single-socket host with one byte-addressable device."""
+    """A simulated single-socket host with one byte-addressable device.
+
+    Standalone by default: the machine owns its engine and rate model.
+    As a *shard* of a :class:`repro.cluster.Cluster` it instead joins a
+    shared engine whose rate model is a
+    :class:`~repro.sim.domains.DomainRouter`: pass ``engine=`` and a
+    unique ``domain=`` key, and every op this machine builds is tagged
+    with the domain so the router rates it against this machine's own
+    device/host models, isolated from the other shards.  ``dram=``
+    substitutes a shared :class:`~repro.storage.dram.DramTracker` so
+    concurrent jobs reserve memory from one cluster-wide pool.
+    """
 
     def __init__(
         self,
@@ -43,17 +55,41 @@ class Machine:
         dram_budget: Optional[int] = None,
         memoize_rates: bool = True,
         batch_ops: bool = False,
+        engine: Optional[Engine] = None,
+        domain: Optional[str] = None,
+        dram: Optional[DramTracker] = None,
     ):
         self.profile = profile if profile is not None else pmem_profile()
         self.host = host if host is not None else HostModel()
         self.rate_model = BraidRateModel(
             self.profile, self.host, memoize=memoize_rates
         )
-        self.engine = Engine(self.rate_model, batch_ops=batch_ops)
+        #: Domain key stamped on every op (None on standalone machines,
+        #: where op attributes stay identical to earlier builds).
+        self.domain = domain
+        if engine is not None:
+            if domain is None:
+                raise ConfigError("a machine joining a shared engine needs a domain")
+            from repro.sim.domains import DomainRouter
+
+            router = engine.fluid.model
+            if not isinstance(router, DomainRouter):
+                raise ConfigError(
+                    "shared engines must be built on a DomainRouter rate model"
+                )
+            router.add_domain(domain, self.rate_model)
+            self.engine = engine
+        else:
+            if domain is not None:
+                raise ConfigError("domain= requires a shared engine=")
+            self.engine = Engine(self.rate_model, batch_ops=batch_ops)
         self.stats = DeviceStats(self.host)
-        self.engine.fluid.interval_observers.append(self.stats.observe)
+        if domain is None:
+            self.engine.fluid.interval_observers.append(self.stats.observe)
+        else:
+            self.engine.fluid.interval_observers.append(self._domain_observe)
         self.fs = SimFS(self)
-        self.dram = DramTracker(dram_budget)
+        self.dram = dram if dram is not None else DramTracker(dram_budget)
         #: Installed :class:`repro.faults.injector.FaultInjector`, if any.
         self.faults = None
         #: Installed :class:`repro.analysis.sanitizer.SimSanitizer`, if any.
@@ -106,6 +142,11 @@ class Machine:
         re-attached and keeps its global op counter and fired-event
         state.
         """
+        if self.domain is not None:
+            raise ConfigError(
+                "cluster shards cannot reboot independently; reboot is a "
+                "whole-host operation on the owning cluster"
+            )
         now = self.engine.now
         batch_ops = self.engine.batch_ops
         self.rate_model.degrade = 1.0
@@ -122,6 +163,22 @@ class Machine:
     # ------------------------------------------------------------------
     # Op builders
     # ------------------------------------------------------------------
+    def _domain_observe(self, t0: float, t1: float, ops: list) -> None:
+        """Interval observer for cluster shards: this domain's ops only.
+
+        The shared scheduler passes *all* active ops in issue order; the
+        filtered subset keeps that order, so per-shard statistics stay
+        run-to-run deterministic exactly like the standalone path.
+        """
+        domain = self.domain
+        mine = [
+            op
+            for op in ops
+            if op.attrs is not None and op.attrs.get("domain") == domain
+        ]
+        if mine:
+            self.stats.observe(t0, t1, mine)
+
     def io(
         self,
         direction: str,
@@ -145,6 +202,8 @@ class Machine:
             threads=threads,
             host_bytes=host_bytes,
         )
+        if self.domain is not None:
+            op.attrs["domain"] = self.domain
         self.stats.credit_submission(tag, nbytes, direction, pattern.value)
         return op
 
@@ -169,16 +228,24 @@ class Machine:
             host_ratio=host_ratio,
             user_bytes=user_bytes,
         )
+        if self.domain is not None:
+            op.attrs["domain"] = self.domain
         self.stats.credit_submission(tag, user_bytes, direction, pattern.value)
         return op
 
     def compute(self, cpu_seconds: float, tag: str, cores: int = 1) -> FluidOp:
         """Pure CPU work, spread over up to ``cores`` cores."""
-        return FluidOp(cpu_seconds, kind="cpu", tag=tag, mode="compute", cores=cores)
+        op = FluidOp(cpu_seconds, kind="cpu", tag=tag, mode="compute", cores=cores)
+        if self.domain is not None:
+            op.attrs["domain"] = self.domain
+        return op
 
     def copy(self, nbytes: int, tag: str, cores: int = 1) -> FluidOp:
         """A DRAM-to-DRAM memcpy of ``nbytes`` using up to ``cores`` cores."""
-        return FluidOp(float(nbytes), kind="cpu", tag=tag, mode="copy", cores=cores)
+        op = FluidOp(float(nbytes), kind="cpu", tag=tag, mode="copy", cores=cores)
+        if self.domain is not None:
+            op.attrs["domain"] = self.domain
+        return op
 
     def sort_compute(self, n_items: int, tag: str, cores: int = 1) -> FluidOp:
         """In-memory sort cost for ``n_items`` (IPS4o-style when cores>1)."""

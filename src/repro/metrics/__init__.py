@@ -1,5 +1,6 @@
 """Reporting helpers: text tables, phase breakdowns, I/O efficiency."""
 
+from repro.metrics.cluster_report import render_job_table, render_shard_table
 from repro.metrics.efficiency import io_efficiency_rows
 from repro.metrics.report import BenchTable, format_table, speedup
 from repro.metrics.timeline import render_timeline, sparkline
@@ -9,6 +10,8 @@ __all__ = [
     "format_table",
     "speedup",
     "io_efficiency_rows",
+    "render_job_table",
+    "render_shard_table",
     "render_timeline",
     "sparkline",
 ]

@@ -1,0 +1,61 @@
+"""Textual reports for cluster runs: per-job and per-shard tables."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.metrics.report import format_table
+from repro.units import fmt_bytes, fmt_seconds
+
+
+def render_job_table(jobs: List) -> str:
+    """Queue/service/slowdown table for scheduler jobs, plus aggregates."""
+    rows = []
+    for job in jobs:
+        rows.append(
+            [
+                job.name,
+                job.tenant,
+                job.system,
+                job.shard.domain if job.shard is not None else "-",
+                fmt_seconds(job.queue_time),
+                fmt_seconds(job.service_time),
+                f"{job.slowdown:.2f}x",
+            ]
+        )
+    table = format_table(
+        ["job", "tenant", "system", "shard", "queue", "service", "slowdown"],
+        rows,
+    )
+    if not jobs:
+        return table
+    slowdowns = [job.slowdown for job in jobs]
+    mean = sum(slowdowns) / len(slowdowns)
+    worst = max(slowdowns)
+    makespan = max(job.finish_time or 0.0 for job in jobs)
+    summary = (
+        f"{len(jobs)} jobs, makespan {fmt_seconds(makespan)}, "
+        f"slowdown mean {mean:.2f}x / max {worst:.2f}x"
+    )
+    return table + "\n" + summary
+
+
+def render_shard_table(cluster) -> str:
+    """Per-shard device traffic and peak-bandwidth table."""
+    rows = []
+    for shard in cluster.shards:
+        stats = shard.stats
+        rows.append(
+            [
+                shard.domain,
+                shard.profile.describe(),
+                fmt_bytes(stats.bytes_read_internal),
+                fmt_bytes(stats.bytes_written_internal),
+                f"{fmt_bytes(stats.peak_read_bw())}/s",
+                f"{fmt_bytes(stats.peak_write_bw())}/s",
+            ]
+        )
+    return format_table(
+        ["shard", "device", "read", "written", "peak-read", "peak-write"],
+        rows,
+    )

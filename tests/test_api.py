@@ -1,0 +1,70 @@
+"""Tests for the programmatic facade ``repro.api.sort``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.core.base import SortConfig, SortResult
+from repro.errors import UnknownSystemError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+
+
+class TestFacade:
+    def test_default_sort_validates(self):
+        result = api.sort(records=2_000)
+        assert isinstance(result, SortResult)
+        assert result.validated
+        assert result.total_time > 0
+        assert result.phases  # per-tag breakdown present
+        assert isinstance(result.extras["machine"], Machine)
+
+    def test_system_and_device_by_registry_name(self):
+        result = api.sort(records=1_000, system="ems", device="brd-device")
+        assert result.validated
+        machine = result.extras["machine"]
+        assert "brd-device" in machine.profile.describe()
+
+    def test_custom_format_and_config(self):
+        fmt = RecordFormat(key_size=8, value_size=24)
+        config = SortConfig(read_buffer=1 << 16)
+        result = api.sort(records=1_500, fmt=fmt, config=config, seed=3)
+        assert result.validated
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(UnknownSystemError):
+            api.sort(records=100, system="bogosort")
+        with pytest.raises(UnknownSystemError):
+            api.sort(records=100, device="tape-drive")
+
+    def test_validate_false_skips_validation(self):
+        result = api.sort(records=1_000, validate=False)
+        assert not result.validated
+
+    def test_sanitize_runs_clean(self):
+        result = api.sort(records=1_000, sanitize=True)
+        sanitizer = result.extras["sanitizer"]
+        report = sanitizer.audit_report()
+        assert report["moved_read"] > 0
+        assert report["moved_write"] > 0
+
+    def test_deterministic_across_calls(self):
+        a = api.sort(records=2_000, seed=9)
+        b = api.sort(records=2_000, seed=9)
+        assert a.total_time == b.total_time
+        assert a.phases == b.phases
+
+
+class TestFacadeFaults:
+    def test_crash_spec_recovers(self):
+        result = api.sort(records=10_000, faults="crash@50%")
+        assert result.validated
+        report = result.extras["fault_report"]
+        assert report.crashes >= 1
+
+    def test_crash_on_non_checkpointing_system_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            api.sort(records=1_000, system="sample-sort", faults="crash@op:1")

@@ -1,0 +1,124 @@
+"""Tests for the declarative system/experiment/profile registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import ConcurrencyModel, SortConfig, SortSystem
+from repro.errors import ConfigError, UnknownSystemError
+from repro.machine import Machine
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.registry import (
+    RegistryView,
+    available,
+    create_system,
+    get_experiment,
+    get_profile,
+    get_system,
+    register_system,
+)
+
+
+class TestLookup:
+    def test_builtin_systems_present(self):
+        names = available("system")
+        assert set(names) >= {
+            "wiscsort", "wiscsort-merge", "ems", "pmsort", "pmsort+",
+            "sample-sort", "modified-key-sort",
+        }
+
+    def test_builtin_profiles_present(self):
+        assert set(available("profile")) >= {
+            "pmem", "dram", "block-ssd", "bd-device", "brd-device",
+            "bard-device",
+        }
+
+    def test_builtin_experiments_present(self):
+        assert set(available("experiment")) >= {
+            "fig01", "tab01", "fig11", "ablation-write-pool",
+            "cluster-scaleout",
+        }
+
+    def test_unknown_system_lists_choices(self):
+        with pytest.raises(UnknownSystemError) as exc:
+            get_system("bogosort")
+        assert exc.value.name == "bogosort"
+        assert "wiscsort" in exc.value.choices
+        assert "choices" in str(exc.value)
+
+    def test_unknown_profile_and_experiment(self):
+        with pytest.raises(UnknownSystemError):
+            get_profile("tape-drive")
+        with pytest.raises(UnknownSystemError):
+            get_experiment("fig99")
+
+    def test_unknown_system_is_a_config_error(self):
+        # Callers that guarded with ConfigError keep working.
+        with pytest.raises(ConfigError):
+            get_system("bogosort")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            available("dessert")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_system("wiscsort")(object())
+
+    def test_reregistering_same_object_is_idempotent(self):
+        obj = get_system("wiscsort")
+        assert register_system("wiscsort")(obj) is obj
+
+
+class TestRegistryView:
+    def test_mapping_surface(self):
+        view = RegistryView("system")
+        assert "wiscsort" in view
+        assert "bogosort" not in view
+        assert len(view) == len(available("system"))
+        assert set(view) == set(available("system"))
+        assert view["ems"] is get_system("ems")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            RegistryView("dessert")
+
+
+class TestRoundTrip:
+    """Every registered system sorts 1k records and validates."""
+
+    @pytest.mark.parametrize("name", available("system"))
+    def test_create_and_sort(self, name, pmem):
+        fmt = RecordFormat()
+        config = SortConfig()
+        if name == "pmsort+":
+            # PMSort+ is the paper's IO-overlap variant; it refuses the
+            # default no-io-overlap concurrency model by design.
+            config = SortConfig(concurrency=ConcurrencyModel.IO_OVERLAP)
+        system = create_system(name, fmt, config=config)
+        machine = Machine(profile=pmem)
+        data = generate_dataset(machine, "input", 1_000, fmt, seed=7)
+        result = system.run(machine, data)
+        assert result.validated
+        assert result.total_time > 0
+
+    @pytest.mark.parametrize("name", available("system"))
+    def test_uniform_constructor_keeps_config(self, name):
+        fmt = RecordFormat()
+        config = SortConfig(concurrency=ConcurrencyModel.IO_OVERLAP)
+        system = create_system(name, fmt, config=config)
+        assert isinstance(system, SortSystem)
+        assert system.fmt is fmt
+        assert system.config is config
+
+
+class TestDeprecationShim:
+    def test_sample_sort_positional_cost_model_warns(self):
+        from repro.baselines.sample_sort import SampleSort, SampleSortCostModel
+
+        cost = SampleSortCostModel(write_passes=2.0)
+        with pytest.warns(DeprecationWarning, match="removal in 2.0"):
+            system = SampleSort(RecordFormat(), cost)
+        assert system.cost is cost
+        assert isinstance(system.config, SortConfig)
