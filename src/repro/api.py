@@ -81,6 +81,7 @@ def sort(
     dram_budget: Optional[int] = None,
     memoize_rates: bool = True,
     sanitizer=None,
+    trace=None,
 ) -> SortResult:
     """Sort a generated gensort dataset with a registered system.
 
@@ -94,10 +95,13 @@ def sort(
     :class:`~repro.errors.ChargeDriftError` on accounting drift after a
     completed run; advanced callers may instead pass a pre-built
     ``sanitizer`` (e.g. a tracing one for determinism diffing).
+    ``trace`` arms the observe-only :class:`repro.trace.Tracer`: pass a
+    path string to export a Chrome/Perfetto trace JSON there after the
+    run, or a pre-built ``Tracer`` to inspect programmatically.
 
     Returns the :class:`~repro.core.base.SortResult`; ``extras`` carries
-    ``machine``, ``sanitizer`` (when installed) and ``fault_report``
-    (when faults were injected).
+    ``machine``, ``sanitizer`` (when installed), ``tracer`` (when
+    tracing) and ``fault_report`` (when faults were injected).
     """
     fmt = fmt if fmt is not None else RecordFormat()
     config = config if config is not None else SortConfig()
@@ -108,6 +112,24 @@ def sort(
         sanitizer = SimSanitizer()
     if sanitizer is not None:
         sanitizer.install(machine)
+    tracer = None
+    trace_path = None
+    if trace is not None:
+        from repro.trace import Tracer
+
+        if isinstance(trace, str):
+            trace_path = trace
+            tracer = Tracer()
+        elif isinstance(trace, Tracer):
+            tracer = trace
+        else:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"trace must be a path string or a repro.trace.Tracer, "
+                f"not {type(trace).__name__}"
+            )
+        tracer.install(machine)
     data = generate_dataset(machine, "input", records, fmt, seed=seed)
     sort_system = create_system(system, fmt, config=config)
     fault_report = None
@@ -143,4 +165,10 @@ def sort(
         result.extras["sanitizer"] = sanitizer
         if sanitize:
             sanitizer.check()
+    if tracer is not None:
+        result.extras["tracer"] = tracer
+        if trace_path is not None:
+            from repro.trace import write_chrome_trace
+
+            write_chrome_trace(tracer, trace_path)
     return result

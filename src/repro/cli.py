@@ -8,6 +8,8 @@ Commands
                 the job scheduler and print queue/service/slowdown and
                 per-shard device statistics.
 ``calibrate``   run the device microbenchmark suite on a profile.
+``trace-report``  summarize a Chrome/Perfetto trace JSON produced by
+                ``--trace`` (span and device-class aggregates).
 ``bench``       run one paper experiment (fig01 ... fig11, tab01, an
                 ablation, or cluster-scaleout) and print its table.
 ``profiles``    list the available device profiles.
@@ -93,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--no-memoize", action="store_true",
                         help="debug: disable the rate-model memo cache "
                              "(results must be identical either way)")
+    p_sort.add_argument("--trace", metavar="PATH", default=None,
+                        help="record a sim-time trace and export it as "
+                             "Chrome/Perfetto trace JSON (open in "
+                             "ui.perfetto.dev); observe-only, results are "
+                             "bit-identical with or without it")
+    p_sort.add_argument("--trace-rollup", action="store_true",
+                        help="with --trace: also print the text "
+                             "phase/traffic rollup")
 
     p_cluster = sub.add_parser(
         "cluster", help="run concurrent sort jobs on a multi-device cluster"
@@ -123,9 +133,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--verify-determinism", action="store_true",
                            help="run the whole cluster workload twice and "
                                 "diff the event traces; exit 1 on divergence")
+    p_cluster.add_argument("--trace", metavar="PATH", default=None,
+                           help="record a sim-time trace across all shards "
+                                "and the job scheduler; exported as "
+                                "Chrome/Perfetto trace JSON")
 
     p_cal = sub.add_parser("calibrate", help="probe a device profile")
     p_cal.add_argument("--device", choices=sorted(PROFILES), default="pmem")
+
+    p_trace = sub.add_parser(
+        "trace-report", help="summarize an exported trace JSON file"
+    )
+    p_trace.add_argument("trace_file", help="path to a --trace output file")
 
     p_bench = sub.add_parser("bench", help="run one paper experiment")
     p_bench.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -141,7 +160,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
     config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
     prof = SelfPerfProfiler()
 
-    def run_once(sanitizer=None):
+    def run_once(sanitizer=None, trace=None):
         with prof.phase("sort"):
             return api.sort(
                 records=args.records,
@@ -155,6 +174,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
                 dram_budget=args.dram_budget,
                 memoize_rates=not args.no_memoize,
                 sanitizer=sanitizer,
+                trace=trace,
             )
 
     if args.verify_determinism:
@@ -168,7 +188,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
         from repro.analysis.sanitizer import SimSanitizer
 
         sanitizer = SimSanitizer()
-    result = run_once(sanitizer=sanitizer)
+    result = run_once(sanitizer=sanitizer, trace=args.trace)
     machine = result.extras["machine"]
     fault_report = result.extras.get("fault_report")
     print(f"device : {machine.profile.describe()}")
@@ -202,6 +222,15 @@ def cmd_sort(args: argparse.Namespace) -> int:
             f"{fmt_bytes(audit['moved_write'])} written at the storage "
             f"layer, all charged to the device model"
         )
+    if args.trace:
+        tracer = result.extras["tracer"]
+        print(f"trace  : {args.trace} "
+              f"({len(tracer.spans)} spans, {len(tracer.ops)} ops)")
+        if args.trace_rollup:
+            from repro.trace import render_phase_rollup
+
+            print()
+            print(render_phase_rollup(tracer))
     if args.timeline:
         print()
         print(render_timeline(machine))
@@ -211,7 +240,7 @@ def cmd_sort(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_cluster(args: argparse.Namespace, sanitizer=None):
+def _run_cluster(args: argparse.Namespace, sanitizer=None, tracer=None):
     """Build a fresh cluster, submit and run the jobs; returns both."""
     from repro.cluster import Cluster, JobScheduler
 
@@ -228,6 +257,8 @@ def _run_cluster(args: argparse.Namespace, sanitizer=None):
         )
     if sanitizer is not None:
         sanitizer.install_cluster(cluster)
+    if tracer is not None:
+        tracer.install_cluster(cluster)
     scheduler = JobScheduler(cluster, policy=args.policy)
     tenants = max(1, args.tenants)
     for j in range(args.jobs):
@@ -259,7 +290,12 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         from repro.analysis.sanitizer import SimSanitizer
 
         sanitizer = SimSanitizer()
-    cluster, jobs = _run_cluster(args, sanitizer=sanitizer)
+    tracer = None
+    if args.trace:
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+    cluster, jobs = _run_cluster(args, sanitizer=sanitizer, tracer=tracer)
     print(cluster.describe())
     print(f"policy : {args.policy}, {args.jobs} jobs, "
           f"{args.records_per_job} records/job")
@@ -270,6 +306,12 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     print(render_job_table(jobs))
     print()
     print(render_shard_table(cluster))
+    if tracer is not None:
+        from repro.trace import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace)
+        print(f"trace  : {args.trace} "
+              f"({len(tracer.spans)} spans, {len(tracer.ops)} ops)")
     if sanitizer is not None:
         from repro.errors import ChargeDriftError
 
@@ -279,6 +321,18 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             print(f"sanitize: {exc}")
             return 1
         print("sanitize: zero drift across all shards")
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.trace import load_chrome_trace, render_trace_report
+
+    try:
+        doc = load_chrome_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"trace-report: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_report(doc, args.trace_file))
     return 0
 
 
@@ -309,6 +363,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sort": cmd_sort,
         "cluster": cmd_cluster,
         "calibrate": cmd_calibrate,
+        "trace-report": cmd_trace_report,
         "bench": cmd_bench,
         "profiles": cmd_profiles,
     }

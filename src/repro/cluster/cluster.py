@@ -139,6 +139,8 @@ class Cluster:
         self.faults = None
         #: Installed :class:`repro.analysis.sanitizer.SimSanitizer`, if any.
         self.sanitizer = None
+        #: Installed :class:`repro.trace.Tracer`, if any.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def run(self, gen: SimGenerator, name: str = "cluster-main"):
@@ -161,6 +163,24 @@ class Cluster:
         sanitizer = SimSanitizer(trace=trace)
         sanitizer.install_cluster(self)
         return sanitizer
+
+    def install_tracer(self, detail: bool = False):
+        """Install one :class:`repro.trace.Tracer` across the shared
+        engine: per-shard counter tracks and op attribution, plus a
+        cluster-level DRAM-pool track.  Observe-only."""
+        from repro.trace import Tracer
+
+        tracer = Tracer(detail=detail)
+        tracer.install_cluster(self)
+        return tracer
+
+    def trace_span(self, name: str, cat: str = "phase", **args):
+        """Cluster-level sim-time span, or a no-op when untraced."""
+        if self.tracer is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.tracer.span(name, cat=cat, track="cluster", **args)
 
     def describe(self) -> str:
         kinds = ", ".join(m.profile.describe() for m in self.shards)

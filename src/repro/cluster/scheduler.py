@@ -161,6 +161,24 @@ class JobScheduler:
         if not self.jobs:
             return []
         self.cluster.run(self._admission(), name=f"scheduler[{self.policy}]")
+        tracer = self.cluster.engine.tracer
+        if tracer is not None:
+            # Retrospective queue/service spans: endpoints are only all
+            # known once every job has finished.
+            for job in self.jobs:
+                if job.start_time is None or job.finish_time is None:
+                    continue
+                if job.start_time > job.submit_time:
+                    tracer.add_complete_span(
+                        f"queued:{job.name}", job.submit_time, job.start_time,
+                        cat="queue", track="scheduler", proc=job.name,
+                        tenant=job.tenant,
+                    )
+                tracer.add_complete_span(
+                    f"service:{job.name}", job.start_time, job.finish_time,
+                    cat="service", track="scheduler", proc=job.name,
+                    tenant=job.tenant, shard=job.shard.domain,
+                )
         if validate:
             for job in self.jobs:
                 validate_sorted_file(job.input_file, job.output_file, self.fmt)
@@ -177,6 +195,9 @@ class JobScheduler:
             service.setdefault(job.tenant, 0.0)
             in_service.setdefault(job.tenant, 0)
         running = 0
+        tracer = self.cluster.engine.tracer
+        if tracer is not None:
+            tracer.counter_sample("scheduler", "queue_depth", float(len(pending)))
         while pending or running:
             while pending:
                 job = self._pick(pending, service, in_service)
@@ -192,6 +213,14 @@ class JobScheduler:
                 self.cluster.dram.allocate(job.dram_bytes)
                 in_service[job.tenant] += 1
                 job.start_time = yield Now()
+                if tracer is not None:
+                    tracer.counter_sample(
+                        "scheduler", "queue_depth", float(len(pending))
+                    )
+                    tracer.instant(
+                        "admit", cat="scheduler", track="scheduler",
+                        job=job.name, tenant=job.tenant, shard=job.shard.domain,
+                    )
                 yield Spawn(
                     self._job_body(job, done, service, in_service),
                     name=f"job:{job.name}",

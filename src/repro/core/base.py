@@ -165,11 +165,16 @@ class SortSystem(ABC):
         t0 = machine.now
         read0 = machine.stats.bytes_read_internal
         written0 = machine.stats.bytes_written_internal
-        if recover:
-            output_file = self._execute_recover(machine, input_file)
-        else:
-            output_file = self._execute(machine, input_file)
-        n_records = self._validate(machine, input_file, output_file) if validate else -1
+        # Root tracing span; ``trace_span`` is a no-op context manager
+        # on untraced machines (and clusters duck-typed as machines).
+        with machine.trace_span(f"sort:{self.name}", cat="sort", recover=recover):
+            if recover:
+                output_file = self._execute_recover(machine, input_file)
+            else:
+                output_file = self._execute(machine, input_file)
+            n_records = (
+                self._validate(machine, input_file, output_file) if validate else -1
+            )
         phases = {
             tag: stats.busy_time for tag, stats in machine.stats.tag_table()
         }

@@ -201,38 +201,44 @@ class WiscSort(SortSystem):
         fmt = self.fmt
         if n == 0:
             return
-        imap = yield from self._load_sorted_chunk(
-            machine, input_file, controller, first_record=0, count=n
-        )
-        yield from self._scatter_gather_out(
-            machine, input_file, output, controller, imap,
-            skip_records=start_records,
-        )
-        if self._ckpt is not None:
-            yield from self._ckpt.save({"phase": "done"})
+        with machine.trace_span("phase:onepass", records=n):
+            imap = yield from self._load_sorted_chunk(
+                machine, input_file, controller, first_record=0, count=n
+            )
+            yield from self._scatter_gather_out(
+                machine, input_file, output, controller, imap,
+                skip_records=start_records,
+            )
+            if self._ckpt is not None:
+                yield from self._ckpt.save({"phase": "done"})
 
     def _load_sorted_chunk(self, machine, input_file, controller, first_record, count):
         """Steps 1-2: strided key gather + concurrent in-place sort."""
         fmt = self.fmt
         read_pool = controller.read_threads(Pattern.RAND)
-        keys = yield input_file.read_strided(
-            offset=first_record * fmt.record_size,
-            count=count,
-            stride=fmt.record_size,
-            access_size=fmt.key_size,
-            tag="RUN read",
-            threads=read_pool,
-        )
-        # Pointer generation on the fly (Sec 3.7 step 1).
-        yield machine.compute(
-            machine.host.touch_seconds(count),
-            tag="RUN read",
-            cores=controller.sort_cores(),
-        )
-        imap = IndexMap.for_fixed_records(
-            keys, first_record, fmt.record_size, fmt.pointer_size
-        )
-        yield machine.sort_compute(count, tag="RUN sort", cores=controller.sort_cores())
+        with machine.trace_span(
+            "run", cat="chunk", first=first_record, records=count
+        ):
+            keys = yield input_file.read_strided(
+                offset=first_record * fmt.record_size,
+                count=count,
+                stride=fmt.record_size,
+                access_size=fmt.key_size,
+                tag="RUN read",
+                threads=read_pool,
+            )
+            # Pointer generation on the fly (Sec 3.7 step 1).
+            yield machine.compute(
+                machine.host.touch_seconds(count),
+                tag="RUN read",
+                cores=controller.sort_cores(),
+            )
+            imap = IndexMap.for_fixed_records(
+                keys, first_record, fmt.record_size, fmt.pointer_size
+            )
+            yield machine.sort_compute(
+                count, tag="RUN sort", cores=controller.sort_cores()
+            )
         return imap.sorted()
 
     def _scatter_gather_out(self, machine, input_file, output, controller,
@@ -265,21 +271,23 @@ class WiscSort(SortSystem):
                 offset, data.reshape(-1), tag="RUN write", threads=write_pool
             )
 
-        if self._ckpt is not None:
-            # Checkpointed OnePass: strictly sequential (NO_IO_OVERLAP is
-            # enforced), one manifest commit per durable output batch.
-            for start in starts:
-                data = yield produce(start)
-                yield consume(start, data)
-                yield from self._ckpt.save(
-                    {
-                        "phase": "onepass",
-                        "out_records": min(n, start + batch_records),
-                        "n_records": n,
-                    }
-                )
-            return
-        yield from pipelined_batches(machine, model, starts, produce, consume)
+        with machine.trace_span("phase:output", batches=len(starts)):
+            if self._ckpt is not None:
+                # Checkpointed OnePass: strictly sequential (NO_IO_OVERLAP
+                # is enforced), one manifest commit per durable output
+                # batch.
+                for start in starts:
+                    data = yield produce(start)
+                    yield consume(start, data)
+                    yield from self._ckpt.save(
+                        {
+                            "phase": "onepass",
+                            "out_records": min(n, start + batch_records),
+                            "n_records": n,
+                        }
+                    )
+                return
+            yield from pipelined_batches(machine, model, starts, produce, consume)
 
     # ------------------------------------------------------------------
     # MergePass
@@ -306,32 +314,38 @@ class WiscSort(SortSystem):
         # final phase, which is key-value separation's second dividend.
         fanin = max_fanin(self.config.read_buffer, self.fmt.index_entry_size)
         self.merge_passes = merge_rounds(len(run_names), fanin)
-        while len(run_names) > fanin:
-            next_names: List[str] = []
-            groups = list(grouped(run_names, fanin))
-            for gi, group in enumerate(groups):
-                if len(group) == 1:
-                    next_names.append(group[0])
-                    continue
-                inter_name = self._next_inter_name(machine.fs)
-                machine.fs.create(inter_name)
-                yield from self._merge_entries_to(
-                    machine, machine.fs.open(inter_name), controller, group
-                )
-                next_names.append(inter_name)
-                if self._ckpt is not None:
-                    # Commit the new live set *before* deleting the
-                    # merged inputs: a crash in between leaves both, and
-                    # recovery discards whatever the manifest disowns.
-                    live = next_names + [
-                        nm for g in groups[gi + 1 :] for nm in g
-                    ]
-                    yield from self._ckpt.save(
-                        {"phase": "intermediate", "run_names": live}
-                    )
-                for name in group:
-                    machine.fs.delete(name)
-            run_names = next_names
+        if len(run_names) > fanin:
+            with machine.trace_span(
+                "phase:intermediate-merge", runs=len(run_names), fanin=fanin
+            ):
+                while len(run_names) > fanin:
+                    next_names: List[str] = []
+                    groups = list(grouped(run_names, fanin))
+                    for gi, group in enumerate(groups):
+                        if len(group) == 1:
+                            next_names.append(group[0])
+                            continue
+                        inter_name = self._next_inter_name(machine.fs)
+                        machine.fs.create(inter_name)
+                        yield from self._merge_entries_to(
+                            machine, machine.fs.open(inter_name), controller,
+                            group,
+                        )
+                        next_names.append(inter_name)
+                        if self._ckpt is not None:
+                            # Commit the new live set *before* deleting
+                            # the merged inputs: a crash in between
+                            # leaves both, and recovery discards
+                            # whatever the manifest disowns.
+                            live = next_names + [
+                                nm for g in groups[gi + 1 :] for nm in g
+                            ]
+                            yield from self._ckpt.save(
+                                {"phase": "intermediate", "run_names": live}
+                            )
+                        for name in group:
+                            machine.fs.delete(name)
+                    run_names = next_names
         if self._ckpt is not None:
             yield from self._ckpt.save(
                 {
@@ -435,58 +449,59 @@ class WiscSort(SortSystem):
         firsts = list(range(0, n, chunk))
         model = self.config.concurrency
         pending_write = None
-        for i, first in enumerate(firsts):
-            count = min(chunk, n - first)
-            imap = yield from self._load_sorted_chunk(
-                machine, input_file, controller, first, count
-            )
-            run_name = f"{self.output_name}.indexmap.{i}"
-            run_file = machine.fs.create(run_name)
-            run_names.append(run_name)
-            payload = imap.to_bytes()
-            if self.compression is not None:
-                from repro.core.compression import CompressedRunWriter
-
-                writer = CompressedRunWriter(self.compression)
-                raw_bytes = payload.size
-                payload, frames, ratio = writer.build_frames(
-                    payload, fmt.index_entry_size
+        with machine.trace_span("phase:run-generation", chunks=len(firsts)):
+            for i, first in enumerate(firsts):
+                count = min(chunk, n - first)
+                imap = yield from self._load_sorted_chunk(
+                    machine, input_file, controller, first, count
                 )
-                self._run_frames[run_name] = frames
-                self.achieved_compression_ratio = ratio
-                yield machine.compute(
-                    self.compression.compress_seconds(raw_bytes),
-                    tag="RUN compress",
-                    cores=controller.sort_cores(),
-                )
-            write_op = run_file.write(
-                0, payload, tag="RUN write", threads=write_pool
-            )
-            if model is not ConcurrencyModel.NO_IO_OVERLAP:
-                # IO_OVERLAP: deliberately overlap this chunk's
-                # IndexMap write with the next chunk's key gather.
-                # NO_SYNC: uncoordinated workers overlap phases the
-                # same way (straggler writes under neighbour reads).
-                from repro.sim.engine import Join, Spawn
-                from repro.core.scheduler import _op_runner
+                run_name = f"{self.output_name}.indexmap.{i}"
+                run_file = machine.fs.create(run_name)
+                run_names.append(run_name)
+                payload = imap.to_bytes()
+                if self.compression is not None:
+                    from repro.core.compression import CompressedRunWriter
 
-                if pending_write is not None:
-                    yield Join(pending_write)
-                pending_write = yield Spawn(_op_runner(write_op), "imap-write")
-            else:
-                yield write_op
-                if self._ckpt is not None:
-                    yield from self._ckpt.save(
-                        {
-                            "phase": "run",
-                            "runs_done": len(run_names),
-                            "n_runs": len(firsts),
-                        }
+                    writer = CompressedRunWriter(self.compression)
+                    raw_bytes = payload.size
+                    payload, frames, ratio = writer.build_frames(
+                        payload, fmt.index_entry_size
                     )
-        if pending_write is not None:
-            from repro.sim.engine import Join
+                    self._run_frames[run_name] = frames
+                    self.achieved_compression_ratio = ratio
+                    yield machine.compute(
+                        self.compression.compress_seconds(raw_bytes),
+                        tag="RUN compress",
+                        cores=controller.sort_cores(),
+                    )
+                write_op = run_file.write(
+                    0, payload, tag="RUN write", threads=write_pool
+                )
+                if model is not ConcurrencyModel.NO_IO_OVERLAP:
+                    # IO_OVERLAP: deliberately overlap this chunk's
+                    # IndexMap write with the next chunk's key gather.
+                    # NO_SYNC: uncoordinated workers overlap phases the
+                    # same way (straggler writes under neighbour reads).
+                    from repro.sim.engine import Join, Spawn
+                    from repro.core.scheduler import _op_runner
 
-            yield Join(pending_write)
+                    if pending_write is not None:
+                        yield Join(pending_write)
+                    pending_write = yield Spawn(_op_runner(write_op), "imap-write")
+                else:
+                    yield write_op
+                    if self._ckpt is not None:
+                        yield from self._ckpt.save(
+                            {
+                                "phase": "run",
+                                "runs_done": len(run_names),
+                                "n_runs": len(firsts),
+                            }
+                        )
+            if pending_write is not None:
+                from repro.sim.engine import Join
+
+                yield Join(pending_write)
         return run_names
 
     def _merge_phase(self, machine, input_file, output, controller, run_names,
@@ -505,10 +520,11 @@ class WiscSort(SortSystem):
         if resume is not None:
             for cursor, consumed in zip(cursors, resume["consumed"]):
                 cursor.skip_entries(consumed)
-        yield from self._merge_loop(
-            machine, input_file, output, controller, cursors,
-            run_names=run_names, resume=resume,
-        )
+        with machine.trace_span("phase:final-merge", fanin=k):
+            yield from self._merge_loop(
+                machine, input_file, output, controller, cursors,
+                run_names=run_names, resume=resume,
+            )
 
     def _merge_loop(self, machine, input_file, output, controller, cursors,
                     run_names=None, resume=None):
@@ -684,6 +700,16 @@ class WiscSort(SortSystem):
 
     def _recover_driver(self, machine, input_file, output, controller, n,
                         chunk, state, metrics):
+        with machine.trace_span(
+            "phase:recover", checkpoint=state.get("phase") if state else None
+        ):
+            yield from self._recover_body(
+                machine, input_file, output, controller, n, chunk, state,
+                metrics,
+            )
+
+    def _recover_body(self, machine, input_file, output, controller, n,
+                      chunk, state, metrics):
         fmt = self.fmt
         fs = machine.fs
         phase = state.get("phase") if state else None

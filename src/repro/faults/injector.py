@@ -362,6 +362,10 @@ class FaultInjector:
         engine.fluid.settle(engine.now)
         self._tear_inflight()
         self.stats.crashes += 1
+        if engine.tracer is not None:
+            engine.tracer.instant(
+                "crash", cat="fault", track="faults", at_op=idx
+            )
         raise SimulatedCrash(
             f"simulated crash at t={engine.now:.6f}s"
             + (f" (op {idx})" if idx >= 0 else ""),
@@ -405,3 +409,9 @@ class FaultInjector:
         machine = self.machine
         machine.rate_model.degrade = factor
         machine.engine.fluid.invalidate_rates()
+        tracer = machine.engine.tracer
+        if tracer is not None:
+            tracer.instant(
+                "slow-window" if factor < 1.0 else "slow-window-end",
+                cat="fault", track="faults", factor=factor,
+            )

@@ -133,10 +133,22 @@ class _RetryingIO:
             self._deliver(value)
             return
         self._stats.note_fault(fault)
+        tracer = self._engine.tracer
+        if tracer is not None:
+            tracer.instant(
+                "fault", cat="fault", track="faults",
+                kind=type(fault).__name__, tag=self._tag,
+                attempt=self._attempts, transient=fault.transient,
+            )
         if fault.transient and self._attempts < self._policy.max_attempts:
             delay = self._policy.delay(self._attempts, self._rng)
             self._stats.retries += 1
             self._stats.backoff_seconds += delay
+            if tracer is not None:
+                tracer.instant(
+                    "retry", cat="fault", track="faults",
+                    tag=self._tag, attempt=self._attempts, backoff=delay,
+                )
             self._engine.call_at(self._engine.now + delay, self._launch)
             return
         if fault.transient:

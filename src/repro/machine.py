@@ -94,6 +94,8 @@ class Machine:
         self.faults = None
         #: Installed :class:`repro.analysis.sanitizer.SimSanitizer`, if any.
         self.sanitizer = None
+        #: Installed :class:`repro.trace.Tracer`, if any.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Fault injection and crash recovery
@@ -130,6 +132,35 @@ class Machine:
         self.sanitizer = sanitizer
         return sanitizer
 
+    def install_tracer(self, detail: bool = False):
+        """Install a :class:`repro.trace.Tracer` on this machine.
+
+        Opt-in observability: sim-time spans, per-op device events with
+        byte/class/amplification/interference attribution, and
+        bandwidth/DRAM counter tracks, exportable to Perfetto (see
+        :mod:`repro.trace`).  Observe-only -- simulated results are
+        bit-identical with or without it.  Returns the tracer.
+        """
+        from repro.trace import Tracer
+
+        tracer = Tracer(detail=detail)
+        tracer.install(self)
+        return tracer
+
+    def trace_span(self, name: str, cat: str = "phase", **args):
+        """A sim-time span context manager, or a no-op when untraced.
+
+        Sorting systems call this around their phases; the ``nullcontext``
+        fast path keeps untraced runs free of tracer imports and
+        overhead.
+        """
+        if self.tracer is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        track = self.domain if self.domain is not None else self.tracer.MAIN_TRACK
+        return self.tracer.span(name, cat=cat, track=track, **args)
+
     def reboot(self) -> None:
         """Crash recovery: replace the engine, carrying the clock forward.
 
@@ -159,6 +190,10 @@ class Machine:
             # Waits-for state was volatile; fs.audit and the stats
             # wrapper live on persistent objects and survive as-is.
             self.sanitizer.attach_engine(self.engine)
+        if self.tracer is not None:
+            # The replacement engine, fluid scheduler and DRAM tracker
+            # all need fresh hooks; recorded spans/events survive.
+            self.tracer.reattach(self)
 
     # ------------------------------------------------------------------
     # Op builders

@@ -26,6 +26,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 def speedup(baseline: float, candidate: float) -> float:
     """How many times faster ``candidate`` is than ``baseline``."""
+    if baseline <= 0:
+        raise ValueError("baseline time must be positive")
     if candidate <= 0:
         raise ValueError("candidate time must be positive")
     return baseline / candidate

@@ -40,13 +40,26 @@ def render_timeline(machine: "Machine", width: int = 72) -> str:
     write_peak = machine.profile.write.peak
     ncores = float(machine.host.ncores)
     t_end = machine.now
+    # Interference multipliers or degraded windows can push an observed
+    # rate past the nominal class peak the bar is scaled to; the bar
+    # clamps, so say so instead of silently flattening the excursion.
+    # The epsilon absorbs bucket-resampling float jitter at exact peak.
+    def over(seen: float, peak: float) -> str:
+        if peak > 0 and seen > peak * (1.0 + 1e-9):
+            return " (exceeds profile peak)"
+        return ""
+
+    read_over = over(max(reads), read_peak)
+    write_over = over(max(writes), write_peak)
     lines = [
         f"resource usage over {t_end * 1e3:.3f} simulated ms "
         f"({width} buckets; bar height = share of peak)",
         f"read  bw |{sparkline(reads, read_peak)}| peak "
-        f"{read_peak / 1e9:.1f} GB/s, max seen {max(reads) / 1e9:.1f}",
+        f"{read_peak / 1e9:.1f} GB/s, max seen "
+        f"{max(reads) / 1e9:.1f}{read_over}",
         f"write bw |{sparkline(writes, write_peak)}| peak "
-        f"{write_peak / 1e9:.1f} GB/s, max seen {max(writes) / 1e9:.1f}",
+        f"{write_peak / 1e9:.1f} GB/s, max seen "
+        f"{max(writes) / 1e9:.1f}{write_over}",
         f"cpu cores|{sparkline(cores, ncores)}| of {int(ncores)}, "
         f"max seen {max(cores):.1f}",
     ]

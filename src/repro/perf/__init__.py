@@ -6,6 +6,16 @@ engine/fluid/rate-model counter snapshots and a human-readable report.
 Used by the ``--selfperf`` CLI flag and ``benchmarks/bench_selfperf.py``.
 """
 
-from repro.perf.profiler import SelfPerfProfiler, collect_counters, render_report
+from repro.perf.profiler import (
+    SelfPerfProfiler,
+    collect_cluster_counters,
+    collect_counters,
+    render_report,
+)
 
-__all__ = ["SelfPerfProfiler", "collect_counters", "render_report"]
+__all__ = [
+    "SelfPerfProfiler",
+    "collect_cluster_counters",
+    "collect_counters",
+    "render_report",
+]

@@ -36,25 +36,36 @@ class SelfPerfProfiler:
         print(render_report(machine, prof))
 
     Re-entering a phase name accumulates into the same bucket; phase
-    order of first entry is preserved in reports.
+    order of first entry is preserved in reports.  Re-entering a name
+    while it is still open (recursive helpers sharing a bucket) is
+    nesting-safe: only the outermost entry owns the timer, so the
+    overlapped wall time is counted once instead of per nesting level.
     """
 
     def __init__(self):
         self.phases: Dict[str, float] = {}
         self._order: List[str] = []
+        self._open_depth: Dict[str, int] = {}
+        self._open_start: Dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str):
-        start = time.perf_counter()
+        depth = self._open_depth.get(name, 0)
+        self._open_depth[name] = depth + 1
+        if depth == 0:
+            self._open_start[name] = time.perf_counter()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            if name not in self.phases:
-                self._order.append(name)
-                self.phases[name] = elapsed
-            else:
-                self.phases[name] += elapsed
+            self._open_depth[name] -= 1
+            if self._open_depth[name] == 0:
+                del self._open_depth[name]
+                elapsed = time.perf_counter() - self._open_start.pop(name)
+                if name not in self.phases:
+                    self._order.append(name)
+                    self.phases[name] = elapsed
+                else:
+                    self.phases[name] += elapsed
 
     @property
     def total_wall(self) -> float:
@@ -117,6 +128,50 @@ def _base_counters(machine, engine, fluid, hits, misses, lookups) -> Dict[str, f
         "rate_cache_misses": misses,
         "rate_cache_hit_rate": (hits / lookups) if lookups else 0.0,
     }
+
+
+def collect_cluster_counters(cluster) -> Dict[str, float]:
+    """Snapshot kernel + per-shard counters of a whole cluster.
+
+    Kernel counters (engine/fluid/timers) exist once -- shards share one
+    engine -- and appear unprefixed, exactly as in
+    :func:`collect_counters`.  Per-shard device/rate-model counters are
+    namespaced ``"{domain}.{name}"`` (e.g. ``"shard0.rate_cache_hits"``)
+    so a flat snapshot stays collision-free across shards.
+    """
+    engine = cluster.engine
+    fluid = engine.fluid
+    counters: Dict[str, float] = {
+        "sim_seconds": engine.now,
+        "engine_steps": engine.steps,
+        "clock_advances": engine.advances,
+        "timer_events": engine.timer_events,
+        "batched_ops": engine.batched_ops,
+        "ops_added": fluid.ops_added,
+        "ops_completed": fluid.ops_completed,
+        "rerate_calls": fluid.rerate_calls,
+        "ops_rerated": fluid.ops_rerated,
+        "rate_changes": fluid.rate_changes,
+    }
+    for shard in cluster.shards:
+        model = shard.rate_model
+        hits = getattr(model, "cache_hits", 0)
+        misses = getattr(model, "cache_misses", 0)
+        lookups = hits + misses
+        prefix = shard.domain
+        counters[f"{prefix}.intervals_observed"] = len(shard.stats.timeline)
+        counters[f"{prefix}.rate_cache_hits"] = hits
+        counters[f"{prefix}.rate_cache_misses"] = misses
+        counters[f"{prefix}.rate_cache_hit_rate"] = (
+            (hits / lookups) if lookups else 0.0
+        )
+        counters[f"{prefix}.device_bytes_read"] = (
+            shard.stats.bytes_read_internal
+        )
+        counters[f"{prefix}.device_bytes_written"] = (
+            shard.stats.bytes_written_internal
+        )
+    return counters
 
 
 def render_report(

@@ -175,6 +175,9 @@ class Engine:
         #: hook sites guard on ``is None`` so the fast path costs one
         #: attribute load when no sanitizer is installed.
         self.sanitizer = None
+        #: Optional :class:`repro.trace.Tracer`.  Same contract as the
+        #: sanitizer: observe-only, every hook guards on ``is None``.
+        self.tracer = None
         # Self-performance counters (read by repro.perf).
         self.steps = 0
         self.advances = 0
@@ -189,6 +192,8 @@ class Engine:
         proc = Process(gen, name or f"proc-{next(self._pids)}", next(self._pids))
         self._live_processes += 1
         self._ready.append(proc)
+        if self.tracer is not None and self.tracer.detail:
+            self.tracer.sched_event("spawn", proc)
         return proc
 
     def resume(
@@ -207,6 +212,8 @@ class Engine:
         self._blocked -= 1
         if self.sanitizer is not None:
             self.sanitizer.on_wake(proc)
+        if self.tracer is not None and self.tracer.detail:
+            self.tracer.sched_event("resume", proc)
         proc._resume_value = value
         proc._resume_exc = exc
         self._ready.append(proc)
@@ -235,6 +242,8 @@ class Engine:
         self._blocked += 1
         if self.sanitizer is not None and proc is not None:
             self.sanitizer.on_wait(proc, resource, verb)
+        if self.tracer is not None and self.tracer.detail and proc is not None:
+            self.tracer.sched_event(f"block:{verb}", proc)
 
     def call_at(self, t: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at absolute simulated time ``t``."""
@@ -254,6 +263,8 @@ class Engine:
                     break
         finally:
             self.running = False
+            if self.tracer is not None:
+                self.tracer._current = None
         if self._blocked:
             raise DeadlockError(
                 f"simulation ended with {self._blocked} blocked process(es)"
@@ -284,6 +295,8 @@ class Engine:
                     )
         finally:
             self.running = False
+            if self.tracer is not None:
+                self.tracer._current = None
         return proc.result
 
     def run_process(self, gen: SimGenerator, name: str = "") -> Any:
@@ -362,6 +375,8 @@ class Engine:
     def _complete_op(self, op: FluidOp) -> None:
         if self.sanitizer is not None:
             self.sanitizer.on_op_complete(op, self.now)
+        if self.tracer is not None:
+            self.tracer.on_op_complete(op, self.now)
         collector = op._collector
         if collector is not None:
             op._collector = None
@@ -489,20 +504,32 @@ class Engine:
 
     def _step(self, proc: Process) -> None:
         self.steps += 1
-        value, proc._resume_value = proc._resume_value, None
-        exc, proc._resume_exc = proc._resume_exc, None
+        tracer = self.tracer
+        if tracer is not None:
+            # Span begin/end and op-issue hooks fire synchronously while
+            # the generator executes; _current tells the tracer which
+            # process (and hence which span stack) they belong to.  It
+            # is cleared again below so callbacks running between steps
+            # (timers, retry re-issues) are never misattributed.
+            tracer._current = proc
         try:
-            if exc is not None:
-                command = proc.gen.throw(exc)
-            else:
-                command = proc.gen.send(value)
-        except StopIteration as stop:
-            self._live_processes -= 1
-            if self.sanitizer is not None:
-                self.sanitizer.on_proc_finish(proc, self.now)
-            proc._finish(stop.value)
-            return
-        self._dispatch(command, proc)
+            value, proc._resume_value = proc._resume_value, None
+            exc, proc._resume_exc = proc._resume_exc, None
+            try:
+                if exc is not None:
+                    command = proc.gen.throw(exc)
+                else:
+                    command = proc.gen.send(value)
+            except StopIteration as stop:
+                self._live_processes -= 1
+                if self.sanitizer is not None:
+                    self.sanitizer.on_proc_finish(proc, self.now)
+                proc._finish(stop.value)
+                return
+            self._dispatch(command, proc)
+        finally:
+            if tracer is not None:
+                tracer._current = None
 
     def _dispatch(self, command: Any, proc: Process) -> None:
         if isinstance(command, FluidOp):

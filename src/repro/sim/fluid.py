@@ -116,6 +116,7 @@ class FluidOp:
         "_sig",
         "_res_key",
         "_heap_ver",
+        "_trace",
     )
 
     def __init__(
@@ -239,6 +240,9 @@ class FluidScheduler:
         self._ordered_unsorted = False
         #: Lazy-deletion completion heap: (finish_time, seq, version, op).
         self._heap: list = []
+        #: Optional :class:`repro.trace.Tracer`; every hook site guards
+        #: on ``is not None`` so tracing costs nothing when off.
+        self.tracer = None
         # Self-performance counters (read by repro.perf).
         self.ops_added = 0
         self.ops_completed = 0
@@ -248,6 +252,12 @@ class FluidScheduler:
 
     # ------------------------------------------------------------------
     def add(self, op: FluidOp, now: float) -> None:
+        if self.tracer is not None:
+            # Single choke point: direct yields, ParallelOps carriers
+            # and fault-retry re-issues all pass through here, and the
+            # hook runs before the zero-work fast path so even 0-byte
+            # ops get records.  Observe-only.
+            self.tracer.on_op_issue(op, now)
         if op.remaining <= 0:
             # Zero-work op: mark complete instantly; caller handles wakeup.
             op.started_at = now
@@ -342,6 +352,8 @@ class FluidScheduler:
                             # complete now instead of deadlocking.
                             heapq.heappush(heap, (now, op.seq, op._heap_ver, op))
                 self.ops_rerated += n
+                if self.tracer is not None and self.tracer.detail:
+                    self.tracer.on_rerate(n)
         self.dirty = False
 
     def invalidate_rates(self) -> None:

@@ -22,6 +22,10 @@ class DramTracker:
         self.budget = budget
         self.used = 0
         self.peak = 0
+        #: Optional observer called as ``on_change(used)`` after every
+        #: allocate/free; the tracing layer uses it for a DRAM counter
+        #: track.  Observe-only.
+        self.on_change = None
 
     @property
     def available(self) -> Optional[int]:
@@ -44,11 +48,15 @@ class DramTracker:
             )
         self.used += nbytes
         self.peak = max(self.peak, self.used)
+        if self.on_change is not None:
+            self.on_change(self.used)
 
     def free(self, nbytes: int) -> None:
         if nbytes < 0 or nbytes > self.used:
             raise DramBudgetError(f"invalid free of {nbytes} (used {self.used})")
         self.used -= nbytes
+        if self.on_change is not None:
+            self.on_change(self.used)
 
     @contextmanager
     def reserve(self, nbytes: int) -> Iterator[None]:

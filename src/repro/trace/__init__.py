@@ -1,0 +1,66 @@
+"""``repro.trace``: sim-time tracing, metrics registry, trace export.
+
+The observability layer for the simulator.  A :class:`Tracer` installs
+into a machine or cluster through the same zero-overhead hook pattern
+as the runtime sanitizer -- observe-only, so traced runs produce
+bit-identical simulated results -- and records sim-time spans, per-op
+device events with byte/class/amplification/interference attribution,
+fault/scheduler instants and bandwidth/DRAM/queue-depth counters.
+
+Quick start::
+
+    from repro import api
+
+    result = api.sort(records=50_000, trace="out.trace.json")
+    # open out.trace.json in https://ui.perfetto.dev
+
+Programmatic::
+
+    from repro.trace import Tracer, dumps_chrome_trace
+
+    tracer = Tracer()
+    tracer.install(machine)      # or tracer.install_cluster(cluster)
+    ... run the workload ...
+    json_text = dumps_chrome_trace(tracer)
+"""
+
+from repro.trace.export import (
+    chrome_trace_events,
+    dumps_chrome_trace,
+    load_chrome_trace,
+    render_phase_rollup,
+    render_trace_report,
+    spans_jsonl,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from repro.trace.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    snapshot_cluster,
+    snapshot_machine,
+    tracer_histograms,
+)
+from repro.trace.tracer import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "dumps_chrome_trace",
+    "load_chrome_trace",
+    "render_phase_rollup",
+    "render_trace_report",
+    "snapshot_cluster",
+    "snapshot_machine",
+    "spans_jsonl",
+    "tracer_histograms",
+    "write_chrome_trace",
+    "write_spans_jsonl",
+]

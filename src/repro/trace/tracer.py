@@ -1,0 +1,520 @@
+"""Sim-time structured tracing: spans, events, op attribution, counters.
+
+A :class:`Tracer` is the observe-only twin of the runtime sanitizer: it
+installs into a :class:`~repro.machine.Machine` (or a whole
+:class:`~repro.cluster.Cluster`) through the same zero-overhead hook
+pattern -- every hook site in the engine and fluid scheduler guards on
+``tracer is None``, so an uninstalled tracer costs one attribute load
+and an installed one never changes simulated results.
+
+What gets recorded (all timestamps are *simulated* seconds):
+
+* **Spans** -- named intervals with parent nesting, opened with
+  :meth:`Tracer.span` (usually via :meth:`Machine.trace_span`): sort
+  phases, per-chunk runs, merge passes, scheduler job queue/service.
+* **Op records** -- one per :class:`~repro.sim.fluid.FluidOp` entering
+  the scheduler: tag, device class (direction/pattern), user bytes,
+  internal work, write/read amplification, the read-write interference
+  multiplier in force at issue time, the issuing coroutine and the
+  enclosing span -- so traffic rolls up by phase x device class x shard.
+* **Instant events** -- faults, retries, backoff, crashes, slow
+  windows, scheduler admissions; plus (``detail=True``) engine
+  spawn/block/resume and fluid re-rate events.
+* **Counter samples** -- read/write bandwidth and CPU cores per
+  machine track (from a private interval observer), DRAM usage (from
+  the :class:`~repro.storage.dram.DramTracker` change hook) and
+  scheduler queue depth.
+
+Export formats live in :mod:`repro.trace.export`; the typed metrics
+registry in :mod:`repro.trace.metrics`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine import Machine
+    from repro.sim.engine import Engine, Process
+    from repro.sim.fluid import FluidOp
+
+
+class Span:
+    """One named sim-time interval; ``t1`` is ``None`` while open."""
+
+    __slots__ = ("sid", "parent", "name", "cat", "track", "proc", "t0", "t1", "args")
+
+    def __init__(
+        self,
+        sid: int,
+        parent: Optional[int],
+        name: str,
+        cat: str,
+        track: str,
+        proc: str,
+        t0: float,
+        args: Optional[dict],
+    ):
+        self.sid = sid
+        self.parent = parent
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.proc = proc
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.args = args
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.t1 is None:
+            return None
+        return self.t1 - self.t0
+
+    def as_dict(self) -> dict:
+        return {
+            "sid": self.sid,
+            "parent": self.parent,
+            "name": self.name,
+            "cat": self.cat,
+            "track": self.track,
+            "proc": self.proc,
+            "t0": self.t0,
+            "t1": self.t1,
+            "args": self.args,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.t1 is None else f"{self.duration:.6f}s"
+        return f"Span({self.name!r}, {state})"
+
+
+class Tracer:
+    """Collects spans, op records, instants and counter samples.
+
+    All identifiers (span/op ids) are allocated from per-tracer
+    counters, never from the module-global :class:`FluidOp` sequence --
+    the global sequence does not reset between runs in one process, so
+    leaking it into exports would break byte-identical re-runs.
+
+    ``detail=True`` additionally records engine scheduling events
+    (spawn/block/resume) and fluid re-rates; these are high-volume and
+    off by default.
+    """
+
+    #: Track key used for a standalone machine (cluster shards use
+    #: their domain keys instead).
+    MAIN_TRACK = "machine"
+
+    def __init__(self, detail: bool = False):
+        self.detail = detail
+        self.spans: List[Span] = []
+        self.ops: List[dict] = []
+        self.instants: List[dict] = []
+        #: ``(t, track, series, value)`` rows, change-suppressed per
+        #: ``(track, series)`` so constant stretches cost one sample.
+        self.counters: List[Tuple[float, str, str, float]] = []
+        self._sid = itertools.count(1)
+        self._oid = itertools.count(1)
+        #: Per-process span stacks; key 0 is "outside the engine".
+        self._stacks: Dict[int, List[Span]] = {}
+        #: Process currently being stepped (set by the engine).
+        self._current: Optional["Process"] = None
+        self._engine: Optional["Engine"] = None
+        #: Track key -> machine, for profile/host lookups at op issue.
+        self._machines: Dict[str, "Machine"] = {}
+        self._last_counter: Dict[Tuple[str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (0.0 before any engine is attached)."""
+        return self._engine.now if self._engine is not None else 0.0
+
+    def install(self, machine: "Machine") -> "Tracer":
+        """Hook one standalone machine (or one pre-built shard)."""
+        key = machine.domain if machine.domain is not None else self.MAIN_TRACK
+        self._machines[key] = machine
+        machine.tracer = self
+        self.attach_engine(machine.engine)
+        self._register_machine_hooks(machine, key)
+        return self
+
+    def install_cluster(self, cluster) -> "Tracer":
+        """Hook a cluster: one tracer watches the shared engine, every
+        shard gets its own counter tracks, and the cluster-wide DRAM
+        pool reports on the ``"cluster"`` track."""
+        cluster.tracer = self
+        self.attach_engine(cluster.engine)
+        for shard in cluster.shards:
+            key = shard.domain
+            self._machines[key] = shard
+            shard.tracer = self
+            cluster.engine.fluid.interval_observers.append(
+                self._make_interval_observer(shard, key)
+            )
+        self._hook_dram(cluster.dram, "cluster")
+        return self
+
+    def attach_engine(self, engine: "Engine") -> None:
+        """Hook one engine (re-run by :meth:`Machine.reboot` on the
+        replacement engine; the old engine's processes died with it)."""
+        engine.tracer = self
+        engine.fluid.tracer = self
+        self._engine = engine
+        self._current = None
+
+    def reattach(self, machine: "Machine") -> None:
+        """Post-reboot re-install: the machine's engine, fluid scheduler
+        and DRAM tracker were all replaced; recorded data survives."""
+        key = machine.domain if machine.domain is not None else self.MAIN_TRACK
+        self.attach_engine(machine.engine)
+        self._register_machine_hooks(machine, key)
+
+    def _register_machine_hooks(self, machine: "Machine", key: str) -> None:
+        machine.engine.fluid.interval_observers.append(
+            self._make_interval_observer(machine, key)
+        )
+        self._hook_dram(machine.dram, key)
+
+    def _hook_dram(self, dram, key: str) -> None:
+        def on_change(used: int, _key: str = key) -> None:
+            self.counter_sample(_key, "dram_used", float(used))
+
+        dram.on_change = on_change
+        # Emit the initial level so the DRAM track exists even for runs
+        # that never allocate (OnePass consults would_fit only).
+        self._last_counter.pop((key, "dram_used"), None)
+        self.counter_sample(key, "dram_used", float(dram.used))
+
+    def _make_interval_observer(self, machine: "Machine", key: str):
+        """A private bandwidth/cores sampler for one machine track.
+
+        Mirrors :meth:`repro.device.stats.DeviceStats.observe` but emits
+        counter samples instead of accumulating totals; purely
+        additive, so installing it cannot change simulated results.
+        """
+        domain = machine.domain
+        io_cpu_bw = machine.host.io_cpu_bw
+        copy_bw = machine.host.copy_bw_per_core
+
+        def observe(t0: float, t1: float, ops: list) -> None:
+            if t1 - t0 <= 0:
+                return
+            read_bw = 0.0
+            write_bw = 0.0
+            cores = 0.0
+            for op in ops:
+                attrs = op.attrs
+                if domain is not None and (
+                    attrs is None or attrs.get("domain") != domain
+                ):
+                    continue
+                if op.kind == "io":
+                    if attrs["direction"] == "read":
+                        read_bw += op.rate
+                    else:
+                        write_bw += op.rate
+                    cores += op.rate / io_cpu_bw
+                elif op.kind == "cpu":
+                    mode = "compute" if attrs is None else attrs.get("mode", "compute")
+                    if mode == "compute":
+                        cores += op.rate
+                    else:
+                        cores += op.rate / copy_bw
+            self.counter_sample(key, "read_bw", read_bw, t=t0)
+            self.counter_sample(key, "write_bw", write_bw, t=t0)
+            self.counter_sample(key, "cores", cores, t=t0)
+
+        return observe
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    def begin_span(
+        self,
+        name: str,
+        cat: str = "phase",
+        track: Optional[str] = None,
+        **args: Any,
+    ) -> Span:
+        proc = self._current
+        key = proc.pid if proc is not None else 0
+        stack = self._stacks.setdefault(key, [])
+        parent = stack[-1] if stack else None
+        if parent is None and key != 0:
+            # A process with no open span of its own nests under the
+            # innermost span opened outside the engine (the root sort
+            # span), keeping the exported tree connected.
+            main = self._stacks.get(0)
+            if main:
+                parent = main[-1]
+        span = Span(
+            sid=next(self._sid),
+            parent=None if parent is None else parent.sid,
+            name=name,
+            cat=cat,
+            track=track if track is not None else self.MAIN_TRACK,
+            proc=proc.name if proc is not None else "main",
+            t0=self.now,
+            args=args or None,
+        )
+        stack.append(span)
+        self.spans.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        span.t1 = self.now
+        proc = self._current
+        key = proc.pid if proc is not None else 0
+        stack = self._stacks.get(key)
+        if stack:
+            if stack[-1] is span:
+                stack.pop()
+            elif span in stack:
+                stack.remove(span)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str = "phase",
+        track: Optional[str] = None,
+        **args: Any,
+    ):
+        """``with tracer.span("phase:runs"):`` -- sim-time scoped span."""
+        s = self.begin_span(name, cat=cat, track=track, **args)
+        try:
+            yield s
+        finally:
+            self.end_span(s)
+
+    def add_complete_span(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        cat: str = "phase",
+        track: Optional[str] = None,
+        proc: str = "main",
+        parent: Optional[int] = None,
+        **args: Any,
+    ) -> Span:
+        """Record a span with explicit endpoints (retrospective spans:
+        scheduler queue/service intervals known only at completion)."""
+        span = Span(
+            sid=next(self._sid),
+            parent=parent,
+            name=name,
+            cat=cat,
+            track=track if track is not None else self.MAIN_TRACK,
+            proc=proc,
+            t0=t0,
+            args=args or None,
+        )
+        span.t1 = t1
+        self.spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Instants and counters
+    # ------------------------------------------------------------------
+    def instant(
+        self,
+        name: str,
+        cat: str = "event",
+        track: Optional[str] = None,
+        **args: Any,
+    ) -> None:
+        proc = self._current
+        self.instants.append(
+            {
+                "name": name,
+                "cat": cat,
+                "track": track if track is not None else self.MAIN_TRACK,
+                "proc": proc.name if proc is not None else "main",
+                "t": self.now,
+                "args": args or None,
+            }
+        )
+
+    def counter_sample(
+        self, track: str, series: str, value: float, t: Optional[float] = None
+    ) -> None:
+        skey = (track, series)
+        last = self._last_counter.get(skey)
+        if last is not None and last == value:
+            return
+        self._last_counter[skey] = value
+        self.counters.append(
+            (self.now if t is None else t, track, series, value)
+        )
+
+    # ------------------------------------------------------------------
+    # Engine / fluid hooks (called only when installed)
+    # ------------------------------------------------------------------
+    def on_op_issue(self, op: "FluidOp", t_issue: float) -> None:
+        """Fluid-scheduler hook: every op passes through exactly once."""
+        attrs = op.attrs
+        domain = None if attrs is None else attrs.get("domain")
+        key = domain if domain is not None else self.MAIN_TRACK
+        proc = self._current
+        stack = (
+            self._stacks.get(proc.pid) if proc is not None else self._stacks.get(0)
+        )
+        span = stack[-1] if stack else None
+        rec: dict = {
+            "oid": next(self._oid),
+            "tag": op.tag,
+            "kind": op.kind,
+            "track": key,
+            "proc": proc.name if proc is not None else "main",
+            "span": None if span is None else span.sid,
+            "phase": None if span is None else span.name,
+            "t0": t_issue,
+            "t1": None,
+            "work": op.work,
+        }
+        if op.kind == "io" and attrs is not None:
+            user = float(attrs.get("user_bytes", 0.0))
+            pattern = attrs.get("pattern")
+            rec["direction"] = attrs["direction"]
+            rec["pattern"] = getattr(pattern, "value", pattern)
+            rec["bytes"] = user
+            rec["threads"] = attrs.get("threads", 1)
+            rec["amplification"] = (op.work / user) if user > 0 else 0.0
+            machine = self._machines.get(key)
+            if machine is not None:
+                rec["interference"] = self._interference(machine, attrs, domain)
+        elif op.kind == "cpu" and attrs is not None:
+            rec["mode"] = attrs.get("mode", "compute")
+            rec["cores"] = attrs.get("cores", 1)
+        op._trace = rec
+        self.ops.append(rec)
+
+    def _interference(self, machine: "Machine", attrs: dict, domain) -> float:
+        """Read-write interference multiplier in force at issue time.
+
+        Counts concurrent reader/writer threads in the op's domain the
+        same way :class:`~repro.device.device.BraidRateModel` does when
+        capping per-op bandwidth, then applies the profile's
+        interference curve.  Thread counts are integer sums, so the set
+        iteration order cannot affect the result.
+        """
+        fluid = self._engine.fluid
+        readers = 0.0
+        writers = 0.0
+        for other in fluid.active:  # reprolint: disable=SIM003 -- integer sums are order-independent
+            oattrs = other.attrs
+            if other.kind != "io" or oattrs is None:
+                continue
+            if domain is not None and oattrs.get("domain") != domain:
+                continue
+            if oattrs["direction"] == "read":
+                readers += oattrs.get("threads", 1)
+            else:
+                writers += oattrs.get("threads", 1)
+        interference = machine.profile.interference
+        if attrs["direction"] == "read":
+            return interference.read_multiplier(writers)
+        return interference.write_multiplier(readers)
+
+    def on_op_complete(self, op: "FluidOp", t_done: float) -> None:
+        rec = getattr(op, "_trace", None)
+        if rec is not None and rec["t1"] is None:
+            rec["t1"] = t_done
+
+    def on_rerate(self, n_ops: int) -> None:
+        """Fluid re-rate event (``detail`` mode only; see caller gate)."""
+        self.instants.append(
+            {
+                "name": "rerate",
+                "cat": "sched",
+                "track": "sched",
+                "proc": "fluid",
+                "t": self.now,
+                "args": {"ops": n_ops},
+            }
+        )
+
+    def sched_event(self, verb: str, proc: "Process") -> None:
+        """Engine spawn/block/resume event (``detail`` mode only)."""
+        self.instants.append(
+            {
+                "name": verb,
+                "cat": "sched",
+                "track": "sched",
+                "proc": proc.name,
+                "t": self.now,
+                "args": None,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def end_time(self) -> float:
+        """Latest timestamp recorded anywhere (used to close open spans
+        at export time and to bound counter tracks)."""
+        t = 0.0
+        for span in self.spans:
+            if span.t1 is not None and span.t1 > t:
+                t = span.t1
+            elif span.t0 > t:
+                t = span.t0
+        for rec in self.ops:
+            done = rec["t1"]
+            if done is not None and done > t:
+                t = done
+        for ev in self.instants:
+            if ev["t"] > t:
+                t = ev["t"]
+        if self.counters:
+            last = self.counters[-1][0]
+            if last > t:
+                t = last
+        return t
+
+    def span_names(self) -> List[str]:
+        """Distinct span names in first-appearance order."""
+        seen: Dict[str, bool] = {}
+        for span in self.spans:
+            seen.setdefault(span.name, True)
+        return list(seen)
+
+    def rollup_rows(self) -> List[Tuple[str, str, str, str, float, float, int]]:
+        """Traffic grouped by phase x device class x track.
+
+        Returns ``(phase, tag, class, track, user_bytes, work, ops)``
+        rows sorted by descending work -- the attribution table behind
+        :func:`repro.trace.export.render_phase_rollup`.
+        """
+        acc: Dict[Tuple[str, str, str, str], List[float]] = {}
+        for rec in self.ops:
+            if rec["kind"] == "io":
+                klass = f"{rec['direction']}/{rec['pattern']}"
+            else:
+                klass = f"cpu/{rec.get('mode', 'compute')}"
+            gkey = (
+                rec["phase"] if rec["phase"] is not None else "(unattributed)",
+                rec["tag"] or "(untagged)",
+                klass,
+                rec["track"],
+            )
+            slot = acc.get(gkey)
+            if slot is None:
+                slot = [0.0, 0.0, 0]
+                acc[gkey] = slot
+            slot[0] += rec.get("bytes", 0.0)
+            slot[1] += rec["work"]
+            slot[2] += 1
+        rows = [
+            (phase, tag, klass, trk, vals[0], vals[1], vals[2])
+            for (phase, tag, klass, trk), vals in sorted(acc.items())
+        ]
+        rows.sort(key=lambda r: (-r[5], r[0], r[1], r[2], r[3]))
+        return rows

@@ -115,6 +115,36 @@ class TestPerfInstrumentation:
         assert "rate memo" in report
         assert "throughput" in report
 
+    def test_profiler_nested_same_name_counts_once(self, monkeypatch):
+        # Regression: re-entering an open phase name used to double-count
+        # the overlapped wall time.  With a fake clock that advances 1.0
+        # per reading, the old code charged (inner) 1.0 + (outer) 3.0;
+        # nesting-safe accounting charges the outermost elapsed once.
+        import repro.perf.profiler as profiler_mod
+
+        class FakeTime:
+            def __init__(self):
+                self.t = 0.0
+
+            def perf_counter(self):
+                self.t += 1.0
+                return self.t
+
+        monkeypatch.setattr(profiler_mod, "time", FakeTime())
+        prof = SelfPerfProfiler()
+        with prof.phase("a"):
+            with prof.phase("a"):
+                pass
+        assert prof.phases["a"] == 1.0
+        # Non-nested re-entry still accumulates, and first-entry order
+        # is preserved.
+        with prof.phase("b"):
+            pass
+        with prof.phase("a"):
+            pass
+        assert list(prof.phases) == ["a", "b"]
+        assert prof.phases["a"] == 2.0
+
     def test_cli_selfperf_flag(self, capsys):
         from repro.cli import main
 

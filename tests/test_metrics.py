@@ -23,6 +23,14 @@ class TestFormatTable:
         with pytest.raises(ValueError):
             speedup(1.0, 0.0)
 
+    def test_speedup_rejects_nonpositive_baseline(self):
+        # A zero/negative baseline used to return nonsense (0.0 or a
+        # negative "speedup") instead of raising.
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+        with pytest.raises(ValueError):
+            speedup(-3.0, 1.0)
+
 
 class TestBenchTable:
     def test_render_contains_rows_and_notes(self):

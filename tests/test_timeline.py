@@ -28,6 +28,18 @@ class TestRenderTimeline:
         machine = Machine(profile=pmem)
         assert "no activity" in render_timeline(machine)
 
+    def test_zero_duration_run_reports_no_activity(self, pmem):
+        # A run that never issues a timed op records no intervals, so
+        # the timeline has nothing to bucket.
+        machine = Machine(profile=pmem)
+
+        def job():
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        machine.run(job())
+        assert "(no activity recorded)" in render_timeline(machine)
+
     def test_read_then_write_shapes(self, pmem):
         machine = Machine(profile=pmem)
 
@@ -47,6 +59,33 @@ class TestRenderTimeline:
         first_write = len(write_row) - len(write_row.lstrip())
         last_read = len(read_row.rstrip())
         assert first_write >= last_read - 1
+
+    def test_reports_when_max_seen_exceeds_profile_peak(self, pmem):
+        # Interference multipliers / degraded windows can legitimately
+        # push observed bandwidth past the nominal class peak; the bar
+        # clamps, but the legend must say so instead of hiding it.
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 24, tag="r", threads=16)
+
+        machine.run(job())
+        read_peak = max(pmem.seq_read.peak, pmem.rand_read.peak)
+        machine.stats.timeline.append(
+            (machine.now, machine.now * 2.0, read_peak * 2.0, 0.0, 1.0)
+        )
+        text = render_timeline(machine)
+        assert "exceeds profile peak" in text
+        assert len(text.splitlines()) == 4
+
+    def test_within_peak_has_no_exceed_marker(self, pmem):
+        machine = Machine(profile=pmem)
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 24, tag="r", threads=16)
+
+        machine.run(job())
+        assert "exceeds profile peak" not in render_timeline(machine)
 
     def test_mentions_peaks(self, pmem):
         machine = Machine(profile=pmem)

@@ -1,0 +1,116 @@
+"""Tests for trace exporters: Chrome JSON, JSONL, text rollups."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.device.profile import Pattern
+from repro.machine import Machine
+from repro.trace import (
+    Tracer,
+    chrome_trace_events,
+    dumps_chrome_trace,
+    load_chrome_trace,
+    render_phase_rollup,
+    render_trace_report,
+    spans_jsonl,
+    write_chrome_trace,
+)
+
+
+def _traced_run(pmem):
+    machine = Machine(profile=pmem)
+    tracer = machine.install_tracer()
+
+    def job():
+        with machine.trace_span("phase:demo"):
+            yield machine.io("read", Pattern.SEQ, 1 << 20, tag="r")
+            yield machine.io("write", Pattern.SEQ, 1 << 20, tag="w")
+
+    machine.run(job())
+    return machine, tracer
+
+
+class TestChromeTrace:
+    def test_event_structure(self, pmem):
+        _, tracer = _traced_run(pmem)
+        events = chrome_trace_events(tracer)
+        phases = {ev["ph"] for ev in events}
+        assert {"M", "X", "C"} <= phases
+        meta = [ev for ev in events if ev["ph"] == "M"]
+        assert events[: len(meta)] == meta, "metadata events come first"
+        names = {
+            ev["args"]["name"] for ev in meta if ev["name"] == "process_name"
+        }
+        assert Tracer.MAIN_TRACK in names
+
+    def test_counter_events_use_tid_zero(self, pmem):
+        _, tracer = _traced_run(pmem)
+        for ev in chrome_trace_events(tracer):
+            if ev["ph"] == "C":
+                assert ev["tid"] == 0
+                assert "value" in ev["args"]
+
+    def test_span_and_op_events_carry_args(self, pmem):
+        _, tracer = _traced_run(pmem)
+        events = chrome_trace_events(tracer)
+        ops = [ev for ev in events if ev.get("cat", "").startswith("op.")]
+        assert ops, "per-op device events must be exported"
+        io = [ev for ev in ops if ev["cat"] == "op.io"]
+        assert all("class" in ev["args"] and "bytes" in ev["args"] for ev in io)
+        assert any(ev["args"].get("phase") == "phase:demo" for ev in io)
+
+    def test_timestamps_are_microseconds(self, pmem):
+        machine, tracer = _traced_run(pmem)
+        events = chrome_trace_events(tracer)
+        latest = max(
+            ev.get("ts", 0.0) + ev.get("dur", 0.0) for ev in events
+        )
+        assert latest == pytest.approx(machine.now * 1e6)
+
+    def test_dumps_is_deterministic_across_runs(self, pmem):
+        dumps = [dumps_chrome_trace(_traced_run(pmem)[1]) for _ in range(2)]
+        assert dumps[0] == dumps[1]
+
+    def test_write_and_load_roundtrip(self, pmem, tmp_path):
+        _, tracer = _traced_run(pmem)
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, path)
+        doc = load_chrome_trace(path)
+        assert doc["otherData"]["clock"] == "simulated"
+        assert doc["traceEvents"]
+
+    def test_load_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "not_trace.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(ValueError):
+            load_chrome_trace(str(path))
+
+
+class TestTextExports:
+    def test_spans_jsonl_parses_per_line(self, pmem):
+        _, tracer = _traced_run(pmem)
+        lines = spans_jsonl(tracer).splitlines()
+        assert len(lines) == len(tracer.spans)
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_phase_rollup_tree_and_traffic(self, pmem):
+        _, tracer = _traced_run(pmem)
+        text = render_phase_rollup(tracer)
+        assert "phase:demo" in text
+        assert "traffic by phase x class x track" in text
+        assert "read/seq" in text
+
+    def test_phase_rollup_empty(self):
+        assert "(no spans recorded)" in render_phase_rollup(Tracer())
+
+    def test_trace_report_sections(self, pmem, tmp_path):
+        _, tracer = _traced_run(pmem)
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(tracer, path)
+        report = render_trace_report(load_chrome_trace(path), path)
+        assert "phase:demo" in report
+        assert "read/seq" in report
+        assert "machine/read_bw" in report

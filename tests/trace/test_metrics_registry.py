@@ -1,0 +1,120 @@
+"""Tests for the typed metrics registry and its bridge snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.profile import Pattern
+from repro.machine import Machine
+from repro.trace import MetricsRegistry, snapshot_machine, tracer_histograms
+from repro.trace.metrics import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter_rejects_decrease(self):
+        c = Counter("c")
+        c.inc(2.0)
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+        assert c.sample() == {"c": 2.0}
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("g", {"shard": "shard0"})
+        g.set(5.0)
+        g.add(-2.0)
+        assert g.sample() == {"g{shard=shard0}": 3.0}
+
+    def test_histogram_buckets_and_mean(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(105.5 / 3)
+        sample = h.sample()
+        assert sample["h.count"] == 3.0
+        assert sample["h.le_1.0"] == 1.0
+        assert sample["h.le_10.0"] == 2.0
+        assert sample["h.le_inf"] == 3.0
+
+    def test_histogram_requires_sorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops", {"shard": "s0"})
+        b = reg.counter("ops", {"shard": "s0"})
+        assert a is b
+        assert len(reg) == 1
+        assert "ops{shard=s0}" in reg
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_labels_render_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("m", {"b": "2", "a": "1"}).inc()
+        assert list(reg.snapshot()) == ["m{a=1,b=2}"]
+
+    def test_snapshot_and_diff(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        before = reg.snapshot()
+        reg.counter("ops").inc(2)
+        reg.gauge("depth").set(7.0)
+        delta = reg.diff(before)
+        assert delta == {"ops": 2.0, "depth": 7.0}
+
+    def test_render_lists_every_sample(self):
+        reg = MetricsRegistry()
+        assert reg.render() == "(no metrics registered)"
+        reg.counter("ops").inc()
+        assert "ops" in reg.render()
+
+
+class TestBridges:
+    def _run(self, pmem, trace=False):
+        machine = Machine(profile=pmem)
+        tracer = machine.install_tracer() if trace else None
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 1 << 20, tag="r")
+            yield machine.io("write", Pattern.SEQ, 1 << 20, tag="w")
+
+        machine.run(job())
+        return machine, tracer
+
+    def test_snapshot_machine_unifies_surfaces(self, pmem):
+        machine, _ = self._run(pmem)
+        snap = snapshot_machine(machine).snapshot()
+        assert snap["engine_steps"] > 0
+        assert snap["device_bytes_read_internal"] >= float(1 << 20)
+        assert snap["device_busy_seconds{tag=r}"] > 0.0
+        assert snap["dram_peak_bytes"] == 0.0
+        assert not any(k.startswith("fault_") for k in snap)
+
+    def test_snapshot_machine_includes_faults_when_armed(self, pmem):
+        from repro.faults import FaultPlan
+
+        machine = Machine(profile=pmem)
+        machine.install_faults(FaultPlan())
+
+        def job():
+            yield machine.io("read", Pattern.SEQ, 4096, tag="r")
+
+        machine.run(job())
+        snap = snapshot_machine(machine).snapshot()
+        assert "fault_faults_injected" in snap
+
+    def test_tracer_histograms(self, pmem):
+        _, tracer = self._run(pmem, trace=True)
+        snap = tracer_histograms(tracer).snapshot()
+        assert snap["op_seconds{kind=io,track=machine}.count"] == 2.0
+        assert snap["op_bytes{direction=read,track=machine}.sum"] == float(
+            1 << 20
+        )
