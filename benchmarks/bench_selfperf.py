@@ -21,6 +21,10 @@ Not a pytest module -- run it as a script::
 
     PYTHONPATH=src python benchmarks/bench_selfperf.py
     PYTHONPATH=src python benchmarks/bench_selfperf.py --check BENCH_selfperf.json
+
+The kernel path is inherited from ``REPRO_SIM_VECTOR`` (vector on by
+default); CI runs the bench under both values and feeds the two JSONs
+to ``--compare``, which demands bit-identical fingerprint blocks.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from repro.machine import Machine
 from repro.perf import collect_counters
 from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
+from repro.sim.fluid import vector_enabled
 from repro.units import KiB, MiB
 from repro.workloads.background import BackgroundClients
 
@@ -305,7 +310,11 @@ def run_workload(
 
 
 def run_all(empty_injector: bool = False, sanitize: bool = False) -> Dict:
-    report = {"schema": 1, "workloads": {}}
+    report = {
+        "schema": 1,
+        "vector_kernel": vector_enabled(),
+        "workloads": {},
+    }
     for name, builder in WORKLOADS.items():
         spec = builder()
         print(f"[{name}] {spec['records']} records, "
@@ -354,13 +363,68 @@ def check_against(report: Dict, committed_path: Path, factor: float = 2.0) -> in
     return failures
 
 
+def compare_reports(path_a: Path, path_b: Path) -> int:
+    """Cross-kernel-path gate: two reports must share every fingerprint.
+
+    Unlike :func:`compare_fingerprints` (which tolerates an 8-ULP slack
+    against the *pre-overhaul* kernel's unstable accumulators), both
+    reports here come from the current kernel, so the comparison is
+    plain dict equality: every float-hex digit, every op count, every
+    output hash.  Also prints both paths' ops/s so CI logs publish the
+    scalar and vector throughput side by side.
+    """
+    rep_a = json.loads(path_a.read_text())
+    rep_b = json.loads(path_b.read_text())
+    failures = 0
+    names = sorted(set(rep_a["workloads"]) | set(rep_b["workloads"]))
+    for name in names:
+        wa = rep_a["workloads"].get(name)
+        wb = rep_b["workloads"].get(name)
+        if wa is None or wb is None:
+            print(f"[compare] {name}: present in only one report")
+            failures += 1
+            continue
+        same = wa["fingerprint"] == wb["fingerprint"]
+        print(
+            f"[compare] {name}: "
+            f"{path_a.name} ({'vector' if rep_a.get('vector_kernel') else 'scalar'}) "
+            f"{wa['ops_per_second']:,.0f} ops/s vs "
+            f"{path_b.name} ({'vector' if rep_b.get('vector_kernel') else 'scalar'}) "
+            f"{wb['ops_per_second']:,.0f} ops/s -> "
+            f"fingerprints {'identical' if same else 'DIFFER'}"
+        )
+        if not same:
+            for field in ("total_time", "output_sha256",
+                          "internal_read", "internal_written"):
+                if wa["fingerprint"][field] != wb["fingerprint"][field]:
+                    print(f"[compare]   {field}: "
+                          f"{wa['fingerprint'][field]} != "
+                          f"{wb['fingerprint'][field]}")
+            failures += 1
+    return failures
+
+
+def check_min_speedup(report: Dict, workload: str, factor: float) -> int:
+    """Throughput gate vs the frozen pre-overhaul kernel baseline."""
+    res = report["workloads"][workload]
+    speedup = res["speedup_vs_pre_pr"]
+    verdict = "ok" if speedup >= factor else "TOO SLOW"
+    print(
+        f"[speedup] {workload}: {speedup:.2f}x vs pre-overhaul kernel "
+        f"(gate >= {factor:.1f}x) -> {verdict}"
+    )
+    return 0 if speedup >= factor else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_selfperf.json",
-        help="where to write the results JSON (default: repo root)",
+        default=None,
+        help="where to write the results JSON (default: repo root; "
+        "with --check the report is only written when this is given "
+        "explicitly)",
     )
     parser.add_argument(
         "--check",
@@ -368,7 +432,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         metavar="BASELINE_JSON",
         help="compare walls against a committed BENCH_selfperf.json and "
-        "exit non-zero on a >2x regression (CI gate); skips --output",
+        "exit non-zero on a >2x regression (CI gate)",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        nargs=2,
+        default=None,
+        metavar=("A_JSON", "B_JSON"),
+        help="compare the fingerprint blocks of two previously written "
+        "reports (e.g. a scalar-path and a vector-path run) and exit "
+        "non-zero unless they are bit-identical; runs no workloads",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="exit non-zero unless the MergePass speedup vs the frozen "
+        "pre-overhaul kernel baseline is at least FACTOR",
     )
     parser.add_argument(
         "--empty-injector",
@@ -386,17 +468,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         "repro.analysis.sanitizer)",
     )
     args = parser.parse_args(argv)
-    report = run_all(empty_injector=args.empty_injector, sanitize=args.sanitize)
-    if args.check is not None:
-        failures = check_against(report, args.check)
+    if args.compare is not None:
+        failures = compare_reports(args.compare[0], args.compare[1])
         if failures:
-            print(f"[check] FAILED: {failures} workload(s) regressed >2x")
+            print(f"[compare] FAILED: {failures} workload(s) differ")
             return 1
-        print("[check] all workloads within budget")
+        print("[compare] kernel paths bit-identical")
         return 0
-    args.output.write_text(json.dumps(report, indent=1) + "\n")
-    print(f"wrote {args.output}")
-    return 0
+    report = run_all(empty_injector=args.empty_injector, sanitize=args.sanitize)
+    failures = 0
+    if args.check is not None:
+        regressed = check_against(report, args.check)
+        if regressed:
+            print(f"[check] FAILED: {regressed} workload(s) regressed >2x")
+            failures += regressed
+        else:
+            print("[check] all workloads within budget")
+    if args.min_speedup is not None:
+        failures += check_min_speedup(report, "mergepass", args.min_speedup)
+    if args.output is not None or args.check is None:
+        output = args.output
+        if output is None:
+            output = Path(__file__).resolve().parent.parent / "BENCH_selfperf.json"
+        output.write_text(json.dumps(report, indent=1) + "\n")
+        print(f"wrote {output}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

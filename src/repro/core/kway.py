@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.records.format import key_columns as _key_columns
 from repro.records.format import key_sort_indices, key_words
+from repro.sim.fluid import vector_enabled
 from repro.storage.file import SimFile
 from repro.units import ceil_div
 
@@ -60,6 +61,11 @@ class RunCursor:
         self.key_size = key_size
         self.window_entries = max(1, window_bytes // entry_size)
         self.pos = 0
+        #: Set by :class:`_FrontierIndex` when it mirrors this cursor's
+        #: windows: the scalar search caches (``_cols``, first/last key
+        #: bytes) are then skipped on install and materialized lazily if
+        #: a scalar consumer ever asks.
+        self._index_owned = False
         self.window = np.zeros((0, entry_size), dtype=np.uint8)
         self.bytes_loaded = 0
         #: Entries consumed via :meth:`take` (checkpoint/recovery state).
@@ -78,20 +84,23 @@ class RunCursor:
         self._window = data
         self._start = 0
         self._n = data.shape[0]
-        if self._n:
-            keys = data[:, : self.key_size]
-            # Native-endian copies of the big-endian comparison columns:
-            # identical numeric values, faster searchsorted.
-            self._cols = [
-                np.ascontiguousarray(c, dtype=np.uint64)
-                for c in _key_columns(keys)
-            ]
-            self._first_bytes = keys[0].tobytes()
-            self._last_bytes = keys[-1].tobytes()
+        if self._n and not self._index_owned:
+            self._install_search_caches()
         else:
             self._cols = []
             self._first_bytes = None
             self._last_bytes = None
+
+    def _install_search_caches(self) -> None:
+        keys = self._window[:, : self.key_size]
+        # Native-endian copies of the big-endian comparison columns:
+        # identical numeric values, faster searchsorted.
+        self._cols = [
+            np.ascontiguousarray(c, dtype=np.uint64)
+            for c in _key_columns(keys)
+        ]
+        self._first_bytes = keys[self._start].tobytes()
+        self._last_bytes = keys[-1].tobytes()
 
     @property
     def remaining(self) -> int:
@@ -149,6 +158,10 @@ class RunCursor:
         lo, hi = self._start, self._n
         if lo >= hi:
             return 0
+        if not self._cols:
+            # Index-owned cursor: caches were skipped on install;
+            # materialize them for this scalar consumer.
+            self._install_search_caches()
         less = 0
         for col, b in zip(self._cols, bound_words):
             seg = col[lo:hi]
@@ -256,6 +269,246 @@ def merge_step(cursors: List[RunCursor]) -> Tuple[np.ndarray, int]:
     return emitted, ways
 
 
+class _FrontierIndex:
+    """Columnar mirror of every live window for batched frontier steps.
+
+    One row per cursor: ``S`` is a ``(k, W)`` matrix of fixed-width
+    ``S<key_size>`` byte strings (the window keys), ``E`` mirrors the
+    raw window entries ``(k, W, entry_size)``, and k-vectors ``L`` /
+    ``F`` track each row's last and current-head key.  numpy's bytes
+    comparison (trailing-NUL-stripped lexicographic) is order- and
+    equality-isomorphic to fixed-width unsigned lexicographic
+    comparison: at the first differing byte position either both
+    stripped strings still extend past it (same byte decides both
+    compares) or exactly the NUL-holding side ended early (prefix <
+    extension, same verdict).  A frontier step is therefore a handful of
+    whole-array bytes compares -- threshold = min over ``L`` of the
+    still-readable rows (cached between steps; it only changes on
+    refill or drain), ``F <= threshold`` picks the contributing rows,
+    ``S[rows] <= threshold`` gives the emit counts, and one
+    segment-gather pulls every emitted entry (plus its sort key) out of
+    the mirrors without a per-cursor Python loop.
+
+    Bit-identity with :func:`_frontier_step` (asserted by the
+    equivalence suite): per-row emit counts equal ``_count_leq_words``
+    exactly (isomorphic predicate; already-taken rows are covered by
+    threshold monotonicity -- the frontier threshold never decreases,
+    so everything taken under an earlier threshold is ``<=`` the
+    current one); pieces are gathered in ascending row order, which is
+    the scalar path's ``live`` order (live-list filtering preserves
+    construction order); and the final stable argsort over the gathered
+    keys is the same permutation as the stable ``np.lexsort`` inside
+    :func:`key_sort_indices` (same ordering and tie classes by the
+    isomorphism, and both sorts are stable).
+
+    The index owns its cursors' windows outright -- they skip their
+    scalar search caches on install (see ``RunCursor._index_owned``).
+    Only uniform fleets of plain :class:`RunCursor` qualify (subclasses
+    may redefine window semantics); :class:`MergeFrontier` falls back
+    to the scalar step otherwise or when ``REPRO_SIM_VECTOR=0``.
+    """
+
+    __slots__ = (
+        "row_cursors",
+        "k",
+        "key_size",
+        "sdtype",
+        "entry_size",
+        "width",
+        "S",
+        "E",
+        "L",
+        "F",
+        "starts",
+        "ns",
+        "ready",
+        "exhausted",
+        "_threshold",
+        "_tdirty",
+    )
+
+    def __init__(self, cursors: List[RunCursor]):
+        self.row_cursors = list(cursors)
+        self.k = len(self.row_cursors)
+        first = self.row_cursors[0]
+        self.key_size = first.key_size
+        self.sdtype = np.dtype("S%d" % self.key_size)
+        self.entry_size = first.entry_size
+        width = 1
+        for c in self.row_cursors:
+            width = max(width, c._n)
+        self.width = width
+        k = self.k
+        self.S = np.zeros((k, width), dtype=self.sdtype)
+        self.E = np.zeros((k, width, self.entry_size), dtype=np.uint8)
+        self.L = np.zeros(k, dtype=self.sdtype)
+        self.F = np.zeros(k, dtype=self.sdtype)
+        self.starts = np.zeros(k, dtype=np.int64)
+        self.ns = np.zeros(k, dtype=np.int64)
+        #: Rows with an installed window; unready live rows are awaiting
+        #: their refill and never participate in a step (the driver
+        #: protocol refills before stepping).
+        self.ready = np.zeros(k, dtype=bool)
+        self.exhausted = np.zeros(k, dtype=bool)
+        #: Cached frontier threshold key (``None`` = drain-all); valid
+        #: while ``_tdirty`` is clear -- the threshold depends only on
+        #: last keys and exhaustion, which change on refill/death, not
+        #: on takes.
+        self._threshold: Optional[bytes] = None
+        self._tdirty = True
+        for i, c in enumerate(self.row_cursors):
+            c._vrow = i
+            c._index_owned = True
+            if c._n:
+                self.load_row(c)
+            else:
+                self.exhausted[i] = c.file_exhausted
+
+    @staticmethod
+    def eligible(cursors: List[RunCursor]) -> bool:
+        if not cursors:
+            return False
+        first = cursors[0]
+        return all(
+            type(c) is RunCursor
+            and c.key_size == first.key_size
+            and c.entry_size == first.entry_size
+            for c in cursors
+        )
+
+    def _grow(self, needed: int) -> None:
+        new_width = max(needed, self.width * 2)
+        fresh_s = np.zeros((self.k, new_width), dtype=self.sdtype)
+        fresh_s[:, : self.width] = self.S
+        self.S = fresh_s
+        fresh_e = np.zeros((self.k, new_width, self.entry_size), dtype=np.uint8)
+        fresh_e[:, : self.width] = self.E
+        self.E = fresh_e
+        self.width = new_width
+
+    def load_row(self, c: RunCursor) -> None:
+        """(Re)install a cursor's freshly accepted window into its row."""
+        i = c._vrow
+        n = c._n
+        if n > self.width:
+            self._grow(n)
+        start = c._start
+        keys = np.ascontiguousarray(c._window[:, : self.key_size])
+        skeys = keys.reshape(-1).view(self.sdtype)
+        self.S[i, :n] = skeys
+        self.L[i] = skeys[n - 1]
+        self.F[i] = skeys[start]
+        self.E[i, :n] = c._window
+        self.starts[i] = start
+        self.ns[i] = n
+        self.ready[i] = True
+        self.exhausted[i] = c.file_exhausted
+        self._tdirty = True
+
+    def mark_dead(self, c: RunCursor) -> None:
+        """Retire a drained cursor's row (zero rows emit nothing)."""
+        i = c._vrow
+        self.ready[i] = False
+        self.exhausted[i] = True
+        self.starts[i] = 0
+        self.ns[i] = 0
+        self._tdirty = True
+
+    def _refresh_threshold(self) -> None:
+        # Lexicographic min of the still-readable last keys.  ``None``
+        # means every file is fully windowed (drain-all mode).  numpy
+        # has no min-reduction for bytes dtypes, so take the Python min
+        # over the (at most k) candidates.
+        sel = self.ready & ~self.exhausted
+        if sel.any():
+            self._threshold = min(self.L[sel].tolist())
+        else:
+            self._threshold = None
+        self._tdirty = False
+
+    def step_batch(self) -> Tuple[np.ndarray, List[RunCursor]]:
+        """One frontier step over the mirrors; see class docstring."""
+        ns = self.ns
+        starts = self.starts
+        if self._tdirty:
+            self._refresh_threshold()
+        threshold = self._threshold
+        if threshold is not None:
+            # Contributing rows: installed window whose head key is <=
+            # the threshold -- the matrix analogue of the scalar path's
+            # ``_first_bytes > threshold_bytes`` skip.
+            mask = self.F <= threshold
+            mask &= self.ready
+            rows = np.nonzero(mask)[0]
+            if not rows.size:
+                # Impossible under the driver protocol: the cursor that
+                # defines the threshold always contributes its head.
+                raise SimulationError("merge_step emitted nothing")
+            # Emit counts for just those rows: entries with key <= the
+            # threshold, counted by binary search over each sorted
+            # mirrored row -- exactly _count_leq_words' predicate by
+            # the isomorphism.  Entries before `starts` were taken
+            # under an earlier (<=) threshold, so the count minus
+            # `starts` is the number of fresh entries to take.
+            S = self.S
+            counts = [
+                S[r, :n].searchsorted(threshold, side="right")
+                for r, n in zip(rows.tolist(), ns[rows].tolist())
+            ]
+            lens = np.asarray(counts, dtype=np.int64) - starts[rows]
+        else:
+            # Every file fully windowed: drain everything left.
+            rows = np.nonzero(self.ready)[0]
+            if not rows.size:
+                raise SimulationError("merge_step emitted nothing")
+            lens = (ns - starts)[rows]
+        s_arr = starts[rows]
+        new_starts = s_arr + lens
+        ns_r = ns[rows]
+        # Cursor bookkeeping (replaces per-piece ``take`` calls).
+        emptied: List[RunCursor] = []
+        row_cursors = self.row_cursors
+        ready = self.ready
+        for r, s_new, n_row, cnt in zip(
+            rows.tolist(), new_starts.tolist(), ns_r.tolist(), lens.tolist()
+        ):
+            c = row_cursors[r]
+            c._start = s_new
+            c.taken += cnt
+            if s_new == n_row:
+                # Await refill (or death): a drained row must not keep
+                # feeding its stale last key into the threshold.
+                ready[r] = False
+                emptied.append(c)
+        starts[rows] = new_starts
+        if rows.size == 1:
+            # Single contributing window: the slice is already sorted
+            # (a stable sort would be the identity permutation).
+            i = int(rows[0])
+            s = int(s_arr[0])
+            e = int(new_starts[0])
+            if e < ns[i]:
+                self.F[i] = self.S[i, e]
+            return self.E[i, s:e].copy(), emptied
+        # Segment-gather every emitted entry (and its sort key) out of
+        # the mirrors in one shot: rows ascending, then window order --
+        # identical to the scalar path's piece concatenation order.
+        total = int(lens.sum())
+        rep_rows = np.repeat(rows, lens)
+        csum = np.cumsum(lens)
+        within = np.arange(total, dtype=np.int64) - np.repeat(csum - lens, lens)
+        pos = np.repeat(s_arr, lens) + within
+        merged = self.E[rep_rows, pos]
+        skeys = self.S[rep_rows, pos]
+        # Refresh head keys of rows that still have entries windowed.
+        open_mask = new_starts < ns_r
+        alive = rows[open_mask]
+        if alive.size:
+            self.F[alive] = self.S[alive, new_starts[open_mask]]
+        order = np.argsort(skeys, kind="stable")
+        return merged[order], emptied
+
+
 class MergeFrontier:
     """Incremental cursor bookkeeping for a k-way merge loop.
 
@@ -284,6 +537,14 @@ class MergeFrontier:
         self._initial_drained = [
             c for c in self.cursors if c.done and c.window_entries > 0
         ]
+        #: Columnar batch index (vector path); ``None`` falls back to
+        #: the scalar :func:`_frontier_step` -- non-uniform or
+        #: subclassed cursor fleets, or ``REPRO_SIM_VECTOR=0``.
+        self._index = (
+            _FrontierIndex(self.live)
+            if vector_enabled() and _FrontierIndex.eligible(self.live)
+            else None
+        )
 
     @property
     def done(self) -> bool:
@@ -297,12 +558,19 @@ class MergeFrontier:
     def note_refilled(self, cursors: List[RunCursor]) -> None:
         """Refresh cached exhaustion state after ``accept`` calls."""
         exhausted = self._exhausted
+        index = self._index
         for c in cursors:
             exhausted[c] = c.file_exhausted
+            if index is not None:
+                index.load_row(c)
 
     def step(self) -> Tuple[np.ndarray, int]:
         """One merge step; updates refill/drain bookkeeping."""
-        emitted, ways, emptied = _frontier_step(self.live, self._exhausted)
+        if self._index is not None:
+            emitted, emptied = self._index.step_batch()
+            ways = len(self.live)
+        else:
+            emitted, ways, emptied = _frontier_step(self.live, self._exhausted)
         newly_drained: List[RunCursor] = []
         for c in emptied:
             if self._exhausted[c]:
@@ -315,6 +583,8 @@ class MergeFrontier:
             self.live = [c for c in self.live if c not in dset]
             for c in newly_drained:
                 del self._exhausted[c]
+                if self._index is not None:
+                    self._index.mark_dead(c)
         if drained:
             if self.live:
                 self._initial_drained = []

@@ -165,6 +165,22 @@ class BraidRateModel(RateModel):
     def clear_cache(self) -> None:
         self._cache.clear()
 
+    # ------------------------------------------------------------------
+    # Vectorized-kernel protocol (see RateModel): rates depend only on
+    # the signature multiset and the degradation multiplier, so the
+    # signature *is* the vector class and ``degrade`` is the state
+    # token.  ``assign`` already canonicalises by signature, satisfying
+    # the signature-purity contract.
+    def vector_state(self, key):
+        return self.degrade
+
+    def vector_sig(self, op: FluidOp) -> tuple:
+        sig = op._sig
+        if sig is None:
+            sig = self._signature(op)
+            op._sig = sig
+        return sig
+
     def _assign_ordered(self, ops: List[FluidOp]) -> Dict[FluidOp, float]:
         reads = [op for op in ops if op.kind == "io" and op.attrs["direction"] == "read"]
         writes = [op for op in ops if op.kind == "io" and op.attrs["direction"] == "write"]

@@ -20,6 +20,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.device.host import HostModel
+from repro.sim.fluid import (
+    OBS_CPU_COMPUTE,
+    OBS_CPU_COPY,
+    OBS_IO_READ,
+    OBS_IO_WRITE,
+    observer_code,
+)
 
 
 @dataclass
@@ -85,26 +92,33 @@ class DeviceStats:
             tag = op.tag
             if tag:
                 active_tags[tag] = True
-            kind = op.kind
-            if kind == "io":
+            # Cached classification code (direction/mode resolved once
+            # per op); the per-code arithmetic repeats the attribute
+            # branches exactly, so every float add happens in the same
+            # order with the same operands.
+            code = op._obs
+            if code is None:
+                code = observer_code(op)
+            if code == OBS_IO_READ:
                 rate = op.rate
                 delta = rate * dt
-                if op.attrs["direction"] == "read":
-                    read_rate += rate
-                    read_internal += delta
-                else:
-                    write_rate += rate
-                    written_internal += delta
+                read_rate += rate
+                read_internal += delta
                 if tag:
                     tags[tag].internal_bytes += delta
                 cores += rate / io_cpu_bw
-            elif kind == "cpu":
-                attrs = op.attrs
-                mode = "compute" if attrs is None else attrs.get("mode", "compute")
-                if mode == "compute":
-                    cores += op.rate
-                else:
-                    cores += op.rate / copy_bw
+            elif code == OBS_IO_WRITE:
+                rate = op.rate
+                delta = rate * dt
+                write_rate += rate
+                written_internal += delta
+                if tag:
+                    tags[tag].internal_bytes += delta
+                cores += rate / io_cpu_bw
+            elif code == OBS_CPU_COMPUTE:
+                cores += op.rate
+            elif code == OBS_CPU_COPY:
+                cores += op.rate / copy_bw
         self.bytes_read_internal = read_internal
         self.bytes_written_internal = written_internal
         for tag in active_tags:

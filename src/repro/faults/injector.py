@@ -41,6 +41,7 @@ from repro.errors import (
 )
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.faults.retry import _RetryingIO
+from repro.sim.fluid import remaining_work
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine import Machine
@@ -382,7 +383,9 @@ class FaultInjector:
         """Roll an in-flight write back to an aligned durable prefix."""
         op, f, n = rec.op, rec.file, rec.nbytes
         if op.work > 0:
-            progress = max(0.0, min(1.0, 1.0 - op.remaining / op.work))
+            # remaining_work, not op.remaining: vector-scheduled ops
+            # keep their settled remainder in the group array.
+            progress = max(0.0, min(1.0, 1.0 - remaining_work(op) / op.work))
         else:
             progress = 0.0
         durable = self._tear_point(n, progress)

@@ -112,6 +112,7 @@ def collect_counters(machine) -> Dict[str, float]:
 
 
 def _base_counters(machine, engine, fluid, hits, misses, lookups) -> Dict[str, float]:
+    solves = fluid.vector_solves
     return {
         "sim_seconds": engine.now,
         "engine_steps": engine.steps,
@@ -123,6 +124,11 @@ def _base_counters(machine, engine, fluid, hits, misses, lookups) -> Dict[str, f
         "rerate_calls": fluid.rerate_calls,
         "ops_rerated": fluid.ops_rerated,
         "rate_changes": fluid.rate_changes,
+        "vector_solves": solves,
+        "vector_batch_size_avg": (
+            (fluid.vector_ops_solved / solves) if solves else 0.0
+        ),
+        "scalar_fallbacks": fluid.scalar_fallbacks,
         "intervals_observed": len(machine.stats.timeline),
         "rate_cache_hits": hits,
         "rate_cache_misses": misses,
@@ -152,6 +158,13 @@ def collect_cluster_counters(cluster) -> Dict[str, float]:
         "rerate_calls": fluid.rerate_calls,
         "ops_rerated": fluid.ops_rerated,
         "rate_changes": fluid.rate_changes,
+        "vector_solves": fluid.vector_solves,
+        "vector_batch_size_avg": (
+            (fluid.vector_ops_solved / fluid.vector_solves)
+            if fluid.vector_solves
+            else 0.0
+        ),
+        "scalar_fallbacks": fluid.scalar_fallbacks,
     }
     for shard in cluster.shards:
         model = shard.rate_model
@@ -196,6 +209,13 @@ def render_report(
         f"{c['rerate_calls']} calls, {c['ops_rerated']} op-rerates, "
         f"{c['rate_changes']} rate changes"
     )
+    if c["vector_solves"]:
+        lines.append(
+            "  vector kernel  : "
+            f"{c['vector_solves']} solves, "
+            f"avg batch {c['vector_batch_size_avg']:.1f}, "
+            f"{c['scalar_fallbacks']} scalar fallbacks"
+        )
     lines.append(f"  intervals      : {c['intervals_observed']} observed")
     lookups = c["rate_cache_hits"] + c["rate_cache_misses"]
     if lookups:

@@ -90,3 +90,18 @@ class DomainRouter(RateModel):
                 raise SimulationError(f"no rate model registered for domain {key!r}")
             rates.update(model.assign(buckets[key]))
         return rates
+
+    # ------------------------------------------------------------------
+    # Vectorized-kernel protocol: a resource group is exactly one
+    # domain, so both hooks delegate wholesale to that domain's inner
+    # model.  Domains whose model lacks the protocol simply stay on the
+    # scalar path (vector_state -> None); the scheduler routes each
+    # promoted group's batch solve back through this single domain.
+    def vector_state(self, key):
+        model = self._models.get(key)
+        if model is None:
+            return None
+        return model.vector_state(key)
+
+    def vector_sig(self, op: FluidOp):
+        return self._models[op._res_key].vector_sig(op)

@@ -328,11 +328,16 @@ class Engine:
 
         Returns True when progress was made at the current instant.
         """
-        if not self.fluid.dirty:
+        fluid = self.fluid
+        if not fluid.dirty:
             return False
-        self.fluid.settle(self.now)
-        self.fluid.rerate(self.now)
-        done = self.fluid.pop_completed(self.now)
+        now = self.now
+        fluid.settle(now)
+        fluid.rerate(now)
+        # pop_completed coalesces every op finishing at this instant and
+        # returns them in ascending op id; completing them in that order
+        # keeps waiter wakeups deterministic under both kernel paths.
+        done = fluid.pop_completed(now)
         if done:
             for op in done:
                 self._complete_op(op)
@@ -341,10 +346,11 @@ class Engine:
 
     def _advance(self) -> bool:
         """Advance the clock to the next event; False when nothing remains."""
-        t_fluid = self.fluid.next_completion(self.now)
+        fluid = self.fluid
+        t_fluid = fluid.next_completion(self.now)
         t_heap = self._heap[0][0] if self._heap else None
         if t_fluid is None and t_heap is None:
-            if self.fluid.active:
+            if fluid.active:
                 raise DeadlockError(
                     "all in-flight ops are stalled at rate 0 and no timed "
                     "events remain" + self._deadlock_detail()
@@ -357,8 +363,8 @@ class Engine:
         assert target is not None and target >= self.now
         self.now = target
         self.advances += 1
-        self.fluid.settle(self.now)
-        for op in self.fluid.pop_completed(self.now):
+        fluid.settle(target)
+        for op in fluid.pop_completed(target):
             self._complete_op(op)
         while self._heap and self._heap[0][0] <= self.now + 1e-15:
             _, _, item = heapq.heappop(self._heap)

@@ -35,6 +35,14 @@ import itertools
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.sim.fluid import (
+    OBS_CPU_COMPUTE,
+    OBS_CPU_COPY,
+    OBS_IO_READ,
+    OBS_IO_WRITE,
+    observer_code,
+)
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine import Machine
     from repro.sim.engine import Engine, Process
@@ -214,18 +222,21 @@ class Tracer:
                     attrs is None or attrs.get("domain") != domain
                 ):
                     continue
-                if op.kind == "io":
-                    if attrs["direction"] == "read":
-                        read_bw += op.rate
-                    else:
-                        write_bw += op.rate
+                # Cached classification (see fluid.observer_code); same
+                # adds in the same order as the attribute branches.
+                code = op._obs
+                if code is None:
+                    code = observer_code(op)
+                if code == OBS_IO_READ:
+                    read_bw += op.rate
                     cores += op.rate / io_cpu_bw
-                elif op.kind == "cpu":
-                    mode = "compute" if attrs is None else attrs.get("mode", "compute")
-                    if mode == "compute":
-                        cores += op.rate
-                    else:
-                        cores += op.rate / copy_bw
+                elif code == OBS_IO_WRITE:
+                    write_bw += op.rate
+                    cores += op.rate / io_cpu_bw
+                elif code == OBS_CPU_COMPUTE:
+                    cores += op.rate
+                elif code == OBS_CPU_COPY:
+                    cores += op.rate / copy_bw
             self.counter_sample(key, "read_bw", read_bw, t=t0)
             self.counter_sample(key, "write_bw", write_bw, t=t0)
             self.counter_sample(key, "cores", cores, t=t0)
