@@ -137,6 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="record a sim-time trace across all shards "
                                 "and the job scheduler; exported as "
                                 "Chrome/Perfetto trace JSON")
+    p_cluster.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="run ONE fault-tolerant sharded sort (instead of the job "
+             "scheduler) under a fault plan; prefix events with a shard "
+             "domain to target it (e.g. 'shard1:crash@t:5e-5' or "
+             "'shard0:slow@t:3e-5+1e-3:x0.05'); --records-per-job is the "
+             "total record count")
+    p_cluster.add_argument("--selfperf", action="store_true",
+                           help="print cluster simulator self-performance "
+                                "counters (kernel, per-shard devices, "
+                                "interconnect, recovery/speculation)")
 
     p_cal = sub.add_parser("calibrate", help="probe a device profile")
     p_cal.add_argument("--device", choices=sorted(PROFILES), default="pmem")
@@ -240,21 +251,26 @@ def cmd_sort(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_cluster(args: argparse.Namespace, sanitizer=None, tracer=None):
-    """Build a fresh cluster, submit and run the jobs; returns both."""
-    from repro.cluster import Cluster, JobScheduler
+def _build_cluster(args: argparse.Namespace):
+    from repro.cluster import Cluster
 
     if args.devices:
-        cluster = Cluster(
+        return Cluster(
             profiles=[name.strip() for name in args.devices.split(",")],
             dram_budget=args.dram_budget,
         )
-    else:
-        cluster = Cluster(
-            shards=args.shards,
-            profile=get_profile(args.device)(),
-            dram_budget=args.dram_budget,
-        )
+    return Cluster(
+        shards=args.shards,
+        profile=get_profile(args.device)(),
+        dram_budget=args.dram_budget,
+    )
+
+
+def _run_cluster(args: argparse.Namespace, sanitizer=None, tracer=None):
+    """Build a fresh cluster, submit and run the jobs; returns both."""
+    from repro.cluster import JobScheduler
+
+    cluster = _build_cluster(args)
     if sanitizer is not None:
         sanitizer.install_cluster(cluster)
     if tracer is not None:
@@ -273,7 +289,105 @@ def _run_cluster(args: argparse.Namespace, sanitizer=None, tracer=None):
     return cluster, jobs
 
 
+def _cmd_cluster_faulted(args: argparse.Namespace) -> int:
+    """One fault-tolerant sharded sort under ``--faults`` (no scheduler)."""
+    from repro.cluster import ShardedWiscSort, generate_cluster_dataset
+    from repro.errors import ConfigError, RecoveryError
+    from repro.faults.harness import run_cluster_with_faults
+    from repro.faults.plan import parse_fault_spec
+
+    fmt = RecordFormat()
+    n = args.records_per_job
+    try:
+        plan = parse_fault_spec(args.faults, seed=args.seed)
+    except ConfigError as exc:
+        print(f"cluster: {exc}", file=sys.stderr)
+        return 2
+    checkpoint = plan.has_crash
+    counts = None
+    if plan.needs_probe:
+        # Fractional triggers (crash@50%) need per-shard op totals: run
+        # the identical workload once with count-only injectors (an
+        # empty plan, same checkpoint setting) and resolve against it.
+        from repro.faults.plan import FaultPlan
+
+        probe = _build_cluster(args)
+        probe_data = generate_cluster_dataset(probe, "input", n, fmt,
+                                              seed=args.seed)
+        probe_state = probe.install_faults(FaultPlan(), count_only=True)
+        ShardedWiscSort(fmt, system=args.system, checkpoint=checkpoint).run(
+            probe, probe_data, validate=False
+        )
+        counts = probe_state.ops_seen()
+    tracer = None
+    if args.trace:
+        from repro.trace import Tracer
+
+        tracer = Tracer()
+    cluster = _build_cluster(args)
+    if tracer is not None:
+        tracer.install_cluster(cluster)
+    data = generate_cluster_dataset(cluster, "input", n, fmt, seed=args.seed)
+    cluster.install_faults(plan, counts=counts)
+    system = ShardedWiscSort(fmt, system=args.system, checkpoint=checkpoint)
+    try:
+        result, report = run_cluster_with_faults(system, cluster, data)
+    except RecoveryError as exc:
+        print(f"cluster: {exc}", file=sys.stderr)
+        return 1
+    print(cluster.describe())
+    print(f"input  : {n} records x {fmt.record_size}B "
+          f"({fmt_bytes(fmt.file_bytes(n))}) across "
+          f"{len(data.parts)} shards")
+    print(f"system : {result.system}")
+    print(f"total  : {fmt_seconds(result.total_time)} (simulated)")
+    print(f"faults : {report.summary()}")
+    fc = cluster.faults
+    print(f"  {fc.shards_recovered} shard(s) recovered, "
+          f"{fc.speculative_issues} speculative issue(s), "
+          f"{fc.speculative_wins} speculative win(s)")
+    if system.last_recovery is not None:
+        rec = system.last_recovery
+        print(f"  recovery: {fmt_bytes(rec['salvaged_bytes'])} salvaged, "
+              f"{fmt_bytes(rec['redone_bytes'])} redone "
+              f"({rec['partitions_salvaged']} partition(s) salvaged, "
+              f"{rec['partitions_redone']} redone)")
+    if cluster.net_stats is not None:
+        print(f"network: {fmt_bytes(cluster.net_stats.bytes_total)} "
+              f"shuffled across the interconnect")
+    print("output : validated (sorted permutation of the input)")
+    if tracer is not None:
+        from repro.trace import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace)
+        print(f"trace  : {args.trace} "
+              f"({len(tracer.spans)} spans, {len(tracer.ops)} ops)")
+    if args.selfperf:
+        print()
+        print(_render_cluster_counters(cluster))
+    return 0
+
+
+def _render_cluster_counters(cluster) -> str:
+    from repro.perf import collect_cluster_counters
+
+    lines = ["cluster self-performance"]
+    for key, value in sorted(collect_cluster_counters(cluster).items()):
+        if isinstance(value, float) and not value.is_integer():
+            lines.append(f"  {key:32s} {value:.6g}")
+        else:
+            lines.append(f"  {key:32s} {int(value)}")
+    return "\n".join(lines)
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
+    if args.faults is not None:
+        for flag in ("sanitize", "verify_determinism"):
+            if getattr(args, flag):
+                print(f"cluster: --{flag.replace('_', '-')} is not "
+                      f"supported together with --faults", file=sys.stderr)
+                return 2
+        return _cmd_cluster_faulted(args)
     if args.jobs < 1:
         print("cluster: need at least one job", file=sys.stderr)
         return 2
@@ -321,6 +435,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             print(f"sanitize: {exc}")
             return 1
         print("sanitize: zero drift across all shards")
+    if args.selfperf:
+        print()
+        print(_render_cluster_counters(cluster))
     return 0
 
 

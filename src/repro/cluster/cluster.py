@@ -14,14 +14,14 @@ per cluster rather than once per shard.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.base import SortConfig
 from repro.device.host import HostModel
 from repro.device.profile import DeviceProfile
-from repro.device.stats import TagStats
+from repro.device.stats import InterconnectStats, TagStats
 from repro.errors import ConfigError
 from repro.machine import Machine
 from repro.records.format import RecordFormat
@@ -29,9 +29,17 @@ from repro.records.gensort import make_records
 from repro.registry import get_profile
 from repro.sim.domains import DomainRouter
 from repro.sim.engine import Engine, SimGenerator
+from repro.sim.fluid import FluidOp, NetLinkRateModel
 from repro.sim.primitives import Semaphore
 from repro.storage.dram import DramTracker
 from repro.storage.file import SimFile
+
+#: Reserved DomainRouter key for the interconnect resource; shard
+#: domains are ``"shard{i}"`` so the name can never collide.
+NET_DOMAIN = "net"
+
+#: Default per-endpoint link bandwidth: one 100 GbE port per shard.
+DEFAULT_LINK_BW = 12.5e9
 
 
 class ClusterStats:
@@ -83,6 +91,60 @@ class ClusterStats:
         return sorted(self.tags.items(), key=lambda kv: kv[1].first_active)
 
 
+class ClusterFaultState:
+    """Cluster-wide fault-injection state: one injector per shard.
+
+    Duck-types the slice of :class:`~repro.faults.injector.FaultInjector`
+    that result harvesting consumes (``.stats``), aggregates the
+    per-shard injectors behind one facade, and carries the cluster-level
+    robustness counters (`shards_recovered`, speculation outcomes)
+    surfaced by ``--selfperf``.
+    """
+
+    def __init__(self, plan):
+        from repro.faults.injector import FaultStats
+
+        self.plan = plan
+        #: domain -> FaultInjector (installed via Machine.install_faults).
+        self.injectors: Dict[str, object] = {}
+        #: Cluster-level ledger: recovery counts and salvage accounting
+        #: credited by the harness / result harvesting.
+        self.stats = FaultStats()
+        self.count_only = False
+        self.shards_recovered = 0
+        self.speculative_issues = 0
+        self.speculative_wins = 0
+
+    @property
+    def armed(self) -> bool:
+        return any(inj.armed for inj in self.injectors.values())  # reprolint: disable=SIM003 -- any() is order-independent
+
+    def ops_seen(self) -> Dict[str, int]:
+        """Per-shard op counts (count-only probe results)."""
+        return {dom: inj.stats.ops_seen for dom, inj in self.injectors.items()}
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat counter snapshot: cluster ledger + per-shard injectors."""
+        out: Dict[str, float] = {}
+        self._flatten("cluster.fault_", self.stats.as_dict(), out)
+        out["shards_recovered"] = self.shards_recovered
+        out["speculative_issues"] = self.speculative_issues
+        out["speculative_wins"] = self.speculative_wins
+        for dom in sorted(self.injectors):
+            stats = self.injectors[dom].stats
+            self._flatten(f"{dom}.fault_", stats.as_dict(), out)
+        return out
+
+    @staticmethod
+    def _flatten(prefix: str, stats: dict, out: Dict[str, float]) -> None:
+        for k, v in stats.items():
+            if isinstance(v, dict):
+                for k2 in sorted(v):
+                    out[f"{prefix}{k}.{k2}"] = v[k2]
+            else:
+                out[f"{prefix}{k}"] = v
+
+
 class Cluster:
     """N device shards behind one engine, one clock and one DRAM pool.
 
@@ -105,6 +167,7 @@ class Cluster:
         dram_budget: Optional[int] = None,
         config: Optional[SortConfig] = None,
         memoize_rates: bool = True,
+        link_bw: Optional[float] = DEFAULT_LINK_BW,
     ):
         if profiles is not None:
             resolved = [
@@ -122,6 +185,7 @@ class Cluster:
         self.host = host if host is not None else HostModel()
         self.dram = DramTracker(dram_budget)
         self.config = config if config is not None else SortConfig()
+        self._memoize_rates = memoize_rates
         self.shards: List[Machine] = [
             Machine(
                 profile=prof,
@@ -133,10 +197,23 @@ class Cluster:
             )
             for i, prof in enumerate(resolved)
         ]
+        #: Interconnect rate model (max-min fair full-duplex links) and
+        #: its byte/timeline recorder.  ``link_bw=None`` disables the
+        #: network entirely: cross-shard transfers then cost nothing,
+        #: matching pre-interconnect builds.
+        if link_bw is not None:
+            self.network: Optional[NetLinkRateModel] = NetLinkRateModel(link_bw)
+            self.router.add_domain(NET_DOMAIN, self.network)
+            self.net_stats: Optional[InterconnectStats] = InterconnectStats()
+            self.engine.fluid.interval_observers.append(self.net_stats.observe)
+        else:
+            self.network = None
+            self.net_stats = None
         self.stats = ClusterStats(self.shards)
-        #: Cluster-level fault injection is not modelled yet; the None
-        #: matches the machine surface result harvesting expects.
-        self.faults = None
+        #: Installed :class:`ClusterFaultState` (see
+        #: :meth:`install_faults`); None matches the machine surface
+        #: result harvesting expects.
+        self.faults: Optional[ClusterFaultState] = None
         #: Installed :class:`repro.analysis.sanitizer.SimSanitizer`, if any.
         self.sanitizer = None
         #: Installed :class:`repro.trace.Tracer`, if any.
@@ -154,6 +231,170 @@ class Cluster:
 
     def semaphore(self, count: int = 1, name: str = "") -> Semaphore:
         return Semaphore(self.engine, count, name=name)
+
+    # ------------------------------------------------------------------
+    # Interconnect
+    # ------------------------------------------------------------------
+    def net_op(
+        self, src: str, dst: str, nbytes: float, tag: str = "NET xfer"
+    ) -> FluidOp:
+        """A timed transfer of ``nbytes`` from shard ``src`` to ``dst``.
+
+        Charged against both endpoints' links by the max-min fair
+        :class:`~repro.sim.fluid.NetLinkRateModel`; yield it (typically
+        inside a :class:`~repro.sim.engine.ParallelOps` next to the
+        destination's device write) to make the shuffle pay for the
+        wire.  Raises when the cluster was built with ``link_bw=None``.
+        """
+        if self.network is None:
+            raise ConfigError(
+                "cluster has no interconnect (built with link_bw=None)"
+            )
+        self.net_stats.credit_submission(tag, float(nbytes))
+        return FluidOp(
+            float(nbytes),
+            kind="net",
+            tag=tag,
+            attrs={"domain": NET_DOMAIN, "src": src, "dst": dst},
+        )
+
+    # ------------------------------------------------------------------
+    # Fault injection, crash recovery and elasticity
+    # ------------------------------------------------------------------
+    def install_faults(
+        self,
+        plan,
+        count_only: bool = False,
+        counts: Optional[Dict[str, int]] = None,
+    ) -> ClusterFaultState:
+        """Install a :class:`~repro.faults.plan.FaultPlan` cluster-wide.
+
+        Each shard gets its own injector over the plan's
+        :meth:`~repro.faults.plan.FaultPlan.for_shard` slice, so
+        ``shardN:``-targeted events hit only their shard while
+        untargeted events arm everywhere.  ``counts`` (per-domain op
+        totals from a ``count_only`` probe run, see
+        :meth:`ClusterFaultState.ops_seen`) resolves fractional
+        triggers per shard.
+        """
+        state = ClusterFaultState(plan)
+        state.count_only = count_only
+        for shard in self.shards:
+            sub = plan.for_shard(shard.domain)
+            if counts is not None and sub.needs_probe:
+                sub = sub.resolve_fractions(max(1, int(counts.get(shard.domain, 0))))
+            state.injectors[shard.domain] = shard.install_faults(
+                sub, count_only=count_only
+            )
+        self.faults = state
+        return state
+
+    def shard_by_domain(self, domain: str) -> Machine:
+        for shard in self.shards:
+            if shard.domain == domain:
+                return shard
+        raise ConfigError(f"no shard with domain {domain!r}")
+
+    def reboot(self, victim: Union[str, Machine, None] = None) -> Optional[Machine]:
+        """Whole-cluster recovery point after a shard crash.
+
+        A :class:`~repro.errors.SimulatedCrash` unwinds the shared event
+        loop, so *every* shard's volatile state (in-flight processes,
+        DRAM contents, transient degradation) is gone -- only the
+        crashed shard additionally lost its in-flight writes (torn by
+        the injector).  Mirroring :meth:`repro.machine.Machine.reboot`,
+        this replaces the engine (clock carried forward), rebuilds the
+        shared DRAM pool, clears degradation, re-registers every
+        shard's rate model and observers (plus the interconnect), and
+        re-attaches injectors (re-arming unfired timed events), the
+        sanitizer and the tracer.  Durable storage -- every shard's
+        filesystem -- survives untouched.  Returns the victim shard
+        (rebooted in place, ready for re-execution), or None when the
+        crash carried no domain.
+        """
+        shard = None
+        if victim is not None:
+            shard = (
+                victim if isinstance(victim, Machine)
+                else self.shard_by_domain(victim)
+            )
+        now = self.engine.now
+        self.router = DomainRouter()
+        engine = Engine(self.router, start_time=now)
+        for m in self.shards:
+            m.rate_model.degrade = 1.0
+            self.router.add_domain(m.domain, m.rate_model)
+            m.engine = engine
+        if self.network is not None:
+            self.router.add_domain(NET_DOMAIN, self.network)
+            engine.fluid.interval_observers.append(self.net_stats.observe)
+        self.engine = engine
+        for m in self.shards:
+            engine.fluid.interval_observers.append(m._domain_observe)
+        self.dram = DramTracker(self.dram.budget)
+        for m in self.shards:
+            m.dram = self.dram
+        for m in self.shards:
+            if m.faults is not None:
+                # In-flight tracking is volatile: the victim's entries
+                # were already torn by the crash, the survivors' eager
+                # data is treated as durable (their writes completed
+                # from the device's point of view before the cluster
+                # lost the engine).
+                m.faults.clear_inflight()
+                m.faults.attach(m)
+        if self.sanitizer is not None:
+            self.sanitizer.attach_engine(engine)
+        if self.tracer is not None:
+            self.tracer.reattach_cluster(self)
+            self.tracer.instant(
+                "cluster-reboot",
+                cat="fault",
+                track="cluster",
+                victim=shard.domain if shard is not None else "?",
+            )
+        return shard
+
+    def add_shard(self, profile: Union[str, DeviceProfile, None] = None) -> Machine:
+        """Admit a new shard mid-run (elastic scale-out).
+
+        The shard joins the shared engine, clock, DRAM pool and
+        interconnect immediately and is visible to
+        :class:`ClusterStats` (which reads the live shard list).  An
+        in-progress sharded sort keeps its planned partition count --
+        splitters were already chosen -- but can use the newcomer as a
+        spare for speculative re-issue and crash re-execution; the
+        *next* ``run`` re-plans with the grown shard count.  With a
+        fault plan installed the newcomer gets its own injector slice.
+        """
+        if profile is None:
+            prof = self.shards[0].profile
+        elif isinstance(profile, str):
+            prof = get_profile(profile)()
+        else:
+            prof = profile
+        index = len(self.shards)
+        shard = Machine(
+            profile=prof,
+            host=self.host,
+            memoize_rates=self._memoize_rates,
+            engine=self.engine,
+            domain=f"shard{index}",
+            dram=self.dram,
+        )
+        self.shards.append(shard)
+        if self.faults is not None:
+            sub = self.faults.plan.for_shard(shard.domain)
+            self.faults.injectors[shard.domain] = shard.install_faults(
+                sub, count_only=self.faults.count_only
+            )
+        if self.tracer is not None:
+            self.tracer.watch_shard(shard)
+            self.tracer.instant(
+                "shard-admitted", cat="elastic", track="cluster",
+                domain=shard.domain,
+            )
+        return shard
 
     def install_sanitizer(self, trace: bool = False):
         """Install one :class:`~repro.analysis.sanitizer.SimSanitizer`

@@ -25,6 +25,7 @@ from repro.sim.fluid import (
     OBS_CPU_COPY,
     OBS_IO_READ,
     OBS_IO_WRITE,
+    OBS_NET,
     observer_code,
 )
 
@@ -204,3 +205,78 @@ class DeviceStats:
             mid = start + (i + 0.5) * width
             rows.append((mid, r / width, w / width, c / width))
         return rows
+
+
+class InterconnectStats:
+    """Interval observer for the cluster interconnect.
+
+    The network counterpart of :class:`DeviceStats`: registered once on
+    the cluster's shared fluid scheduler, it accumulates only
+    ``kind="net"`` flows (everything else belongs to a shard's
+    DeviceStats) into
+
+    * total bytes moved over the fabric,
+    * a bandwidth timeline ``(t0, t1, aggregate_B/s)``,
+    * per-tag totals (``"SHUFFLE net"`` vs recovery/speculation
+      transfers) via the same :class:`TagStats` shape,
+    * per-directed-link byte totals keyed ``(src, dst)`` -- the data
+      behind incast diagnostics ("how much converged on shard3").
+    """
+
+    def __init__(self):
+        self.bytes_total = 0.0
+        self.timeline: List[Tuple[float, float, float]] = []
+        self.tags: Dict[str, TagStats] = defaultdict(TagStats)
+        self.link_bytes: Dict[Tuple[str, str], float] = {}
+
+    def observe(self, t0: float, t1: float, ops: list) -> None:
+        dt = t1 - t0
+        if dt <= 0:
+            return
+        agg_rate = 0.0
+        total = self.bytes_total
+        tags = self.tags
+        link_bytes = self.link_bytes
+        active_tags: dict = {}
+        for op in ops:
+            code = op._obs
+            if code is None:
+                code = observer_code(op)
+            if code != OBS_NET:
+                continue
+            rate = op.rate
+            delta = rate * dt
+            agg_rate += rate
+            total += delta
+            tag = op.tag
+            if tag:
+                active_tags[tag] = True
+                tags[tag].internal_bytes += delta
+            attrs = op.attrs or {}
+            link = (attrs.get("src", "?"), attrs.get("dst", "?"))
+            link_bytes[link] = link_bytes.get(link, 0.0) + delta
+        if agg_rate == 0.0 and not active_tags:
+            return  # epoch carried no network flows
+        self.bytes_total = total
+        for tag in active_tags:
+            stats = tags[tag]
+            stats.busy_time += dt
+            if t0 < stats.first_active:
+                stats.first_active = t0
+            if t1 > stats.last_active:
+                stats.last_active = t1
+        self.timeline.append((t0, t1, agg_rate))
+
+    def credit_submission(self, tag: str, user_bytes: float) -> None:
+        """Record a submitted flow's payload (called by the cluster)."""
+        if not tag:
+            return
+        stats = self.tags[tag]
+        stats.user_bytes += user_bytes
+        stats.op_count += 1
+
+    def tag_table(self) -> List[Tuple[str, TagStats]]:
+        return sorted(self.tags.items(), key=lambda kv: kv[1].first_active)
+
+    def peak_bw(self) -> float:
+        return max((row[2] for row in self.timeline), default=0.0)

@@ -67,8 +67,14 @@ class ValidationError(ReproError):
     """Sort-output validation (valsort) failed."""
 
 
-class ConfigError(ReproError):
-    """Invalid or inconsistent configuration values."""
+class ConfigError(ReproError, ValueError):
+    """Invalid or inconsistent configuration values.
+
+    Also a :class:`ValueError`: bad parameter values (negative windows,
+    zero factors, malformed specs) are value errors by Python
+    convention, so callers outside the library can catch them without
+    importing the repro hierarchy.
+    """
 
 
 class UnknownSystemError(ConfigError):
@@ -149,10 +155,18 @@ class SimulatedCrash(FaultError):
 
     transient = False
 
-    def __init__(self, message: str, at_time: float = 0.0, at_op: int = -1):
+    def __init__(
+        self,
+        message: str,
+        at_time: float = 0.0,
+        at_op: int = -1,
+        domain: "str | None" = None,
+    ):
         super().__init__(message)
         self.at_time = at_time
         self.at_op = at_op
+        #: Cluster shard domain that crashed (None for standalone machines).
+        self.domain = domain
 
 
 class RetryExhaustedError(FaultError):

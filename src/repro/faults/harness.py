@@ -106,3 +106,64 @@ def _recover_loop(
             return system.recover(machine, input_file, validate=validate)
         except SimulatedCrash as next_crash:
             crash = next_crash
+
+
+def run_cluster_with_faults(
+    system,
+    cluster,
+    sharded_input,
+    plan: Optional["FaultPlan"] = None,
+    validate: bool = True,
+    max_recoveries: int = 8,
+) -> Tuple["SortResult", FaultRunReport]:
+    """Cluster twin of :func:`run_with_faults`: survive shard crashes.
+
+    A :class:`~repro.errors.SimulatedCrash` raised by any shard's
+    injector unwinds the whole shared event loop; the crash names the
+    dead shard via its ``domain`` attribute, so the loop reboots that
+    shard (:meth:`~repro.cluster.cluster.Cluster.reboot` -- which also
+    resets every survivor's volatile state) and re-enters through the
+    system's ``recover()`` path, which salvages all manifest-covered
+    partitions and re-executes only the lost work.
+    """
+    if plan is not None:
+        cluster.install_faults(plan)
+    report = FaultRunReport()
+    t0 = cluster.now
+    read0 = cluster.stats.bytes_read_internal
+    written0 = cluster.stats.bytes_written_internal
+    try:
+        result = system.run(cluster, sharded_input, validate=validate)
+    except SimulatedCrash as crash:
+        result = _cluster_recover_loop(
+            system, cluster, sharded_input, crash, validate,
+            max_recoveries, report,
+        )
+        result.total_time = cluster.now - t0
+        result.internal_read = cluster.stats.bytes_read_internal - read0
+        result.internal_written = cluster.stats.bytes_written_internal - written0
+    if cluster.faults is not None:
+        report.stats = cluster.faults.as_dict()
+    return result, report
+
+
+def _cluster_recover_loop(
+    system, cluster, sharded_input, crash, validate, max_recoveries, report
+):
+    while True:
+        report.crashes += 1
+        report.crash_points.append((crash.at_time, crash.at_op))
+        if report.recoveries >= max_recoveries:
+            raise RecoveryError(
+                f"gave up after {max_recoveries} recovery attempts "
+                f"({report.crashes} crashes)"
+            ) from crash
+        cluster.reboot(crash.domain)
+        if cluster.faults is not None:
+            cluster.faults.stats.recoveries += 1
+            cluster.faults.shards_recovered += 1
+        report.recoveries += 1
+        try:
+            return system.recover(cluster, sharded_input, validate=validate)
+        except SimulatedCrash as next_crash:
+            crash = next_crash

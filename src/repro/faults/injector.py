@@ -367,17 +367,42 @@ class FaultInjector:
             engine.tracer.instant(
                 "crash", cat="fault", track="faults", at_op=idx
             )
+        domain = getattr(self.machine, "domain", None)
         raise SimulatedCrash(
             f"simulated crash at t={engine.now:.6f}s"
-            + (f" (op {idx})" if idx >= 0 else ""),
+            + (f" (op {idx})" if idx >= 0 else "")
+            + (f" on {domain}" if domain else ""),
             at_time=engine.now,
             at_op=idx,
+            domain=domain,
         )
 
     def _tear_inflight(self) -> None:
         for _seq, rec in sorted(self._inflight.items()):
             self._tear(rec)
         self._inflight.clear()
+
+    def clear_inflight(self) -> None:
+        """Drop in-flight write tracking without tearing anything.
+
+        Cluster reboot path: when a *sibling* shard crashes, this
+        shard's tracked writes are treated as durable (the device had
+        committed them when the shared engine unwound), so the records
+        must not leak into the next boot's tear set.
+        """
+        self._inflight.clear()
+
+    def forget_file(self, f) -> None:
+        """Drop in-flight tracking for one file about to be deleted.
+
+        Cancelled speculative work leaves nothing durable to tear: its
+        partial files are scrubbed, and a crash after the scrub must not
+        resurrect them via an orphaned tear record (which would truncate
+        a dead file and corrupt the filesystem's used-byte accounting).
+        """
+        for seq in sorted(self._inflight):
+            if self._inflight[seq].file is f:
+                del self._inflight[seq]
 
     def _tear(self, rec: _InflightWrite) -> None:
         """Roll an in-flight write back to an aligned durable prefix."""

@@ -28,6 +28,12 @@ Spec grammar (comma-separated, whitespace ignored)::
     enospc@op:N+K        writes at ops [N, N+K) raise ENOSPC (transient)
     slow@t:T+D:xF        device rates x F during [T, T+D)
     seed:S               RNG seed for probabilities / jitter / tear points
+
+Any event token may carry a ``shardN:`` prefix (``shard1:crash@50%``,
+``shard0:slow@t:0.1+0.2:x0.25``) restricting it to one cluster shard;
+untargeted tokens apply to every shard.  Standalone-machine runs ignore
+the targeting field entirely (:meth:`Cluster.install_faults` is the
+only consumer, via :meth:`FaultPlan.for_shard`).
 """
 
 from __future__ import annotations
@@ -64,6 +70,8 @@ class FaultEvent:
     count: int = 1
     #: ``slow`` throughput multiplier.
     factor: float = 1.0
+    #: Cluster shard domain the event targets (None = every shard).
+    shard: Optional[str] = None
     #: Set once a one-shot event has fired (survives reboots).
     fired: bool = field(default=False, compare=False)
 
@@ -85,8 +93,14 @@ class FaultEvent:
             raise ConfigError(f"fraction must be in (0, 1], got {self.at_frac}")
         if self.kind == "slow" and self.at_time is None:
             raise ConfigError("slow windows need a t: trigger")
+        if self.kind == "slow" and self.duration <= 0:
+            raise ConfigError(
+                f"slow window duration must be positive, got {self.duration}"
+            )
         if self.factor <= 0:
-            raise ConfigError("slow factor must be positive")
+            raise ConfigError(
+                f"slow factor must be positive, got {self.factor}"
+            )
 
     @property
     def direction(self) -> Optional[str]:
@@ -138,8 +152,26 @@ class FaultPlan:
                 events.append(replace(ev))
         return FaultPlan(events=events, seed=self.seed, retry=self.retry)
 
+    def for_shard(self, domain: str) -> "FaultPlan":
+        """Sub-plan for one cluster shard: events targeting ``domain``
+        plus all untargeted events.
+
+        Events are copied (``fired`` state included), so each shard's
+        injector consumes its own one-shot events independently; an
+        untargeted ``slow@`` window therefore degrades *every* shard.
+        The sub-plan keeps the parent's seed -- per-shard RNG streams
+        diverge anyway because each injector sees a different op stream.
+        """
+        events = [
+            replace(ev)
+            for ev in self.events
+            if ev.shard is None or ev.shard == domain
+        ]
+        return FaultPlan(events=events, seed=self.seed, retry=self.retry)
+
 
 _TOKEN = re.compile(r"^(?P<kind>[a-z]+)@(?P<trigger>.+)$")
+_SHARD_PREFIX = re.compile(r"^(?P<shard>shard\d+):(?P<rest>.+)$")
 
 
 def _parse_float(text: str, what: str) -> float:
@@ -207,5 +239,12 @@ def parse_fault_spec(spec: str, seed: int = 0) -> FaultPlan:
         if token.startswith("seed:"):
             plan_seed = _parse_int(token[5:], "seed")
             continue
-        events.append(_parse_event(token))
+        shard = None
+        m = _SHARD_PREFIX.match(token)
+        if m is not None:
+            shard, token = m.group("shard"), m.group("rest")
+        ev = _parse_event(token)
+        if shard is not None:
+            ev = replace(ev, shard=shard)
+        events.append(ev)
     return FaultPlan(events=events, seed=plan_seed)

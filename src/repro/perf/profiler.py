@@ -184,6 +184,14 @@ def collect_cluster_counters(cluster) -> Dict[str, float]:
         counters[f"{prefix}.device_bytes_written"] = (
             shard.stats.bytes_written_internal
         )
+    counters["ops_cancelled"] = fluid.ops_cancelled
+    counters["shuffle_bytes_network"] = (
+        cluster.net_stats.bytes_total if cluster.net_stats is not None else 0.0
+    )
+    if cluster.faults is not None:
+        # Includes shards_recovered / speculative_issues / speculative_wins
+        # plus the per-shard injector ledgers.
+        counters.update(cluster.faults.as_dict())
     return counters
 
 

@@ -18,6 +18,12 @@ Modelling note: each domain owns a full inner model including its host
 resources.  A cluster of N BRAID devices is modelled as N single-socket
 NUMA nodes (the paper's testbed is itself a multi-DIMM box); cross-
 device traffic pays cost on both sockets via one op per side.
+
+The domain key ``"net"`` is conventionally reserved for the cluster
+interconnect: :class:`~repro.cluster.cluster.Cluster` registers a
+:class:`~repro.sim.fluid.NetLinkRateModel` under it so cross-shard
+transfers (``kind="net"`` ops tagged with ``src``/``dst`` endpoints)
+share one max-min fair bandwidth pool, isolated from device ops.
 """
 
 from __future__ import annotations

@@ -113,6 +113,9 @@ class Process:
         "pid",
         "done",
         "result",
+        "cancelled",
+        "children",
+        "blocked_on",
         "_callbacks",
         "_resume_value",
         "_resume_exc",
@@ -124,6 +127,18 @@ class Process:
         self.pid = pid
         self.done = False
         self.result: Any = None
+        #: True when torn down by :meth:`Engine.cancel_tree` (the done
+        #: flag is also set; result stays None).
+        self.cancelled = False
+        #: Processes spawned *by* this process (Spawn command), so a
+        #: cancellation can take down the whole subtree.
+        self.children: list["Process"] = []
+        #: What the process currently waits on, maintained by the
+        #: engine at every block site: a FluidOp, a list of carrier
+        #: FluidOps (ParallelOps), a Sleep/Join command, or a primitive
+        #: resource.  None while ready/running.  Lets ``cancel_tree``
+        #: withdraw in-flight work and fix blocked-process accounting.
+        self.blocked_on: Any = None
         self._callbacks: list[Callable[["Process"], None]] = []
         self._resume_value: Any = None
         self._resume_exc: Optional[BaseException] = None
@@ -209,6 +224,12 @@ class Engine:
         retry layer uses this to escalate permanent device faults into
         the issuing simulated thread.
         """
+        if proc.done:
+            # A cancelled (or already finished) process: its blocked
+            # accounting was settled at cancellation time, and late
+            # wakeups from in-flight callbacks must not revive it.
+            return
+        proc.blocked_on = None
         self._blocked -= 1
         if self.sanitizer is not None:
             self.sanitizer.on_wake(proc)
@@ -240,6 +261,8 @@ class Engine:
         deadlock diagnostics; both are optional and unused otherwise.
         """
         self._blocked += 1
+        if proc is not None:
+            proc.blocked_on = resource if resource is not None else verb
         if self.sanitizer is not None and proc is not None:
             self.sanitizer.on_wait(proc, resource, verb)
         if self.tracer is not None and self.tracer.detail and proc is not None:
@@ -250,6 +273,63 @@ class Engine:
         if t < self.now:
             raise SimulationError(f"cannot schedule in the past ({t} < {self.now})")
         heapq.heappush(self._heap, (t, next(self._seq), fn))
+
+    def cancel_tree(self, root: Process) -> int:
+        """Cancel ``root`` and every process it (transitively) spawned.
+
+        The speculative-execution primitive: when two redundant tasks
+        race, the first completion wins and the loser's whole subtree is
+        withdrawn at the current instant.  The scheduler is settled
+        first, so work the losers performed *up to now* is fully charged
+        and observed; only their future work disappears.  For each live
+        process in the subtree: its in-flight fluid ops are withdrawn
+        (:meth:`FluidScheduler.cancel_op`), its blocked-process
+        accounting is reversed, its generator is closed (running
+        ``finally`` blocks), and it finishes with result ``None`` --
+        done-callbacks (Join waiters) still fire, so a joiner of a
+        cancelled process resumes with None rather than deadlocking.
+        Processes parked on primitives stay in the waiter queues; the
+        primitives skip done processes on wakeup.  Deterministic: the
+        subtree is walked in spawn order and op teardown follows it.
+
+        Returns the number of processes actually cancelled.
+        """
+        self.fluid.settle(self.now)
+        cancelled = 0
+        stack = [root]
+        while stack:
+            proc = stack.pop()
+            # Children are appended in spawn order; extending first
+            # keeps the walk covering processes spawned before this
+            # step regardless of proc's own state.
+            stack.extend(reversed(proc.children))
+            if proc.done:
+                continue
+            proc.cancelled = True
+            blocked = proc.blocked_on
+            proc.blocked_on = None
+            if blocked is not None:
+                self._blocked -= 1
+                if isinstance(blocked, FluidOp):
+                    blocked._waiter = None
+                    blocked._collector = None
+                    self.fluid.cancel_op(blocked)
+                elif isinstance(blocked, list):
+                    for op in blocked:
+                        if isinstance(op, FluidOp):
+                            op._waiter = None
+                            op._collector = None
+                            self.fluid.cancel_op(op)
+            self._live_processes -= 1
+            try:
+                proc.gen.close()
+            except Exception:
+                pass  # a finally block misbehaving must not stop teardown
+            proc._finish(None)
+            if self.tracer is not None and self.tracer.detail:
+                self.tracer.sched_event("cancel", proc)
+            cancelled += 1
+        return cancelled
 
     def run(self) -> float:
         """Run until no work remains; returns the final simulated time."""
@@ -370,6 +450,11 @@ class Engine:
             _, _, item = heapq.heappop(self._heap)
             self.timer_events += 1
             if isinstance(item, Process):
+                if item.done:
+                    # Cancelled while sleeping; accounting already
+                    # settled by cancel_tree.
+                    continue
+                item.blocked_on = None
                 self._blocked -= 1
                 if self.sanitizer is not None:
                     self.sanitizer.on_wake(item)
@@ -451,6 +536,7 @@ class Engine:
 
             return callback
 
+        proc.blocked_on = [carrier for carrier, _members in groups]
         for carrier, members in groups:
             carrier._collector = (
                 lambda c, _members=members: on_carrier_done(c, _members)
@@ -509,6 +595,8 @@ class Engine:
         return groups
 
     def _step(self, proc: Process) -> None:
+        if proc.done:
+            return  # cancelled while sitting in the ready queue
         self.steps += 1
         tracer = self.tracer
         if tracer is not None:
@@ -540,6 +628,7 @@ class Engine:
     def _dispatch(self, command: Any, proc: Process) -> None:
         if isinstance(command, FluidOp):
             command._waiter = proc
+            proc.blocked_on = command
             self._blocked += 1
             if self.sanitizer is not None:
                 self.sanitizer.on_wait(proc, command, "io")
@@ -548,12 +637,14 @@ class Engine:
                 # Zero-work op completed instantly.
                 self._complete_op(command)
         elif isinstance(command, Sleep):
+            proc.blocked_on = command
             self._blocked += 1
             if self.sanitizer is not None:
                 self.sanitizer.on_wait(proc, command, "sleep")
             heapq.heappush(self._heap, (self.now + command.dt, next(self._seq), proc))
         elif isinstance(command, Spawn):
             child = self.spawn(command.gen, command.name)
+            proc.children.append(child)
             proc._resume_value = child
             self._ready.append(proc)
         elif isinstance(command, Join):
@@ -575,6 +666,7 @@ class Engine:
             proc._resume_value = results[0] if command.single else results
             self._ready.append(proc)
             return
+        proc.blocked_on = command
         self._blocked += 1
         if self.sanitizer is not None:
             self.sanitizer.on_wait(proc, command, "join")

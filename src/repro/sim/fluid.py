@@ -282,6 +282,7 @@ OBS_IO_WRITE = 1
 OBS_CPU_COMPUTE = 2
 OBS_CPU_COPY = 3
 OBS_OTHER = 4
+OBS_NET = 5
 
 
 def observer_code(op: FluidOp) -> int:
@@ -297,10 +298,29 @@ def observer_code(op: FluidOp) -> int:
         attrs = op.attrs
         mode = "compute" if attrs is None else attrs.get("mode", "compute")
         code = OBS_CPU_COMPUTE if mode == "compute" else OBS_CPU_COPY
+    elif kind == "net":
+        code = OBS_NET
     else:
         code = OBS_OTHER
     op._obs = code
     return code
+
+
+def predicted_finish(op: FluidOp) -> float:
+    """The op's currently scheduled absolute finish time (``inf`` if
+    stalled), under either kernel path.
+
+    Like :func:`remaining_work`, the authoritative value lives in the
+    group array while the op is vector-scheduled.  Used by straggler
+    detection (:meth:`FluidScheduler.predicted_horizon`): the fluid
+    model already knows when every in-flight op will finish under
+    current rates, so slowness is observable *before* wall-clock
+    deadlines expire.
+    """
+    vg = op._vg
+    if vg is None:
+        return op._finish
+    return float(vg.finish[op._vi])
 
 
 class RateModel:
@@ -366,6 +386,88 @@ class UniformRateModel(RateModel):
 
     def resource_key(self, op: FluidOp):
         return op.seq
+
+
+class NetLinkRateModel(RateModel):
+    """Max-min fair interconnect: full-duplex per-endpoint links.
+
+    Each flow (``kind="net"`` op) names a source and destination
+    endpoint in ``attrs["src"]`` / ``attrs["dst"]`` and consumes
+    bandwidth on two resources: the source's transmit link and the
+    destination's receive link, each capped at ``link_bw`` bytes/s
+    (full duplex -- tx and rx are independent).  Rates are assigned by
+    progressive filling (the classic max-min water-fill, cf. the
+    BRAID model's channel fill in :mod:`repro.device.device`):
+    repeatedly find the most contended link, freeze its flows at an
+    equal share, subtract, repeat.  *Incast* falls out naturally: N
+    flows converging on one receiver each get ``link_bw / N`` unless
+    an even tighter tx link caps them first.
+
+    Deterministic: bottleneck ties break on sorted endpoint name and
+    flows freeze in op-id order, so equal populations always produce
+    identical float assignments.  The model keeps the scalar kernel
+    path (``vector_state`` -> None); shuffle fan-out is a handful of
+    flows per epoch, far below vectorization's pay-off point.
+    """
+
+    def __init__(self, link_bw: float = 12.5e9):
+        if link_bw <= 0:
+            raise ValueError(f"link_bw must be positive, got {link_bw}")
+        #: Per-endpoint, per-direction link bandwidth in bytes/second
+        #: (default 12.5e9 B/s = one 100 GbE port per shard).
+        self.link_bw = float(link_bw)
+
+    def assign(self, ops: Iterable[FluidOp]) -> Dict[FluidOp, float]:
+        flows = sorted(ops, key=_SEQ_KEY)
+        rates: Dict[FluidOp, float] = {}
+        remaining: Dict[tuple, float] = {}
+        counts: Dict[tuple, int] = {}
+        flow_links: Dict[FluidOp, tuple] = {}
+        for op in flows:
+            attrs = op.attrs or {}
+            links = []
+            src = attrs.get("src")
+            dst = attrs.get("dst")
+            if src is not None:
+                links.append(("tx", src))
+            if dst is not None:
+                links.append(("rx", dst))
+            if not links:
+                # Endpoint-less flow: uncontended, full line rate.
+                rates[op] = self.link_bw
+                continue
+            flow_links[op] = tuple(links)
+            for link in links:
+                remaining.setdefault(link, self.link_bw)
+                counts[link] = counts.get(link, 0) + 1
+        unfrozen = [op for op in flows if op in flow_links]
+        while unfrozen:
+            # Bottleneck link: smallest equal share among contended
+            # links; sorted() keys make float ties deterministic.
+            share = _INF
+            bottleneck = None
+            for link in sorted(counts):
+                n = counts[link]
+                if n <= 0:
+                    continue
+                s = remaining[link] / n
+                if s < share:
+                    share = s
+                    bottleneck = link
+            if bottleneck is None:  # pragma: no cover - defensive
+                break
+            share = max(share, 0.0)
+            still = []
+            for op in unfrozen:
+                if bottleneck in flow_links[op]:
+                    rates[op] = share
+                    for link in flow_links[op]:
+                        remaining[link] -= share
+                        counts[link] -= 1
+                else:
+                    still.append(op)
+            unfrozen = still
+        return rates
 
 
 class _VectorGroup:
@@ -518,6 +620,7 @@ class FluidScheduler:
         # Self-performance counters (read by repro.perf).
         self.ops_added = 0
         self.ops_completed = 0
+        self.ops_cancelled = 0
         self.rerate_calls = 0
         self.ops_rerated = 0
         self.rate_changes = 0
@@ -830,6 +933,84 @@ class FluidScheduler:
         vg.n_live -= idx.size
         vg.min_finish = float(finish[:size].min())
         self._dirty_keys.add(vg.key)
+
+    # ------------------------------------------------------------------
+    def cancel_op(self, op: FluidOp) -> bool:
+        """Withdraw an in-flight op without completing it.
+
+        Used by speculative-execution loser cancellation
+        (:meth:`repro.sim.engine.Engine.cancel_tree`).  The caller must
+        settle the scheduler to the current instant first so the op's
+        progress up to cancellation is debited and observed -- interval
+        observers then account exactly the work that physically
+        happened before the cancel, no more.  The op never reaches the
+        completion queue: its group slot is freed, its heap entries are
+        retired via the version counter, and survivors' rates are
+        recomputed at the next rerate (the freed bandwidth speeds them
+        up from *now*, not retroactively).  Returns False if the op was
+        not active (already completed or never issued).
+        """
+        if op not in self.active:
+            return False
+        self.active.discard(op)
+        self._ordered_stale = True
+        vg = op._vg
+        if vg is not None:
+            # Mirror the completion sweep's row teardown (_vg_pop) --
+            # minus the done-list append.
+            i = op._vi
+            vg.ops[i] = None
+            vg.counts[op._vsig] -= 1
+            vg.sig[i] = _VectorGroup.DEAD_SIG
+            vg.rate[i] = 0.0
+            vg.finish[i] = _INF
+            vg.n_live -= 1
+            vg.min_finish = (
+                float(vg.finish[: vg.size].min()) if vg.size else _INF
+            )
+            op._vg = None
+            self._dirty_keys.add(vg.key)
+        else:
+            op._heap_ver += 1  # retire live heap entries lazily
+            self._scalar_live -= 1
+            key = op._res_key
+            group = self._groups.get(key)
+            if group is not None and type(group) is not _VectorGroup:
+                group.discard(op)
+                if not group:
+                    del self._groups[key]
+                self._dirty_keys.add(key)
+        op.rate = 0.0
+        op._finish = _INF
+        self.dirty = True
+        self.ops_cancelled += 1
+        return True
+
+    def predicted_horizon(self, key) -> Optional[float]:
+        """Latest finite scheduled finish time in one resource group.
+
+        For a cluster shard domain this is "when does everything this
+        shard currently has in flight drain, at current rates" -- the
+        fluid model's native straggler signal.  Returns ``None`` when
+        the group has no live ops or every live op is stalled.
+        """
+        group = self._groups.get(key)
+        if group is None:
+            return None
+        best = None
+        if type(group) is _VectorGroup:
+            size = group.size
+            if size:
+                fin = group.finish[:size]
+                live = fin[fin < _INF]
+                if live.size:
+                    best = float(live.max())
+        else:
+            for op in group:  # reprolint: disable=SIM003 -- max() is order-independent
+                f = op._finish
+                if f < _INF and (best is None or f > best):
+                    best = f
+        return best
 
     # ------------------------------------------------------------------
     def invalidate_rates(self) -> None:

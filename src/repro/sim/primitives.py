@@ -62,11 +62,15 @@ class Semaphore:
         return _AcquireCommand(self)
 
     def release(self) -> None:
-        if self._waiters:
+        # Skip waiters cancelled while parked (Engine.cancel_tree leaves
+        # them in the deque); handing the slot to one would lose it.
+        while self._waiters:
             proc = self._waiters.popleft()
+            if proc.done:
+                continue
             self._engine.resume(proc, None)
-        else:
-            self._count += 1
+            return
+        self._count += 1
 
 
 class _BarrierCommand:
@@ -180,16 +184,29 @@ class SimQueue:
         return item
 
     def _deliver(self, engine, item: Any) -> None:
-        """Hand ``item`` to a blocked getter, or store it."""
-        if self._get_waiters:
+        """Hand ``item`` to a blocked getter, or store it.
+
+        Getters cancelled while parked are skipped, never handed an
+        item (it would vanish with them).
+        """
+        while self._get_waiters:
             proc = self._get_waiters.popleft()
+            if proc.done:
+                continue
             engine.resume(proc, item)
-        else:
-            self._items.append(item)
+            return
+        self._items.append(item)
 
     def _refill(self, engine) -> None:
-        """After a slot freed, admit one blocked putter (if any)."""
-        if self._put_waiters:
+        """After a slot freed, admit one blocked putter (if any).
+
+        A putter cancelled while parked never delivered its item; drop
+        it and offer the slot to the next one.
+        """
+        while self._put_waiters:
             proc, item = self._put_waiters.popleft()
+            if proc.done:
+                continue
             self._deliver(engine, item)
             engine.resume(proc, None)
+            return

@@ -40,6 +40,7 @@ from repro.sim.fluid import (
     OBS_CPU_COPY,
     OBS_IO_READ,
     OBS_IO_WRITE,
+    OBS_NET,
     observer_code,
 )
 
@@ -154,19 +155,45 @@ class Tracer:
 
     def install_cluster(self, cluster) -> "Tracer":
         """Hook a cluster: one tracer watches the shared engine, every
-        shard gets its own counter tracks, and the cluster-wide DRAM
-        pool reports on the ``"cluster"`` track."""
+        shard gets its own counter tracks, the interconnect reports
+        aggregate bandwidth on a ``"net"`` track, and the cluster-wide
+        DRAM pool reports on the ``"cluster"`` track."""
         cluster.tracer = self
         self.attach_engine(cluster.engine)
         for shard in cluster.shards:
-            key = shard.domain
-            self._machines[key] = shard
-            shard.tracer = self
+            self.watch_shard(shard)
+        if cluster.net_stats is not None:
             cluster.engine.fluid.interval_observers.append(
-                self._make_interval_observer(shard, key)
+                self._make_net_observer()
             )
         self._hook_dram(cluster.dram, "cluster")
         return self
+
+    def watch_shard(self, shard: "Machine") -> None:
+        """Register one cluster shard's counter track (also used when a
+        shard is admitted mid-run via :meth:`Cluster.add_shard`)."""
+        key = shard.domain
+        self._machines[key] = shard
+        shard.tracer = self
+        shard.engine.fluid.interval_observers.append(
+            self._make_interval_observer(shard, key)
+        )
+
+    def reattach_cluster(self, cluster) -> None:
+        """Post-:meth:`Cluster.reboot` re-install: the shared engine,
+        fluid scheduler and DRAM pool were replaced; recorded spans,
+        ops and counters survive.  Mirrors :meth:`reattach` for the
+        cluster topology."""
+        self.attach_engine(cluster.engine)
+        for shard in cluster.shards:
+            cluster.engine.fluid.interval_observers.append(
+                self._make_interval_observer(shard, shard.domain)
+            )
+        if cluster.net_stats is not None:
+            cluster.engine.fluid.interval_observers.append(
+                self._make_net_observer()
+            )
+        self._hook_dram(cluster.dram, "cluster")
 
     def attach_engine(self, engine: "Engine") -> None:
         """Hook one engine (re-run by :meth:`Machine.reboot` on the
@@ -240,6 +267,30 @@ class Tracer:
             self.counter_sample(key, "read_bw", read_bw, t=t0)
             self.counter_sample(key, "write_bw", write_bw, t=t0)
             self.counter_sample(key, "cores", cores, t=t0)
+
+        return observe
+
+    def _make_net_observer(self):
+        """Aggregate interconnect bandwidth sampler (``"net"`` track).
+
+        Counter-sample counterpart of
+        :class:`repro.device.stats.InterconnectStats`; purely additive.
+        """
+
+        def observe(t0: float, t1: float, ops: list) -> None:
+            if t1 - t0 <= 0:
+                return
+            net_bw = 0.0
+            seen = False
+            for op in ops:
+                code = op._obs
+                if code is None:
+                    code = observer_code(op)
+                if code == OBS_NET:
+                    net_bw += op.rate
+                    seen = True
+            if seen or self._last_counter.get(("net", "net_bw")):
+                self.counter_sample("net", "net_bw", net_bw, t=t0)
 
         return observe
 

@@ -1,0 +1,1 @@
+"""Cluster fault-tolerance (chaos) tests."""

@@ -1,0 +1,145 @@
+"""Unit tests for the interconnect model and its accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ShardedWiscSort, generate_cluster_dataset
+from repro.device.stats import InterconnectStats
+from repro.errors import ConfigError
+from repro.records.format import RecordFormat
+from repro.sim.fluid import FluidOp, NetLinkRateModel
+
+
+def _flow(src, dst, nbytes=100.0):
+    return FluidOp(
+        nbytes, kind="net",
+        attrs={"domain": "net", "src": src, "dst": dst},
+    )
+
+
+class TestNetLinkRateModel:
+    def test_single_flow_gets_full_link(self):
+        model = NetLinkRateModel(link_bw=10.0)
+        op = _flow("a", "b")
+        assert model.assign([op]) == {op: 10.0}
+
+    def test_incast_splits_receive_link(self):
+        model = NetLinkRateModel(link_bw=12.0)
+        flows = [_flow(src, "sink") for src in ("a", "b", "c")]
+        rates = model.assign(flows)
+        for op in flows:
+            assert rates[op] == pytest.approx(4.0)
+
+    def test_full_duplex_tx_rx_independent(self):
+        model = NetLinkRateModel(link_bw=8.0)
+        fwd, rev = _flow("a", "b"), _flow("b", "a")
+        rates = model.assign([fwd, rev])
+        assert rates[fwd] == pytest.approx(8.0)
+        assert rates[rev] == pytest.approx(8.0)
+
+    def test_tighter_tx_bottleneck_caps_flow(self):
+        # a fans out to 3 receivers: its tx link (not the rx links) is
+        # the bottleneck, each flow gets a third of tx.
+        model = NetLinkRateModel(link_bw=9.0)
+        flows = [_flow("a", dst) for dst in ("x", "y", "z")]
+        rates = model.assign(flows)
+        for op in flows:
+            assert rates[op] == pytest.approx(3.0)
+
+    def test_freed_bandwidth_goes_to_survivors(self):
+        model = NetLinkRateModel(link_bw=12.0)
+        f1, f2 = _flow("a", "sink"), _flow("b", "sink")
+        assert model.assign([f1, f2])[f1] == pytest.approx(6.0)
+        assert model.assign([f1])[f1] == pytest.approx(12.0)
+
+    def test_deterministic_assignment(self):
+        model = NetLinkRateModel(link_bw=10.0)
+        flows = [_flow(s, d) for s, d in
+                 [("a", "b"), ("a", "c"), ("b", "c"), ("c", "a")]]
+        first = model.assign(flows)
+        second = model.assign(list(flows))
+        assert first == second
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            NetLinkRateModel(link_bw=0.0)
+
+    def test_scalar_kernel_only(self):
+        model = NetLinkRateModel()
+        assert model.vector_state("net") is None
+
+
+class TestClusterNetworkWiring:
+    def test_shuffle_charges_the_interconnect(self, pmem, fmt):
+        cluster = Cluster(shards=3, profile=pmem)
+        data = generate_cluster_dataset(cluster, "input", 2_000, fmt, seed=7)
+        ShardedWiscSort(fmt).run(cluster, data)
+        stats = cluster.net_stats
+        assert stats.bytes_total > 0
+        # Only cross-shard pairs appear; no shard talks to itself.
+        for (src, dst), nbytes in stats.link_bytes.items():
+            assert src != dst
+            assert nbytes > 0
+        assert "SHUFFLE net" in stats.tags
+        assert stats.peak_bw() > 0
+
+    def test_network_disabled_with_link_bw_none(self, pmem, fmt):
+        cluster = Cluster(shards=2, profile=pmem, link_bw=None)
+        assert cluster.network is None and cluster.net_stats is None
+        data = generate_cluster_dataset(cluster, "input", 1_000, fmt, seed=7)
+        result = ShardedWiscSort(fmt).run(cluster, data)
+        assert result.validated
+        with pytest.raises(ConfigError):
+            cluster.net_op("shard0", "shard1", 100)
+
+    def test_net_charging_does_not_change_output(self, pmem, fmt):
+        outs = []
+        for link_bw in (12.5e9, None):
+            cluster = Cluster(shards=3, profile=pmem, link_bw=link_bw)
+            data = generate_cluster_dataset(cluster, "input", 2_000, fmt,
+                                            seed=9)
+            ShardedWiscSort(fmt).run(cluster, data)
+            merged = []
+            for d in range(3):
+                f = cluster.shards[d].fs.open(f"sharded-wiscsort.out.shard{d}")
+                if f.size:
+                    merged.append(f.peek())
+            outs.append(b"".join(part.tobytes() for part in merged))
+        assert outs[0] == outs[1]
+
+    def test_slow_interconnect_stretches_the_run(self, pmem, fmt):
+        times = []
+        for link_bw in (12.5e9, 2e8):
+            cluster = Cluster(shards=3, profile=pmem, link_bw=link_bw)
+            data = generate_cluster_dataset(cluster, "input", 2_000, fmt,
+                                            seed=9)
+            ShardedWiscSort(fmt).run(cluster, data)
+            times.append(cluster.now)
+        assert times[1] > times[0]
+
+
+class TestInterconnectStats:
+    def test_observe_filters_non_net_ops(self):
+        stats = InterconnectStats()
+        net = _flow("a", "b")
+        net.rate = 5.0
+        cpu = FluidOp(10.0, kind="cpu", attrs={"domain": "shard0"})
+        cpu.rate = 3.0
+        stats.observe(0.0, 2.0, [net, cpu])
+        assert stats.bytes_total == pytest.approx(10.0)
+        assert stats.link_bytes == {("a", "b"): pytest.approx(10.0)}
+
+    def test_timeline_and_peak(self):
+        stats = InterconnectStats()
+        a, b = _flow("a", "x"), _flow("b", "x")
+        a.rate = 4.0
+        b.rate = 4.0
+        stats.observe(0.0, 1.0, [a, b])
+        a.rate = 8.0
+        stats.observe(1.0, 2.0, [a])
+        assert stats.peak_bw() == pytest.approx(8.0)
+        assert stats.timeline == [
+            (0.0, 1.0, pytest.approx(8.0)),
+            (1.0, 2.0, pytest.approx(8.0)),
+        ]

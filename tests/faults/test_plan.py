@@ -113,3 +113,55 @@ class TestParseFaultSpec:
     def test_bad_tokens_rejected(self, bad):
         with pytest.raises(ConfigError):
             parse_fault_spec(bad)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "slow@t:0.1+0:x0.5",      # zero duration
+            "slow@t:0.1+-0.2:x0.5",   # negative duration
+            "slow@t:0.1+0.2:x0",      # zero factor
+            "slow@t:0.1+0.2:x-2",     # negative factor
+        ],
+    )
+    def test_slow_window_validation(self, bad):
+        with pytest.raises(ConfigError):
+            parse_fault_spec(bad)
+
+
+class TestShardTargeting:
+    """``shardN:`` prefixes scope events to one cluster shard."""
+
+    def test_prefix_parsed(self):
+        plan = parse_fault_spec("shard1:crash@op:5")
+        assert plan.events[0].shard == "shard1"
+        assert plan.events[0].at_op == 5
+
+    def test_untargeted_applies_to_all_shards(self):
+        plan = parse_fault_spec("crash@op:5")
+        for domain in ("shard0", "shard7"):
+            sub = plan.for_shard(domain)
+            assert len(sub.events) == 1
+            assert sub.events[0].shard is None
+
+    def test_for_shard_filters_targeted_events(self):
+        plan = parse_fault_spec(
+            "shard0:crash@op:5, shard1:slow@t:0.1+0.2:x0.5, transient@p:0.01"
+        )
+        sub0 = plan.for_shard("shard0")
+        assert [ev.kind for ev in sub0.events] == ["crash", "transient"]
+        sub1 = plan.for_shard("shard1")
+        assert [ev.kind for ev in sub1.events] == ["slow", "transient"]
+        sub2 = plan.for_shard("shard2")
+        assert [ev.kind for ev in sub2.events] == ["transient"]
+
+    def test_for_shard_preserves_seed_and_retry(self):
+        plan = parse_fault_spec("shard0:crash@op:5, seed:9")
+        sub = plan.for_shard("shard0")
+        assert sub.seed == 9
+        assert sub.retry == plan.retry
+
+    def test_mixed_targets_round_trip(self):
+        plan = parse_fault_spec("shard2:crash@50%")
+        assert plan.needs_probe
+        ev = plan.for_shard("shard2").events[0]
+        assert ev.shard == "shard2" and ev.at_frac == pytest.approx(0.5)

@@ -1,0 +1,128 @@
+"""Unit tests for process-tree cancellation (speculative loser teardown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine, Join, Now, Sleep, Spawn
+from repro.sim.fluid import FluidOp, UniformRateModel
+
+
+def make_engine(rate: float = 1.0) -> Engine:
+    return Engine(UniformRateModel(rate))
+
+
+class TestCancelTree:
+    def test_cancelled_join_resumes_with_none(self):
+        engine = make_engine()
+
+        def worker():
+            yield FluidOp(100.0, kind="cpu")
+            return "never"
+
+        def driver():
+            proc = yield Spawn(worker())
+            yield Sleep(1.0)
+            engine.cancel_tree(proc)
+            result = yield Join(proc)
+            return (proc.cancelled, result)
+
+        cancelled, result = engine.run_process(driver())
+        assert cancelled is True
+        assert result is None
+
+    def test_children_are_cancelled_recursively(self):
+        engine = make_engine()
+        reached = []
+
+        def leaf(label):
+            yield FluidOp(100.0, kind="cpu")
+            reached.append(label)
+
+        def parent():
+            yield Spawn(leaf("a"))
+            yield Spawn(leaf("b"))
+            yield FluidOp(100.0, kind="cpu")
+            reached.append("parent")
+
+        def driver():
+            proc = yield Spawn(parent())
+            yield Sleep(1.0)
+            engine.cancel_tree(proc)
+            yield Sleep(200.0)
+
+        engine.run_process(driver())
+        assert reached == []
+
+    def test_cancel_counts_in_scheduler(self):
+        engine = make_engine()
+
+        def worker():
+            yield FluidOp(100.0, kind="cpu")
+
+        def driver():
+            proc = yield Spawn(worker())
+            yield Sleep(1.0)
+            engine.cancel_tree(proc)
+
+        engine.run_process(driver())
+        assert engine.fluid.ops_cancelled == 1
+
+    def test_cancel_settles_partial_progress_first(self):
+        engine = make_engine(rate=2.0)
+        intervals = []
+        engine.fluid.interval_observers.append(
+            lambda t0, t1, ops: intervals.append(
+                sum(op.rate * (t1 - t0) for op in ops)
+            )
+        )
+
+        def worker():
+            yield FluidOp(100.0, kind="cpu")
+
+        def driver():
+            proc = yield Spawn(worker())
+            yield Sleep(3.0)
+            engine.cancel_tree(proc)
+
+        engine.run_process(driver())
+        # 3 seconds at rate 2.0 were physically done before the cancel
+        # and must be charged, nothing more.
+        assert sum(intervals) == pytest.approx(6.0)
+
+    def test_cancelling_done_process_is_noop(self):
+        engine = make_engine()
+
+        def worker():
+            yield Sleep(1.0)
+            return 7
+
+        def driver():
+            proc = yield Spawn(worker())
+            result = yield Join(proc)
+            engine.cancel_tree(proc)
+            return (result, proc.cancelled)
+
+        result, cancelled = engine.run_process(driver())
+        assert result == 7
+        assert cancelled is False
+
+    def test_survivors_speed_up_after_cancel(self):
+        engine = make_engine(rate=1.0)
+
+        def worker(work):
+            yield FluidOp(work, kind="cpu")
+
+        def driver():
+            # Uniform model: each op gets rate 1.0 regardless of
+            # population, so completion time == its own work; the point
+            # here is that the survivor still completes after a sibling
+            # cancel (no heap corruption, no lost wakeup).
+            a = yield Spawn(worker(10.0))
+            b = yield Spawn(worker(4.0))
+            yield Sleep(1.0)
+            engine.cancel_tree(a)
+            yield Join(b)
+            return (yield Now())
+
+        assert engine.run_process(driver()) == pytest.approx(4.0)
