@@ -259,12 +259,16 @@ def compare_fingerprints(ours: Dict, baseline: Dict) -> List[str]:
 
 
 def run_workload(
-    spec: Dict, empty_injector: bool = False, sanitize: bool = False
+    spec: Dict,
+    empty_injector: bool = False,
+    sanitize: bool = False,
+    race_detect: bool = False,
 ) -> Dict:
     """Run one frozen workload ``spec['reps']`` times; keep the best wall."""
     walls = []
     fp = counters = None
     sanitizers = []
+    detectors = []
     for _rep in range(spec["reps"]):
         machine = Machine()
         if empty_injector:
@@ -278,6 +282,11 @@ def run_workload(
             # Observe-only gate: the runtime sanitizer must see zero
             # charge drift and leave every fingerprint bit-identical.
             sanitizers.append(machine.install_sanitizer())
+        if race_detect:
+            # Observe-only gate for simrace: the vector-clock detector
+            # must find no races in the frozen workloads and leave every
+            # fingerprint bit-identical.
+            detectors.append(machine.install_race_detector())
         data = generate_dataset(
             machine, "input", spec["records"], spec["fmt"], seed=spec["seed"]
         )
@@ -295,6 +304,8 @@ def run_workload(
             raise AssertionError("simulator is not run-to-run deterministic")
     for san in sanitizers:
         san.check()  # raises ChargeDriftError on any accounting drift
+    for det in detectors:
+        det.check()  # raises RaceError if any workload raced
     wall = min(walls)
     return {
         "wall_seconds": wall,
@@ -309,7 +320,11 @@ def run_workload(
     }
 
 
-def run_all(empty_injector: bool = False, sanitize: bool = False) -> Dict:
+def run_all(
+    empty_injector: bool = False,
+    sanitize: bool = False,
+    race_detect: bool = False,
+) -> Dict:
     report = {
         "schema": 1,
         "vector_kernel": vector_enabled(),
@@ -321,9 +336,15 @@ def run_all(empty_injector: bool = False, sanitize: bool = False) -> Dict:
               f"{spec['background']} background clients, {spec['reps']} reps"
               + (", empty injector installed" if empty_injector else "")
               + (", sanitizer installed" if sanitize else "")
+              + (", race detector installed" if race_detect else "")
               + " ...",
               flush=True)
-        res = run_workload(spec, empty_injector=empty_injector, sanitize=sanitize)
+        res = run_workload(
+            spec,
+            empty_injector=empty_injector,
+            sanitize=sanitize,
+            race_detect=race_detect,
+        )
         base = PRE_PR_BASELINE[name]
         problems = compare_fingerprints(res["fingerprint"], base["fingerprint"])
         res["results_match_pre_pr"] = not problems
@@ -467,6 +488,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "still match the frozen baselines (observe-only guarantee of "
         "repro.analysis.sanitizer)",
     )
+    parser.add_argument(
+        "--race-detect",
+        action="store_true",
+        help="install the simrace vector-clock race detector before "
+        "every run; it must report zero races and fingerprints must "
+        "still match the frozen baselines (observe-only guarantee of "
+        "repro.analysis.race)",
+    )
     args = parser.parse_args(argv)
     if args.compare is not None:
         failures = compare_reports(args.compare[0], args.compare[1])
@@ -475,7 +504,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         print("[compare] kernel paths bit-identical")
         return 0
-    report = run_all(empty_injector=args.empty_injector, sanitize=args.sanitize)
+    report = run_all(
+        empty_injector=args.empty_injector,
+        sanitize=args.sanitize,
+        race_detect=args.race_detect,
+    )
     failures = 0
     if args.check is not None:
         regressed = check_against(report, args.check)

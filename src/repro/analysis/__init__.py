@@ -13,8 +13,23 @@ Two halves:
   :meth:`repro.machine.Machine.install_sanitizer` (CLI: ``--sanitize``):
   deadlock diagnostics naming stuck coroutines, a charge-accounting
   audit, and a run-twice determinism harness.
+
+Plus **simrace** (:mod:`repro.analysis.race`) -- a sim-time race
+detector (vector clocks + per-file byte-range access logs, CLI:
+``--race-detect``) and a schedule-fuzz harness permuting same-instant
+scheduling ties (CLI: ``--schedule-fuzz N``).
 """
 
+from repro.analysis.race import (
+    RaceDetector,
+    RaceReport,
+    ScheduleFuzzReport,
+    SchedulePermuter,
+    cluster_output_fingerprint,
+    file_fingerprint,
+    schedule_fuzz,
+    sort_output_fingerprint,
+)
 from repro.analysis.rules import RULES, Finding, check_module
 from repro.analysis.sanitizer import (
     ChargeAuditor,
@@ -44,4 +59,12 @@ __all__ = [
     "DeterminismReport",
     "SimSanitizer",
     "verify_determinism",
+    "RaceDetector",
+    "RaceReport",
+    "SchedulePermuter",
+    "ScheduleFuzzReport",
+    "schedule_fuzz",
+    "file_fingerprint",
+    "sort_output_fingerprint",
+    "cluster_output_fingerprint",
 ]

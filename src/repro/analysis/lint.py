@@ -85,6 +85,23 @@ def _render_text(findings: List[Finding], checked: int) -> str:
     return "\n".join(lines)
 
 
+def _render_github(findings: List[Finding], checked: int) -> str:
+    """GitHub Actions workflow-command annotations, one per finding.
+
+    Lines print to stdout inside a CI step; the runner turns each
+    ``::error`` into an inline PR annotation at the named location.
+    """
+    lines = [
+        f"::error file={f.path},line={f.line},col={f.col},"
+        f"title=reprolint {f.rule}::{f.message}"
+        for f in findings
+    ]
+    lines.append(
+        f"reprolint: {len(findings)} finding(s) in {checked} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
 def _render_json(findings: List[Finding], checked: int) -> str:
     return json.dumps(
         {
@@ -104,7 +121,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", dest="fmt"
+        "--format", choices=("text", "json", "github"), default="text",
+        dest="fmt",
     )
     parser.add_argument(
         "--select",
@@ -136,6 +154,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if args.fmt == "json":
         print(_render_json(findings, len(files)))
+    elif args.fmt == "github":
+        print(_render_github(findings, len(files)))
     else:
         print(_render_text(findings, len(files)))
     return 1 if findings else 0

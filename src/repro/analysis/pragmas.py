@@ -20,14 +20,21 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Set
 
-from repro.analysis.rules import Finding
+from repro.analysis.rules import RETIRED_RULES, RULES, Finding
 
 _LINE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
 _FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
 
 
 def _parse_rule_list(text: str) -> Set[str]:
-    return {part.strip() for part in text.split(",") if part.strip()}
+    # Justifications not set off by ``--`` still parse: each comma part
+    # contributes only its first whitespace token as a rule id.
+    out: Set[str] = set()
+    for part in text.split(","):
+        tokens = part.split()
+        if tokens:
+            out.add(tokens[0])
+    return out
 
 
 def collect_pragmas(source: str) -> tuple[Dict[int, Set[str]], Set[str]]:
@@ -45,6 +52,41 @@ def collect_pragmas(source: str) -> tuple[Dict[int, Set[str]], Set[str]]:
         if m:
             per_line.setdefault(lineno, set()).update(_parse_rule_list(m.group(1)))
     return per_line, file_wide
+
+
+def validate_pragmas(source: str, path: str) -> List[Finding]:
+    """PRG001 findings for unknown / retired rule ids in pragmas.
+
+    A typo'd id (``disable=SIM0003``) silences nothing and hides the
+    author's intent; a retired id should be dropped, and the finding
+    says where the invariant it silenced went.  ``all`` is always
+    accepted.
+    """
+    findings: List[Finding] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "reprolint" not in line:
+            continue
+        m = _FILE_RE.search(line) or _LINE_RE.search(line)
+        if not m:
+            continue
+        for rule_id in sorted(_parse_rule_list(m.group(1))):
+            if rule_id == "all" or rule_id in RULES:
+                continue
+            retired = RETIRED_RULES.get(rule_id)
+            if retired is not None:
+                msg = (
+                    f"pragma names retired rule {rule_id!r} ({retired}); "
+                    f"drop it or target the successor rule"
+                )
+            else:
+                msg = (
+                    f"pragma names unknown rule {rule_id!r} and silences "
+                    f"nothing; known ids: {', '.join(sorted(RULES))}"
+                )
+            findings.append(
+                Finding(path, lineno, line.index("#"), "PRG001", msg)
+            )
+    return findings
 
 
 def filter_findings(findings: List[Finding], source: str) -> List[Finding]:

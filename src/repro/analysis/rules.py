@@ -30,11 +30,26 @@ DEV001    In ``core/`` and ``baselines/``, raw byte moves
           bypass the charged storage APIs; every byte an algorithm
           moves must be charged to the BRAID device model.  Untimed
           access is for fixtures and validation only.
+SIM005    No mutation of shared enclosing-scope / ``self`` state from
+          a spawned coroutine body without a named arbiter primitive
+          (``Semaphore`` / ``Barrier`` / ``SimQueue``).  Two spawned
+          generators writing the same closure cell or attribute race
+          under any legal same-instant schedule permutation; route the
+          result through a queue or guard it with a lock.
+SIM006    No ``sorted``/``min``/``max``/``.sort`` keyed on a *bare*
+          simulated-time value.  Same-instant events make such keys
+          non-total; ties then resolve by hash/insertion order and the
+          result drifts across schedules.  Add a deterministic
+          secondary key (``key=lambda x: (x.first_active, x.name)``).
+PRG001    Unknown or retired rule id named in a ``# reprolint:``
+          pragma.  A typo silently disables nothing; a retired id
+          should be dropped (the pragma machinery reports what the
+          rule was folded into).
 ========  ============================================================
 
 Any rule can be silenced on a specific line with a trailing
-``# reprolint: disable=RULE[,RULE...]`` comment (or for a whole file
-with ``# reprolint: disable-file=RULE``); the escape hatch is meant to
+``# reprolint: disable=<rule>[,<rule>...]`` comment (or for a whole file
+with ``# reprolint: disable-file=<rule>``); the escape hatch is meant to
 carry a justification in the same comment.
 """
 
@@ -51,6 +66,15 @@ RULES: Dict[str, str] = {
     "SIM003": "iteration over an unordered collection without sorted()",
     "SIM004": "==/!= on simulated-time floats (use fluid.time_eq/time_ne)",
     "DEV001": "raw byte move bypassing the charged storage APIs",
+    "SIM005": "shared-state mutation from a spawned coroutine without an arbiter",
+    "SIM006": "sort/min/max keyed on a bare sim-time value (ties not total)",
+    "PRG001": "unknown or retired rule id in a reprolint pragma",
+}
+
+#: Rule ids that once existed and were retired; naming one in a pragma
+#: is a PRG001 finding explaining where the invariant went.
+RETIRED_RULES: Dict[str, str] = {
+    "DET001": "folded into SIM003 (iteration-order leaks)",
 }
 
 #: Path components that exempt a file from a rule.  ``repro.perf`` and
@@ -64,6 +88,11 @@ RULE_EXEMPT_PARTS: Dict[str, Set[str]] = {
     "SIM004": {"tests", "benchmarks", "examples"},
     # Fixtures and validators are the *intended* users of untimed access.
     "DEV001": {"tests", "benchmarks", "examples"},
+    # Tests spawn racy fixtures on purpose (the race detector's own
+    # test-bed is full of them).
+    "SIM005": {"tests", "benchmarks", "examples"},
+    "SIM006": {"tests", "benchmarks", "examples"},
+    "PRG001": set(),
 }
 
 #: DEV001 only applies inside these packages (the sort algorithms); the
@@ -191,6 +220,41 @@ class _FileChecker(ast.NodeVisitor):
         self._bare_random: Dict[str, str] = {}
         #: Stack of per-function sets of names bound to set objects.
         self._set_bindings: List[Set[str]] = [set()]
+        #: Module-local helper functions whose every return value is a
+        #: set (pre-scanned in :meth:`visit_Module`), so SIM003 tracking
+        #: survives the call boundary: ``for x in _dirty_keys():``.
+        self._set_returning: Set[str] = set()
+
+    # -- module pre-scan ------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        self._scan_set_helpers(node)
+        self.generic_visit(node)
+
+    def _scan_set_helpers(self, tree: ast.Module) -> None:
+        """Fixpoint over module functions that provably return sets."""
+        funcs = [
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        known: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for fn in funcs:
+                if fn.name in known:
+                    continue
+                rets = [
+                    n
+                    for n in _own_body_nodes(fn)
+                    if isinstance(n, ast.Return) and n.value is not None
+                ]
+                if rets and all(
+                    self._static_set_value(r.value, known) for r in rets
+                ):
+                    known.add(fn.name)
+                    changed = True
+        self._set_returning = known
 
     # -- reporting ------------------------------------------------------
     def _report(self, node: ast.AST, rule: str, message: str) -> None:
@@ -254,12 +318,17 @@ class _FileChecker(ast.NodeVisitor):
             self._set_bindings[-1].add(node.target.id)
         self.generic_visit(node)
 
+    def _binds_set(self, value: ast.AST) -> bool:
+        return self._static_set_value(value, self._set_returning)
+
     @staticmethod
-    def _binds_set(value: ast.AST) -> bool:
+    def _static_set_value(value: ast.AST, set_helpers: Set[str]) -> bool:
         if isinstance(value, (ast.Set, ast.SetComp)):
             return True
         if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
-            return value.func.id in ("set", "frozenset")
+            return value.func.id in ("set", "frozenset") or (
+                value.func.id in set_helpers
+            )
         if isinstance(value, ast.Attribute):
             return value.attr in _KNOWN_SET_ATTRS
         return False
@@ -278,6 +347,11 @@ class _FileChecker(ast.NodeVisitor):
             if isinstance(func, ast.Attribute) and func.attr == "values":
                 base = _dotted(func.value) or "<expr>"
                 return f"{base}.values()"
+            if (
+                isinstance(func, ast.Name)
+                and func.id in self._set_returning
+            ):
+                return f"{func.id}() (a local helper returning a set)"
         if isinstance(node, ast.Name):
             for scope in reversed(self._set_bindings):
                 if node.id in scope:
@@ -321,6 +395,7 @@ class _FileChecker(ast.NodeVisitor):
         self._check_rng(node, dotted)
         self._check_order_sensitive_call(node, dotted)
         self._check_raw_move_call(node)
+        self._check_tie_break(node)
         self.generic_visit(node)
 
     def _check_wallclock(self, node: ast.Call, dotted: Optional[str]) -> None:
@@ -427,6 +502,31 @@ class _FileChecker(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- SIM006 ---------------------------------------------------------
+    def _check_tie_break(self, node: ast.Call) -> None:
+        """``sorted(..., key=lambda x: x.first_active)`` and friends."""
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name) and func.id in ("sorted", "min", "max"):
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "sort":
+            name = "sort"
+        if name is None:
+            return
+        for kw in node.keywords:
+            if kw.arg != "key" or not isinstance(kw.value, ast.Lambda):
+                continue
+            hit = self._time_like(kw.value.body)
+            if hit is not None:
+                self._report(
+                    kw.value,
+                    "SIM006",
+                    f"{name}() keyed on bare sim-time value {hit!r}: "
+                    f"same-instant events tie and the order falls back to "
+                    f"hash/insertion order; add a deterministic secondary "
+                    f"key, e.g. key=lambda x: ({hit}, name)",
+                )
+
     # -- SIM004 ---------------------------------------------------------
     @staticmethod
     def _time_like(node: ast.AST) -> Optional[str]:
@@ -465,6 +565,147 @@ def _is_none(node: ast.AST) -> bool:
     return isinstance(node, ast.Constant) and node.value is None
 
 
+def _own_body_nodes(fn: ast.AST):
+    """Walk a function body without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` under an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+#: Yielded method calls that count as a named arbiter inside a spawned
+#: coroutine body: ``yield sem.acquire()`` / ``yield bar.wait()`` /
+#: ``yield q.put(x)`` / ``yield q.get()``.
+_ARBITER_VERBS = {"acquire", "wait", "put", "get"}
+
+
+class _SpawnMutationChecker(ast.NodeVisitor):
+    """SIM005: shared-state writes from spawned coroutine bodies.
+
+    Pass 1 collects the names of generator functions handed to
+    ``Spawn(...)`` / ``engine.spawn(...)``; pass 2 inspects each such
+    function (if it is a generator defined in this module) for
+    assignments to ``self`` attributes, ``nonlocal``/``global`` names,
+    or subscripts of enclosing-scope objects, and flags them unless the
+    body yields an arbiter primitive (``acquire``/``wait``/``put``/
+    ``get``).  Heuristic by design: it sees one module at a time and
+    trusts names.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        self._spawned: Set[str] = set()
+
+    def check(self, tree: ast.Module) -> List[Finding]:
+        self.visit(tree)  # pass 1: spawned callee names
+        if self._spawned:
+            for node in ast.walk(tree):  # pass 2: inspect their bodies
+                if (
+                    isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name in self._spawned
+                ):
+                    self._check_body(node)
+        return self.findings
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        is_spawn = (isinstance(func, ast.Name) and func.id == "Spawn") or (
+            isinstance(func, ast.Attribute) and func.attr == "spawn"
+        )
+        if is_spawn and node.args and isinstance(node.args[0], ast.Call):
+            callee = node.args[0].func
+            if isinstance(callee, ast.Name):
+                self._spawned.add(callee.id)
+            elif isinstance(callee, ast.Attribute):
+                self._spawned.add(callee.attr)
+        self.generic_visit(node)
+
+    def _check_body(self, fn) -> None:
+        body = list(_own_body_nodes(fn))
+        if not any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in body):
+            return  # not a generator: plain helper sharing a name
+        if any(
+            isinstance(n, ast.Yield)
+            and isinstance(n.value, ast.Call)
+            and isinstance(n.value.func, ast.Attribute)
+            and n.value.func.attr in _ARBITER_VERBS
+            for n in body
+        ):
+            return  # body rendezvouses through a named arbiter
+        local = {a.arg for a in ast.walk(fn.args) if isinstance(a, ast.arg)}
+        shared_decl: Set[str] = set()
+        for n in body:
+            if isinstance(n, (ast.Nonlocal, ast.Global)):
+                shared_decl.update(n.names)
+            elif isinstance(n, ast.Assign):
+                for t in n.targets:
+                    if isinstance(t, ast.Name):
+                        local.add(t.id)
+            elif isinstance(n, (ast.AnnAssign, ast.For)):
+                target = n.target
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+            elif isinstance(n, ast.withitem):
+                if isinstance(n.optional_vars, ast.Name):
+                    local.add(n.optional_vars.id)
+        local -= shared_decl
+        for n in body:
+            if isinstance(n, ast.Assign):
+                targets = n.targets
+            elif isinstance(n, (ast.AugAssign, ast.AnnAssign)):
+                targets = [n.target]
+            else:
+                continue
+            for t in targets:
+                desc = self._shared_target(t, local, shared_decl)
+                if desc is not None:
+                    self.findings.append(
+                        Finding(
+                            self.path,
+                            n.lineno,
+                            n.col_offset,
+                            "SIM005",
+                            f"spawned coroutine {fn.name!r} mutates shared "
+                            f"state {desc} with no arbiter primitive in its "
+                            f"body; route the result through a SimQueue or "
+                            f"guard it with a Semaphore/Barrier",
+                        )
+                    )
+
+    @staticmethod
+    def _shared_target(
+        t: ast.AST, local: Set[str], shared_decl: Set[str]
+    ) -> Optional[str]:
+        if isinstance(t, ast.Name):
+            return t.id if t.id in shared_decl else None
+        if isinstance(t, ast.Attribute):
+            root = _root_name(t)
+            if root == "self":
+                return _dotted(t) or f"self.{t.attr}"
+            return None
+        if isinstance(t, ast.Subscript):
+            root = _root_name(t.value)
+            if root == "self":
+                return f"{_dotted(t.value) or 'self.<attr>'}[...]"
+            if root is not None and root not in local:
+                return f"{root}[...] (enclosing scope)"
+        return None
+
+
 def rules_for_path(path: str, select: Optional[Iterable[str]] = None) -> Set[str]:
     """The rule ids that apply to ``path`` after exemptions."""
     parts = set(path.replace("\\", "/").split("/"))
@@ -493,6 +734,11 @@ def check_module(
     tree = ast.parse(source, filename=path)
     checker = _FileChecker(path, enabled, dev001_active)
     checker.visit(tree)
-    from repro.analysis.pragmas import filter_findings
+    findings = checker.findings
+    if "SIM005" in enabled:
+        findings.extend(_SpawnMutationChecker(path).check(tree))
+    from repro.analysis.pragmas import filter_findings, validate_pragmas
 
-    return filter_findings(checker.findings, source)
+    if "PRG001" in enabled:
+        findings.extend(validate_pragmas(source, path))
+    return filter_findings(findings, source)

@@ -322,6 +322,17 @@ class SimSanitizer:
         if self.trace is not None:
             self.trace.append(("proc", now, proc.name))
 
+    def on_proc_cancel(self, proc: "Process", now: float) -> None:
+        """Final event for a coroutine torn down by ``cancel_tree``.
+
+        A cancelled coroutine never resumes, so without this its
+        waits-for entry would linger forever and any later deadlock
+        diagnostic would name ghosts.
+        """
+        self.waits.pop(proc.pid, None)
+        if self.trace is not None:
+            self.trace.append(("cancel", now, proc.name))
+
     # -- deadlock diagnostics -------------------------------------------
     def blocked_table(self) -> List[str]:
         """One line per parked process: who waits on what."""

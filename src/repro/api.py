@@ -82,6 +82,8 @@ def sort(
     memoize_rates: bool = True,
     sanitizer=None,
     trace=None,
+    race_detect: bool = False,
+    schedule_seed: Optional[int] = None,
 ) -> SortResult:
     """Sort a generated gensort dataset with a registered system.
 
@@ -99,13 +101,29 @@ def sort(
     path string to export a Chrome/Perfetto trace JSON there after the
     run, or a pre-built ``Tracer`` to inspect programmatically.
 
+    ``race_detect`` installs the observe-only
+    :class:`~repro.analysis.race.RaceDetector` (simulated results stay
+    bit-identical); inspect ``result.extras["race_detector"]`` or call
+    its ``check()`` to raise :class:`~repro.errors.RaceError` on
+    findings.  ``schedule_seed`` installs a
+    :class:`~repro.analysis.race.SchedulePermuter` that permutes
+    same-instant scheduling ties -- a correct workload produces
+    byte-identical output under any seed (``None`` keeps the default
+    FIFO schedule).
+
     Returns the :class:`~repro.core.base.SortResult`; ``extras`` carries
     ``machine``, ``sanitizer`` (when installed), ``tracer`` (when
-    tracing) and ``fault_report`` (when faults were injected).
+    tracing), ``race_detector`` (when ``race_detect``) and
+    ``fault_report`` (when faults were injected).
     """
     fmt = fmt if fmt is not None else RecordFormat()
     config = config if config is not None else SortConfig()
     machine = _build_machine(device, dram_budget, memoize_rates)
+    race_detector = None
+    if race_detect:
+        race_detector = machine.install_race_detector()
+    if schedule_seed is not None:
+        machine.install_schedule_fuzz(schedule_seed)
     if sanitize and sanitizer is None:
         from repro.analysis.sanitizer import SimSanitizer
 
@@ -159,6 +177,8 @@ def sort(
     else:
         result = sort_system.run(machine, data, validate=validate)
     result.extras["machine"] = machine
+    if race_detector is not None:
+        result.extras["race_detector"] = race_detector
     if fault_report is not None:
         result.extras["fault_report"] = fault_report
     if sanitizer is not None:

@@ -103,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sort.add_argument("--trace-rollup", action="store_true",
                         help="with --trace: also print the text "
                              "phase/traffic rollup")
+    p_sort.add_argument("--race-detect", action="store_true",
+                        help="install the sim-time race detector (vector "
+                             "clocks + per-file byte-range logs); "
+                             "observe-only, exit 1 when conflicting "
+                             "same-instant accesses have no happens-before "
+                             "ordering")
+    p_sort.add_argument("--schedule-fuzz", type=int, metavar="N", default=None,
+                        help="run the FIFO baseline plus N seeded "
+                             "permutations of same-instant scheduling ties "
+                             "and compare output fingerprints; exit 1 on "
+                             "any byte divergence")
 
     p_cluster = sub.add_parser(
         "cluster", help="run concurrent sort jobs on a multi-device cluster"
@@ -148,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print cluster simulator self-performance "
                                 "counters (kernel, per-shard devices, "
                                 "interconnect, recovery/speculation)")
+    p_cluster.add_argument("--race-detect", action="store_true",
+                           help="install the sim-time race detector across "
+                                "all shards; observe-only, exit 1 on "
+                                "unordered conflicting accesses")
+    p_cluster.add_argument("--schedule-fuzz", type=int, metavar="N",
+                           default=None,
+                           help="with --faults: run the FIFO baseline plus "
+                                "N seeded same-instant schedule permutations "
+                                "of the fault-tolerant sharded sort and "
+                                "compare merged-output fingerprints; exit 1 "
+                                "on any byte divergence")
 
     p_cal = sub.add_parser("calibrate", help="probe a device profile")
     p_cal.add_argument("--device", choices=sorted(PROFILES), default="pmem")
@@ -171,7 +193,8 @@ def cmd_sort(args: argparse.Namespace) -> int:
     config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
     prof = SelfPerfProfiler()
 
-    def run_once(sanitizer=None, trace=None):
+    def run_once(sanitizer=None, trace=None, schedule_seed=None,
+                 race_detect=False):
         with prof.phase("sort"):
             return api.sort(
                 records=args.records,
@@ -186,8 +209,29 @@ def cmd_sort(args: argparse.Namespace) -> int:
                 memoize_rates=not args.no_memoize,
                 sanitizer=sanitizer,
                 trace=trace,
+                schedule_seed=schedule_seed,
+                race_detect=race_detect,
             )
 
+    if args.schedule_fuzz is not None:
+        if args.schedule_fuzz < 1:
+            print("sort: --schedule-fuzz needs at least one seed",
+                  file=sys.stderr)
+            return 2
+        if args.verify_determinism:
+            print("sort: --schedule-fuzz and --verify-determinism are "
+                  "separate harnesses; pick one", file=sys.stderr)
+            return 2
+        from repro.analysis.race import schedule_fuzz, sort_output_fingerprint
+
+        report = schedule_fuzz(
+            lambda seed: sort_output_fingerprint(
+                run_once(schedule_seed=seed, race_detect=args.race_detect)
+            ),
+            seeds=tuple(range(1, args.schedule_fuzz + 1)),
+        )
+        print(report.render())
+        return 0 if report.ok else 1
     if args.verify_determinism:
         from repro.analysis.sanitizer import verify_determinism
 
@@ -199,7 +243,8 @@ def cmd_sort(args: argparse.Namespace) -> int:
         from repro.analysis.sanitizer import SimSanitizer
 
         sanitizer = SimSanitizer()
-    result = run_once(sanitizer=sanitizer, trace=args.trace)
+    result = run_once(sanitizer=sanitizer, trace=args.trace,
+                      race_detect=args.race_detect)
     machine = result.extras["machine"]
     fault_report = result.extras.get("fault_report")
     print(f"device : {machine.profile.describe()}")
@@ -242,6 +287,11 @@ def cmd_sort(args: argparse.Namespace) -> int:
 
             print()
             print(render_phase_rollup(tracer))
+    if args.race_detect:
+        detector = result.extras["race_detector"]
+        print(detector.render())
+        if detector.races:
+            return 1
     if args.timeline:
         print()
         print(render_timeline(machine))
@@ -266,7 +316,8 @@ def _build_cluster(args: argparse.Namespace):
     )
 
 
-def _run_cluster(args: argparse.Namespace, sanitizer=None, tracer=None):
+def _run_cluster(args: argparse.Namespace, sanitizer=None, tracer=None,
+                 race_detect=False):
     """Build a fresh cluster, submit and run the jobs; returns both."""
     from repro.cluster import JobScheduler
 
@@ -275,6 +326,8 @@ def _run_cluster(args: argparse.Namespace, sanitizer=None, tracer=None):
         sanitizer.install_cluster(cluster)
     if tracer is not None:
         tracer.install_cluster(cluster)
+    if race_detect:
+        cluster.install_race_detector()
     scheduler = JobScheduler(cluster, policy=args.policy)
     tenants = max(1, args.tenants)
     for j in range(args.jobs):
@@ -309,6 +362,8 @@ def _cmd_cluster_faulted(args: argparse.Namespace) -> int:
         # Fractional triggers (crash@50%) need per-shard op totals: run
         # the identical workload once with count-only injectors (an
         # empty plan, same checkpoint setting) and resolve against it.
+        # One probe serves every schedule-fuzz seed too: permutations
+        # reorder same-instant ops without changing the op *totals*.
         from repro.faults.plan import FaultPlan
 
         probe = _build_cluster(args)
@@ -319,19 +374,61 @@ def _cmd_cluster_faulted(args: argparse.Namespace) -> int:
             probe, probe_data, validate=False
         )
         counts = probe_state.ops_seen()
+
+    def run_once(schedule_seed=None, race_detect=False, tracer=None):
+        """Fresh cluster + dataset + injectors, one fault-tolerant run."""
+        cluster = _build_cluster(args)
+        detector = cluster.install_race_detector() if race_detect else None
+        if schedule_seed is not None:
+            cluster.install_schedule_fuzz(schedule_seed)
+        if tracer is not None:
+            tracer.install_cluster(cluster)
+        data = generate_cluster_dataset(cluster, "input", n, fmt,
+                                        seed=args.seed)
+        cluster.install_faults(plan, counts=counts)
+        system = ShardedWiscSort(fmt, system=args.system,
+                                 checkpoint=checkpoint)
+        result, report = run_cluster_with_faults(system, cluster, data)
+        return cluster, data, system, result, report, detector
+
+    if args.schedule_fuzz is not None:
+        if args.schedule_fuzz < 1:
+            print("cluster: --schedule-fuzz needs at least one seed",
+                  file=sys.stderr)
+            return 2
+        from repro.analysis.race import (
+            cluster_output_fingerprint,
+            schedule_fuzz,
+        )
+
+        def fuzz_fingerprint(seed):
+            cluster, data, _system, result, _report, _det = run_once(
+                schedule_seed=seed, race_detect=args.race_detect
+            )
+            return cluster_output_fingerprint(
+                cluster, result.output_name, len(data.parts)
+            )
+
+        try:
+            fuzz_report = schedule_fuzz(
+                fuzz_fingerprint,
+                seeds=tuple(range(1, args.schedule_fuzz + 1)),
+            )
+        except RecoveryError as exc:
+            print(f"cluster: {exc}", file=sys.stderr)
+            return 1
+        print(fuzz_report.render())
+        return 0 if fuzz_report.ok else 1
+
     tracer = None
     if args.trace:
         from repro.trace import Tracer
 
         tracer = Tracer()
-    cluster = _build_cluster(args)
-    if tracer is not None:
-        tracer.install_cluster(cluster)
-    data = generate_cluster_dataset(cluster, "input", n, fmt, seed=args.seed)
-    cluster.install_faults(plan, counts=counts)
-    system = ShardedWiscSort(fmt, system=args.system, checkpoint=checkpoint)
     try:
-        result, report = run_cluster_with_faults(system, cluster, data)
+        cluster, data, system, result, report, detector = run_once(
+            race_detect=args.race_detect, tracer=tracer
+        )
     except RecoveryError as exc:
         print(f"cluster: {exc}", file=sys.stderr)
         return 1
@@ -362,6 +459,10 @@ def _cmd_cluster_faulted(args: argparse.Namespace) -> int:
         write_chrome_trace(tracer, args.trace)
         print(f"trace  : {args.trace} "
               f"({len(tracer.spans)} spans, {len(tracer.ops)} ops)")
+    if detector is not None:
+        print(detector.render())
+        if detector.races:
+            return 1
     if args.selfperf:
         print()
         print(_render_cluster_counters(cluster))
@@ -388,6 +489,12 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                       f"supported together with --faults", file=sys.stderr)
                 return 2
         return _cmd_cluster_faulted(args)
+    if args.schedule_fuzz is not None:
+        print("cluster: --schedule-fuzz needs --faults (the job scheduler "
+              "may legally place tied jobs differently per schedule; the "
+              "fault-tolerant sharded sort has one deterministic output "
+              "to fingerprint)", file=sys.stderr)
+        return 2
     if args.jobs < 1:
         print("cluster: need at least one job", file=sys.stderr)
         return 2
@@ -409,7 +516,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         from repro.trace import Tracer
 
         tracer = Tracer()
-    cluster, jobs = _run_cluster(args, sanitizer=sanitizer, tracer=tracer)
+    cluster, jobs = _run_cluster(args, sanitizer=sanitizer, tracer=tracer,
+                                 race_detect=args.race_detect)
     print(cluster.describe())
     print(f"policy : {args.policy}, {args.jobs} jobs, "
           f"{args.records_per_job} records/job")
@@ -435,6 +543,10 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             print(f"sanitize: {exc}")
             return 1
         print("sanitize: zero drift across all shards")
+    if args.race_detect:
+        print(cluster.race.render())
+        if cluster.race.races:
+            return 1
     if args.selfperf:
         print()
         print(_render_cluster_counters(cluster))

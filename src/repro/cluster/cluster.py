@@ -88,7 +88,9 @@ class ClusterStats:
         return merged
 
     def tag_table(self) -> List[Tuple[str, TagStats]]:
-        return sorted(self.tags.items(), key=lambda kv: kv[1].first_active)
+        # Tag name breaks first_active ties, keeping the order total
+        # when several tags start at the same instant.
+        return sorted(self.tags.items(), key=lambda kv: (kv[1].first_active, kv[0]))
 
 
 class ClusterFaultState:
@@ -218,6 +220,10 @@ class Cluster:
         self.sanitizer = None
         #: Installed :class:`repro.trace.Tracer`, if any.
         self.tracer = None
+        #: Installed :class:`repro.analysis.race.RaceDetector`, if any.
+        self.race = None
+        #: Installed :class:`repro.analysis.race.SchedulePermuter`, if any.
+        self.schedule_fuzz = None
 
     # ------------------------------------------------------------------
     def run(self, gen: SimGenerator, name: str = "cluster-main"):
@@ -345,6 +351,14 @@ class Cluster:
                 m.faults.attach(m)
         if self.sanitizer is not None:
             self.sanitizer.attach_engine(engine)
+        if self.race is not None:
+            # Pre-crash coroutines are gone with the old engine: their
+            # live clocks are dropped, recorded races survive.
+            self.race.attach_engine(engine)
+        if self.schedule_fuzz is not None:
+            # Same permuter, continuing RNG stream: one seed covers the
+            # whole crash-recovery schedule deterministically.
+            engine.schedule_fuzz = self.schedule_fuzz
         if self.tracer is not None:
             self.tracer.reattach_cluster(self)
             self.tracer.instant(
@@ -394,6 +408,9 @@ class Cluster:
                 "shard-admitted", cat="elastic", track="cluster",
                 domain=shard.domain,
             )
+        if self.race is not None:
+            shard.fs.race = self.race
+            shard.race = self.race
         return shard
 
     def install_sanitizer(self, trace: bool = False):
@@ -404,6 +421,28 @@ class Cluster:
         sanitizer = SimSanitizer(trace=trace)
         sanitizer.install_cluster(self)
         return sanitizer
+
+    def install_race_detector(self):
+        """Install one :class:`~repro.analysis.race.RaceDetector` across
+        the shared engine and every shard's filesystem.  Observe-only;
+        cross-shard conflicts are visible because all shards share one
+        engine (and thus one set of vector clocks)."""
+        from repro.analysis.race import RaceDetector
+
+        detector = RaceDetector()
+        detector.install_cluster(self)
+        return detector
+
+    def install_schedule_fuzz(self, seed: int):
+        """Permute same-instant scheduling ties on the shared engine
+        from ``seed``; survives :meth:`reboot`.  Returns the
+        :class:`~repro.analysis.race.SchedulePermuter`."""
+        from repro.analysis.race import SchedulePermuter
+
+        permuter = SchedulePermuter(seed)
+        self.schedule_fuzz = permuter
+        self.engine.schedule_fuzz = permuter
+        return permuter
 
     def install_tracer(self, detail: bool = False):
         """Install one :class:`repro.trace.Tracer` across the shared

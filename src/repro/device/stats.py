@@ -149,7 +149,7 @@ class DeviceStats:
     # ------------------------------------------------------------------
     def tag_table(self) -> List[Tuple[str, TagStats]]:
         """Tags ordered by first activity, for phase-breakdown reports."""
-        return sorted(self.tags.items(), key=lambda kv: kv[1].first_active)
+        return sorted(self.tags.items(), key=lambda kv: (kv[1].first_active, kv[0]))
 
     def peak_read_bw(self) -> float:
         """Highest observed instantaneous read bandwidth."""
@@ -276,7 +276,7 @@ class InterconnectStats:
         stats.op_count += 1
 
     def tag_table(self) -> List[Tuple[str, TagStats]]:
-        return sorted(self.tags.items(), key=lambda kv: kv[1].first_active)
+        return sorted(self.tags.items(), key=lambda kv: (kv[1].first_active, kv[0]))
 
     def peak_bw(self) -> float:
         return max((row[2] for row in self.timeline), default=0.0)

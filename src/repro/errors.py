@@ -195,3 +195,13 @@ class ChargeDriftError(SanitizerError):
 
 class DeterminismError(SanitizerError):
     """Two runs of the same seeded workload produced different event traces."""
+
+
+class RaceError(SanitizerError):
+    """Conflicting same-instant byte-range accesses with no happens-before
+    ordering were observed by :class:`repro.analysis.race.RaceDetector`."""
+
+
+class ScheduleDivergenceError(DeterminismError):
+    """A legal same-instant schedule permutation changed the output bytes
+    (see :func:`repro.analysis.race.schedule_fuzz`)."""

@@ -96,6 +96,10 @@ class Machine:
         self.sanitizer = None
         #: Installed :class:`repro.trace.Tracer`, if any.
         self.tracer = None
+        #: Installed :class:`repro.analysis.race.RaceDetector`, if any.
+        self.race = None
+        #: Installed :class:`repro.analysis.race.SchedulePermuter`, if any.
+        self.schedule_fuzz = None
 
     # ------------------------------------------------------------------
     # Fault injection and crash recovery
@@ -147,6 +151,39 @@ class Machine:
         tracer.install(self)
         return tracer
 
+    def install_race_detector(self):
+        """Install a :class:`~repro.analysis.race.RaceDetector`.
+
+        Opt-in dynamic race detection: vector clocks over the engine's
+        spawn/block/resume edges plus a per-file byte-range access log,
+        flagging conflicting same-instant accesses with no
+        happens-before ordering.  Observe-only -- simulated results are
+        bit-identical with or without it.  Returns the detector; call
+        its :meth:`~repro.analysis.race.RaceDetector.check` after the
+        run to raise on findings.
+        """
+        from repro.analysis.race import RaceDetector
+
+        detector = RaceDetector()
+        detector.install(self)
+        return detector
+
+    def install_schedule_fuzz(self, seed: int):
+        """Permute same-instant scheduling ties from ``seed``.
+
+        Every permuted schedule is legal, so a correct workload must
+        produce byte-identical output under any seed (see
+        :func:`repro.analysis.race.schedule_fuzz` for the sweep
+        harness).  Returns the
+        :class:`~repro.analysis.race.SchedulePermuter`.
+        """
+        from repro.analysis.race import SchedulePermuter
+
+        permuter = SchedulePermuter(seed)
+        self.schedule_fuzz = permuter
+        self.engine.schedule_fuzz = permuter
+        return permuter
+
     def trace_span(self, name: str, cat: str = "phase", **args):
         """A sim-time span context manager, or a no-op when untraced.
 
@@ -190,6 +227,14 @@ class Machine:
             # Waits-for state was volatile; fs.audit and the stats
             # wrapper live on persistent objects and survive as-is.
             self.sanitizer.attach_engine(self.engine)
+        if self.race is not None:
+            # Live clocks were volatile (pre-crash coroutines are gone);
+            # recorded races survive.  fs.race lives on the filesystem.
+            self.race.attach_engine(self.engine)
+        if self.schedule_fuzz is not None:
+            # The permuter's RNG stream continues across the reboot, so
+            # one seed covers the whole crash-recovery schedule.
+            self.engine.schedule_fuzz = self.schedule_fuzz
         if self.tracer is not None:
             # The replacement engine, fluid scheduler and DRAM tracker
             # all need fresh hooks; recorded spans/events survive.

@@ -193,6 +193,15 @@ class Engine:
         #: Optional :class:`repro.trace.Tracer`.  Same contract as the
         #: sanitizer: observe-only, every hook guards on ``is None``.
         self.tracer = None
+        #: Optional :class:`repro.analysis.race.RaceDetector`.  Same
+        #: contract again: observe-only, hooks guard on ``is None``.
+        self.race = None
+        #: Optional :class:`repro.analysis.race.SchedulePermuter`.  When
+        #: set, same-instant ready-queue order and completion-tie order
+        #: are deterministically permuted from its seed; every permuted
+        #: schedule is legal, so correct workloads must produce
+        #: byte-identical output.  ``None`` keeps the stable FIFO order.
+        self.schedule_fuzz = None
         # Self-performance counters (read by repro.perf).
         self.steps = 0
         self.advances = 0
@@ -207,6 +216,10 @@ class Engine:
         proc = Process(gen, name or f"proc-{next(self._pids)}", next(self._pids))
         self._live_processes += 1
         self._ready.append(proc)
+        if self.race is not None:
+            # Spawn edge: the child inherits the spawner's clock (the
+            # detector reads its own _current to find the spawner).
+            self.race.on_spawn(proc)
         if self.tracer is not None and self.tracer.detail:
             self.tracer.sched_event("spawn", proc)
         return proc
@@ -229,6 +242,10 @@ class Engine:
             # accounting was settled at cancellation time, and late
             # wakeups from in-flight callbacks must not revive it.
             return
+        if self.race is not None:
+            # Resume edge, before blocked_on clears: the waker's clock
+            # (and, for primitives/joins, the resource's) merges in.
+            self.race.on_resume(proc, proc.blocked_on)
         proc.blocked_on = None
         self._blocked -= 1
         if self.sanitizer is not None:
@@ -263,6 +280,8 @@ class Engine:
         self._blocked += 1
         if proc is not None:
             proc.blocked_on = resource if resource is not None else verb
+        if self.race is not None and proc is not None:
+            self.race.on_block(proc, resource, verb)
         if self.sanitizer is not None and proc is not None:
             self.sanitizer.on_wait(proc, resource, verb)
         if self.tracer is not None and self.tracer.detail and proc is not None:
@@ -326,6 +345,14 @@ class Engine:
             except Exception:
                 pass  # a finally block misbehaving must not stop teardown
             proc._finish(None)
+            # Cancellation is a final event like StopIteration: the
+            # sanitizer drops the proc from the waits-for graph and the
+            # race detector retires its vector clock, so neither leaks
+            # entries for coroutines that will never resume.
+            if self.sanitizer is not None:
+                self.sanitizer.on_proc_cancel(proc, self.now)
+            if self.race is not None:
+                self.race.on_cancel(proc, self.now)
             if self.tracer is not None and self.tracer.detail:
                 self.tracer.sched_event("cancel", proc)
             cancelled += 1
@@ -345,6 +372,8 @@ class Engine:
             self.running = False
             if self.tracer is not None:
                 self.tracer._current = None
+            if self.race is not None:
+                self.race._current = None
         if self._blocked:
             raise DeadlockError(
                 f"simulation ended with {self._blocked} blocked process(es)"
@@ -377,6 +406,8 @@ class Engine:
             self.running = False
             if self.tracer is not None:
                 self.tracer._current = None
+            if self.race is not None:
+                self.race._current = None
         return proc.result
 
     def run_process(self, gen: SimGenerator, name: str = "") -> Any:
@@ -400,8 +431,25 @@ class Engine:
     # Event loop internals
     # ------------------------------------------------------------------
     def _drain_ready(self) -> None:
-        while self._ready:
-            self._step(self._ready.popleft())
+        fuzz = self.schedule_fuzz
+        if fuzz is None:
+            while self._ready:
+                self._step(self._ready.popleft())
+            return
+        # Schedule fuzzing: step an arbitrary (seed-determined) ready
+        # process instead of the FIFO head.  The rotate dance pops index
+        # i and restores the relative order of the rest, so one pick
+        # permutes without reshuffling the whole deque.
+        ready = self._ready
+        while ready:
+            n = len(ready)
+            i = fuzz.pick(n) if n > 1 else 0
+            if i:
+                ready.rotate(-i)
+            proc = ready.popleft()
+            if i:
+                ready.rotate(i)
+            self._step(proc)
 
     def _settle_and_complete(self) -> bool:
         """Re-rate if needed and wake zero-time completions.
@@ -419,6 +467,10 @@ class Engine:
         # keeps waiter wakeups deterministic under both kernel paths.
         done = fluid.pop_completed(now)
         if done:
+            if self.schedule_fuzz is not None and len(done) > 1:
+                # Completion tie-break fuzzing: any delivery order of
+                # ops finishing at the same instant is a legal schedule.
+                self.schedule_fuzz.shuffle(done)
             for op in done:
                 self._complete_op(op)
             return True
@@ -444,7 +496,10 @@ class Engine:
         self.now = target
         self.advances += 1
         fluid.settle(target)
-        for op in fluid.pop_completed(target):
+        done = fluid.pop_completed(target)
+        if self.schedule_fuzz is not None and len(done) > 1:
+            self.schedule_fuzz.shuffle(done)
+        for op in done:
             self._complete_op(op)
         while self._heap and self._heap[0][0] <= self.now + 1e-15:
             _, _, item = heapq.heappop(self._heap)
@@ -454,6 +509,8 @@ class Engine:
                     # Cancelled while sleeping; accounting already
                     # settled by cancel_tree.
                     continue
+                if self.race is not None:
+                    self.race.on_resume(item, item.blocked_on)
                 item.blocked_on = None
                 self._blocked -= 1
                 if self.sanitizer is not None:
@@ -501,6 +558,8 @@ class Engine:
         else:
             groups = [(op, ((i, op),)) for i, op in fluid_items]
         self._blocked += 1
+        if self.race is not None:
+            self.race.on_block(proc, ops, "parallel")
         if self.sanitizer is not None:
             self.sanitizer.on_wait(proc, ops, "parallel")
         results: list[Any] = [None] * len(ops)
@@ -606,6 +665,11 @@ class Engine:
             # is cleared again below so callbacks running between steps
             # (timers, retry re-issues) are never misattributed.
             tracer._current = proc
+        race = self.race
+        if race is not None:
+            # Same attribution contract: storage accesses and primitive
+            # releases during this step belong to proc's vector clock.
+            race._current = proc
         try:
             value, proc._resume_value = proc._resume_value, None
             exc, proc._resume_exc = proc._resume_exc, None
@@ -618,12 +682,16 @@ class Engine:
                 self._live_processes -= 1
                 if self.sanitizer is not None:
                     self.sanitizer.on_proc_finish(proc, self.now)
+                if race is not None:
+                    race.on_finish(proc, self.now)
                 proc._finish(stop.value)
                 return
             self._dispatch(command, proc)
         finally:
             if tracer is not None:
                 tracer._current = None
+            if race is not None:
+                race._current = None
 
     def _dispatch(self, command: Any, proc: Process) -> None:
         if isinstance(command, FluidOp):

@@ -1037,6 +1037,13 @@ class FluidScheduler:
         and returned in ascending op id (``seq``) order -- *not* in heap
         or group order -- so simultaneous completions resume their
         waiters deterministically under either kernel path.
+
+        Schedule fuzzing (``engine.schedule_fuzz``) deliberately permutes
+        this same-instant completion batch *after* it leaves here: the
+        engine shuffles the returned list before waking waiters, so
+        correct workloads must not depend on the ``seq`` tie order.  The
+        ascending-``seq`` contract above is the reproducible baseline,
+        not a guarantee workloads may lean on.
         """
         done: list[FluidOp] = []
         for vg in self._vgroups:

@@ -112,6 +112,9 @@ class SimFile:
     ) -> FluidOp:
         """Sequential read; resumes with a copy of the bytes."""
         self._check_extent(offset, nbytes)
+        det = self._fs.race
+        if det is not None:
+            det.note_span(self, "r", offset, nbytes)
         inj = self._fs.injector
         if inj is not None and inj.armed:
             return inj.issue_read(
@@ -134,6 +137,11 @@ class SimFile:
     ) -> FluidOp:
         """Sequential write at ``offset`` (extends the file if needed)."""
         arr = _as_u8(data)
+        det = self._fs.race
+        if det is not None:
+            # Logged at issue time (eager data movement): retries by an
+            # armed injector re-move the same bytes, not a new access.
+            det.note_span(self, "w", offset, arr.size)
         inj = self._fs.injector
         if inj is not None and inj.armed:
             return inj.issue_write(self, offset, arr, tag, threads)
@@ -173,6 +181,9 @@ class SimFile:
             raise StorageError("stride smaller than access size")
         last = offset + (count - 1) * stride + access_size
         self._check_extent(offset, last - offset)
+        det = self._fs.race
+        if det is not None:
+            det.note_batch(self, "r", offset + _arange(count) * stride, access_size)
 
         def build() -> FluidOp:
             with self._audit("read", count * access_size):
@@ -218,6 +229,9 @@ class SimFile:
             raise StorageError(
                 f"gather outside file {self.name!r} (size {self.size})"
             )
+        det = self._fs.race
+        if det is not None:
+            det.note_batch(self, "r", starts, access_size)
 
         def build() -> FluidOp:
             with self._audit("read", int(starts.size) * access_size):
@@ -262,6 +276,9 @@ class SimFile:
         ends = starts + sizes
         if starts.min() < 0 or int(ends.max()) > self.size:
             raise StorageError(f"variable gather outside file {self.name!r}")
+        det = self._fs.race
+        if det is not None:
+            det.note_batch(self, "r", starts, sizes)
 
         def build() -> FluidOp:
             with self._audit("read", int(sizes.sum())):

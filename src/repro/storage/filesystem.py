@@ -38,6 +38,11 @@ class SimFS:
         #: ``None`` is the zero-overhead fast path: SimFile consults it
         #: with a single attribute load per operation.
         self.audit = None
+        #: Optional :class:`repro.analysis.race.RaceDetector` (installed
+        #: by :meth:`repro.machine.Machine.install_race_detector`).  Same
+        #: contract as ``audit``: every timed SimFile operation reports
+        #: its byte ranges through one attribute load, ``None`` is free.
+        self.race = None
 
     @contextmanager
     def unaudited(self, reason: str = ""):

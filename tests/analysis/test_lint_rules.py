@@ -259,7 +259,10 @@ class TestDriver:
             rules_for_path(SRC, ["SIM999"])
 
     def test_rules_registry_complete(self):
-        assert set(RULES) == {"SIM001", "SIM002", "SIM003", "SIM004", "DEV001"}
+        assert set(RULES) == {
+            "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+            "DEV001", "PRG001",
+        }
 
     def test_syntax_error_reported_not_raised(self, tmp_path):
         bad = tmp_path / "bad.py"
@@ -304,3 +307,288 @@ class TestDriver:
         )
         assert proc.returncode == 0
         assert "SIM001" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# SIM005: shared-state mutation from spawned coroutine bodies
+# ----------------------------------------------------------------------
+
+
+class TestSIM005:
+    def test_closure_subscript_write_flagged(self):
+        src = (
+            "from repro.sim.engine import Spawn, Join\n"
+            "def run(engine, results):\n"
+            "    def worker(i):\n"
+            "        yield engine.sleep(0)\n"
+            "        results[i] = i\n"
+            "    a = yield Spawn(worker(0))\n"
+            "    b = yield Spawn(worker(1))\n"
+            "    yield Join([a, b])\n"
+        )
+        (f,) = lint_source(src, SRC, ["SIM005"])
+        assert f.rule == "SIM005"
+        assert "worker" in f.message
+        assert "results[...]" in f.message
+
+    def test_self_attribute_write_flagged(self):
+        src = (
+            "class Pipeline:\n"
+            "    def start(self, engine):\n"
+            "        engine.spawn(self._stage())\n"
+            "    def _stage(self):\n"
+            "        yield None\n"
+            "        self.done = True\n"
+        )
+        (f,) = lint_source(src, SRC, ["SIM005"])
+        assert "self.done" in f.message
+
+    def test_nonlocal_write_flagged(self):
+        src = (
+            "from repro.sim.engine import Spawn\n"
+            "def run(engine):\n"
+            "    total = 0\n"
+            "    def adder():\n"
+            "        nonlocal total\n"
+            "        yield None\n"
+            "        total += 1\n"
+            "    yield Spawn(adder())\n"
+        )
+        assert rules_hit(src, select=["SIM005"]) == ["SIM005"]
+
+    def test_arbiter_in_body_suppresses(self):
+        src = (
+            "from repro.sim.engine import Spawn\n"
+            "def run(engine, sem, results):\n"
+            "    def worker(i):\n"
+            "        yield sem.acquire()\n"
+            "        results[i] = i\n"
+            "        sem.release()\n"
+            "    yield Spawn(worker(0))\n"
+        )
+        assert rules_hit(src, select=["SIM005"]) == []
+
+    def test_queue_put_suppresses(self):
+        src = (
+            "from repro.sim.engine import Spawn\n"
+            "def run(engine, q):\n"
+            "    def producer():\n"
+            "        yield q.put(1)\n"
+            "    yield Spawn(producer())\n"
+        )
+        assert rules_hit(src, select=["SIM005"]) == []
+
+    def test_local_state_ok(self):
+        src = (
+            "from repro.sim.engine import Spawn\n"
+            "def run(engine):\n"
+            "    def worker():\n"
+            "        acc = []\n"
+            "        yield None\n"
+            "        acc.append(1)\n"
+            "        acc = acc + [2]\n"
+            "    yield Spawn(worker())\n"
+        )
+        assert rules_hit(src, select=["SIM005"]) == []
+
+    def test_unspawned_generator_ok(self):
+        src = (
+            "def run(self, results):\n"
+            "    def helper(i):\n"
+            "        yield None\n"
+            "        results[i] = i\n"
+            "    yield from helper(0)\n"
+        )
+        assert rules_hit(src, select=["SIM005"]) == []
+
+    def test_tests_path_exempt(self):
+        src = (
+            "from repro.sim.engine import Spawn\n"
+            "def run(engine, results):\n"
+            "    def worker(i):\n"
+            "        yield None\n"
+            "        results[i] = i\n"
+            "    yield Spawn(worker(0))\n"
+        )
+        assert rules_hit(src, path="tests/sim/test_x.py",
+                         select=["SIM005"]) == []
+
+
+# ----------------------------------------------------------------------
+# SIM006: non-total sim-time sort keys
+# ----------------------------------------------------------------------
+
+
+class TestSIM006:
+    def test_bare_time_attribute_key_flagged(self):
+        src = "rows = sorted(tags.items(), key=lambda kv: kv[1].first_active)\n"
+        (f,) = lint_source(src, SRC, ["SIM006"])
+        assert f.rule == "SIM006"
+        assert "first_active" in f.message
+
+    def test_bare_time_name_key_flagged(self):
+        src = "top = min(events, key=lambda deadline: deadline)\n"
+        assert rules_hit(src, select=["SIM006"]) == ["SIM006"]
+
+    def test_suffix_match_flagged(self):
+        src = "evs.sort(key=lambda e: e.start_time)\n"
+        assert rules_hit(src, select=["SIM006"]) == ["SIM006"]
+
+    def test_tuple_key_ok(self):
+        src = (
+            "rows = sorted(tags.items(), "
+            "key=lambda kv: (kv[1].first_active, kv[0]))\n"
+        )
+        assert rules_hit(src, select=["SIM006"]) == []
+
+    def test_non_time_key_ok(self):
+        src = "rows = sorted(tags.items(), key=lambda kv: kv[0])\n"
+        assert rules_hit(src, select=["SIM006"]) == []
+
+    def test_max_flagged(self):
+        src = "last = max(spans, key=lambda s: s.closed_at)\n"
+        assert rules_hit(src, select=["SIM006"]) == ["SIM006"]
+
+
+# ----------------------------------------------------------------------
+# SIM003 across local helper-function boundaries
+# ----------------------------------------------------------------------
+
+
+class TestSIM003HelperBoundary:
+    def test_iterating_set_returning_helper_flagged(self):
+        src = (
+            "def _dirty():\n"
+            "    return {1, 2}\n"
+            "def run():\n"
+            "    for k in _dirty():\n"
+            "        print(k)\n"
+        )
+        (f,) = lint_source(src, SRC, ["SIM003"])
+        assert "_dirty()" in f.message
+
+    def test_binding_from_helper_tracked(self):
+        src = (
+            "def _dirty():\n"
+            "    return set()\n"
+            "def run():\n"
+            "    keys = _dirty()\n"
+            "    for k in keys:\n"
+            "        print(k)\n"
+        )
+        assert rules_hit(src, select=["SIM003"]) == ["SIM003"]
+
+    def test_transitive_helper_tracked(self):
+        src = (
+            "def _inner():\n"
+            "    return frozenset((1,))\n"
+            "def _outer():\n"
+            "    return _inner()\n"
+            "def run():\n"
+            "    for k in _outer():\n"
+            "        print(k)\n"
+        )
+        assert rules_hit(src, select=["SIM003"]) == ["SIM003"]
+
+    def test_sorted_helper_result_ok(self):
+        src = (
+            "def _dirty():\n"
+            "    return {1, 2}\n"
+            "def run():\n"
+            "    for k in sorted(_dirty()):\n"
+            "        print(k)\n"
+        )
+        assert rules_hit(src, select=["SIM003"]) == []
+
+    def test_list_returning_helper_ok(self):
+        src = (
+            "def _ordered():\n"
+            "    return sorted({1, 2})\n"
+            "def run():\n"
+            "    for k in _ordered():\n"
+            "        print(k)\n"
+        )
+        assert rules_hit(src, select=["SIM003"]) == []
+
+    def test_mixed_returns_not_tracked(self):
+        # One branch returns a list: the helper is not provably a set.
+        src = (
+            "def _maybe(flag):\n"
+            "    if flag:\n"
+            "        return {1}\n"
+            "    return [1]\n"
+            "def run():\n"
+            "    for k in _maybe(True):\n"
+            "        print(k)\n"
+        )
+        assert rules_hit(src, select=["SIM003"]) == []
+
+
+# ----------------------------------------------------------------------
+# PRG001: pragma hygiene
+# ----------------------------------------------------------------------
+
+
+class TestPragmaValidation:
+    def test_unknown_rule_in_pragma_flagged(self):
+        # The pragma is split across two literals so reprolint's own
+        # line scan does not read this fixture as a pragma of this file.
+        src = ("x = {1}\nfor i in x:  # reprolint"
+               ": disable=SIM0003 -- typo\n    pass\n")
+        findings = lint_source(src, SRC)
+        assert any(
+            f.rule == "PRG001" and "SIM0003" in f.message for f in findings
+        )
+        # ...and the typo'd pragma silenced nothing.
+        assert any(f.rule == "SIM003" for f in findings)
+
+    def test_retired_rule_explains_successor(self):
+        src = "x = 1  # reprolint" ": disable=DET001 -- old habit\n"
+        (f,) = lint_source(src, SRC)
+        assert f.rule == "PRG001"
+        assert "retired" in f.message
+        assert "SIM003" in f.message
+
+    def test_known_rule_pragma_clean(self):
+        src = "x = {1}\nfor i in x:  # reprolint: disable=SIM003 -- justified\n    pass\n"
+        assert lint_source(src, SRC) == []
+
+    def test_disable_all_accepted(self):
+        src = "x = {1}\nfor i in x:  # reprolint: disable=all\n    pass\n"
+        assert lint_source(src, SRC) == []
+
+    def test_file_pragma_validated(self):
+        src = "# reprolint" ": disable-file=NOPE\nx = 1\n"
+        (f,) = lint_source(src, SRC)
+        assert f.rule == "PRG001"
+        assert "NOPE" in f.message
+
+    def test_prg001_itself_can_be_silenced(self):
+        src = "x = 1  # reprolint: disable=DET001,PRG001 -- migration WIP\n"
+        assert lint_source(src, SRC) == []
+
+
+# ----------------------------------------------------------------------
+# --format github
+# ----------------------------------------------------------------------
+
+
+class TestGithubFormat:
+    def test_annotations_emitted(self, tmp_path, capsys):
+        mod = tmp_path / "src" / "repro" / "sim" / "m.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import time\nt = time.time()\n")
+        rc = main([str(mod), "--format", "github"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "::error file=" in out
+        assert f"line=2" in out
+        assert "title=reprolint SIM001" in out
+
+    def test_clean_tree_no_annotations(self, tmp_path, capsys):
+        mod = tmp_path / "clean.py"
+        mod.write_text("x = 1\n")
+        assert main([str(mod), "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert "::error" not in out
+        assert "0 finding(s)" in out

@@ -126,3 +126,115 @@ class TestCancelTree:
             return (yield Now())
 
         assert engine.run_process(driver()) == pytest.approx(4.0)
+
+
+class TestCancelHookEvents:
+    """Cancellation is a *final* event: every observer attached to the
+    engine must see the coroutine retire, or its bookkeeping leaks."""
+
+    def _engine_with_sanitizer(self):
+        from repro.analysis.sanitizer import SimSanitizer
+
+        engine = make_engine()
+        sanitizer = SimSanitizer(trace=True)
+        sanitizer.attach_engine(engine)
+        return engine, sanitizer
+
+    def test_sanitizer_waits_entry_dropped_on_cancel(self):
+        from repro.sim.primitives import Semaphore
+
+        engine, sanitizer = self._engine_with_sanitizer()
+        sem = Semaphore(engine, count=0, name="never")
+
+        def stuck():
+            yield sem.acquire()
+
+        def driver():
+            proc = yield Spawn(stuck(), name="stuck")
+            yield Sleep(1.0)
+            assert proc.pid in sanitizer.waits  # parked and tracked
+            engine.cancel_tree(proc)
+            assert proc.pid not in sanitizer.waits  # retired, not leaked
+
+        engine.run_process(driver())
+        assert sanitizer.waits == {}
+
+    def test_sanitizer_trace_records_cancel(self):
+        engine, sanitizer = self._engine_with_sanitizer()
+
+        def worker():
+            yield FluidOp(100.0, kind="cpu")
+
+        def driver():
+            proc = yield Spawn(worker(), name="victim")
+            yield Sleep(1.0)
+            engine.cancel_tree(proc)
+
+        engine.run_process(driver())
+        cancels = [e for e in sanitizer.trace if e[0] == "cancel"]
+        assert [name for _, _, name in cancels] == ["victim"]
+
+    def test_race_clock_retired_on_cancel(self):
+        from repro.analysis.race import RaceDetector
+
+        engine = make_engine()
+        det = RaceDetector()
+        det.attach_engine(engine)
+
+        def worker():
+            yield FluidOp(100.0, kind="cpu")
+
+        def driver():
+            proc = yield Spawn(worker(), name="victim")
+            yield Sleep(1.0)
+            assert proc.pid in det._clocks
+            engine.cancel_tree(proc)
+            assert proc.pid not in det._clocks
+            assert proc.pid in det._final_clocks
+
+        engine.run_process(driver())
+
+    def test_cancel_blocked_on_primitive_with_both_observers(self):
+        from repro.analysis.race import RaceDetector
+        from repro.sim.primitives import SimQueue
+
+        engine, sanitizer = self._engine_with_sanitizer()
+        det = RaceDetector()
+        det.attach_engine(engine)
+        q = SimQueue(engine, name="empty")
+
+        def getter():
+            yield q.get()
+
+        def driver():
+            proc = yield Spawn(getter(), name="getter")
+            yield Sleep(1.0)
+            engine.cancel_tree(proc)
+            yield Sleep(1.0)
+
+        engine.run_process(driver())
+        assert sanitizer.waits == {}
+        assert det._clocks == {} or all(
+            pid in det._final_clocks for pid in det._clocks
+        )
+
+    def test_join_after_cancel_merges_final_clock(self):
+        # Join on a cancelled child must find its final clock (the
+        # on_cancel path), not KeyError on a live-clock lookup.
+        from repro.analysis.race import RaceDetector
+
+        engine = make_engine()
+        det = RaceDetector()
+        det.attach_engine(engine)
+
+        def worker():
+            yield FluidOp(100.0, kind="cpu")
+
+        def driver():
+            proc = yield Spawn(worker(), name="victim")
+            yield Sleep(1.0)
+            engine.cancel_tree(proc)
+            result = yield Join(proc)
+            return result
+
+        assert engine.run_process(driver()) is None
