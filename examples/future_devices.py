@@ -29,10 +29,10 @@ STRATEGIES = {
 def best_strategy(device_name: str, n_records: int):
     times = {}
     for system, label in STRATEGIES.items():
-        result = api.sort(
+        result = api.sort(api.RunOptions(
             records=n_records, system=system, device=device_name,
             seed=1, validate=False,
-        )
+        ))
         times[label] = result.total_time
     return times
 

@@ -20,8 +20,9 @@ def main() -> None:
     n = 100_000
     print(f"sorting {n} records ({fmt_bytes(n * 100)}) on simulated PMEM\n")
 
-    wisc = api.sort(records=n, system="wiscsort", device="pmem", seed=42)
-    ems = api.sort(records=n, system="ems", device="pmem", seed=42)
+    base = api.RunOptions(records=n, device="pmem", seed=42)
+    wisc = api.sort(base.replace(system="wiscsort"))
+    ems = api.sort(base.replace(system="ems"))
 
     for result in (wisc, ems):
         print(f"{result.system}")

@@ -65,23 +65,31 @@ from repro.errors import (
 from repro.errors import UnknownSystemError
 from repro.machine import Machine
 from repro import api
+from repro.api import RunOptions
 from repro.cluster import (
+    AdmissionPolicy,
     Cluster,
     ClusterStats,
     Job,
     JobScheduler,
+    SLO,
+    ServiceReport,
     ShardedFile,
     ShardedWiscSort,
+    SortService,
     generate_cluster_dataset,
+    parse_slo,
 )
 from repro.query import JoinResult, QueryResult, SortedIndex, indexmap_join
 from repro.registry import (
     available,
     create_system,
     get_experiment,
+    get_policy,
     get_profile,
     get_system,
     register_experiment,
+    register_policy,
     register_profile,
     register_system,
 )
@@ -94,7 +102,16 @@ from repro.records import (
     validate_sorted_file,
     validate_sorted_klv,
 )
-from repro.workloads import BackgroundClients, sortbenchmark_records_for_gb
+from repro.workloads import (
+    ArrivalProcess,
+    BackgroundClients,
+    BurstyArrivals,
+    JobSpec,
+    PoissonArrivals,
+    TraceArrivals,
+    sortbenchmark_records_for_gb,
+    stream_fingerprint,
+)
 
 __version__ = "1.0.0"
 
@@ -141,6 +158,12 @@ __all__ = [
     "validate_sorted_klv",
     "BackgroundClients",
     "sortbenchmark_records_for_gb",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "JobSpec",
+    "stream_fingerprint",
     # late materialization & compression extensions (paper Sec 5)
     "SortedIndex",
     "QueryResult",
@@ -150,22 +173,30 @@ __all__ = [
     "estimate_benefit",
     # facade & registry
     "api",
+    "RunOptions",
     "available",
     "create_system",
     "get_experiment",
+    "get_policy",
     "get_profile",
     "get_system",
     "register_experiment",
+    "register_policy",
     "register_profile",
     "register_system",
-    # cluster (scale-out)
+    # cluster (scale-out & service)
+    "AdmissionPolicy",
     "Cluster",
     "ClusterStats",
     "Job",
     "JobScheduler",
+    "SLO",
+    "ServiceReport",
     "ShardedFile",
     "ShardedWiscSort",
+    "SortService",
     "generate_cluster_dataset",
+    "parse_slo",
     # errors
     "ReproError",
     "SimulationError",

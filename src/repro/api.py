@@ -1,14 +1,26 @@
-"""The one programmatic entry point: ``repro.api.sort``.
+"""The programmatic entry points: ``repro.api.sort`` and ``repro.api.serve``.
 
-Everything the CLI's ``sort`` command does -- build a machine from a
-profile name, generate the dataset, instantiate a registered system,
-optionally arm fault injection or the runtime sanitizer, run and
-validate -- behind a single function call::
+Both are built on one typed options surface, :class:`RunOptions` -- a
+frozen dataclass carrying everything a single sort run needs (system,
+device, format, config, seed, fault spec, sanitizer/tracer/race-detector
+arming, DRAM budget).  The CLI, the cluster job scheduler and the sort
+service all construct the same ``RunOptions`` instead of threading
+fifteen loose keyword arguments through every layer::
 
     from repro import api
 
-    result = api.sort(records=200_000, system="wiscsort", device="pmem")
+    result = api.sort(api.RunOptions(records=200_000, system="wiscsort"))
     print(result.total_time, result.phases)
+
+    report = api.serve(
+        api.RunOptions(records=2_000, seed=7),
+        rate=200.0, horizon=0.5, policy="edf",
+    )
+    print(report.render())
+
+The old loose-keyword signature ``api.sort(records=..., system=...)``
+still works through a thin shim that emits a ``DeprecationWarning`` and
+builds the same ``RunOptions``.
 
 The returned :class:`~repro.core.base.SortResult` carries the machine in
 ``result.extras["machine"]`` for timeline/stats inspection, and the
@@ -18,38 +30,143 @@ fault report (when ``faults`` was given) in
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
 
 from repro.core.base import SortConfig, SortResult
+from repro.errors import ConfigError
 from repro.machine import Machine
 from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
 from repro.registry import create_system, get_profile
 
 
-def _build_machine(
-    device: str,
-    dram_budget: Optional[int],
-    memoize_rates: bool,
-) -> Machine:
+@dataclass(frozen=True)
+class RunOptions:
+    """Everything one sort run needs, in one typed immutable object.
+
+    Field defaults mirror the historical ``api.sort`` keyword defaults
+    one-to-one, so ``RunOptions()`` reproduces the classic
+    ``api.sort()`` call exactly.  Use :meth:`replace` to derive
+    variants without mutating (the dataclass is frozen)::
+
+        base = RunOptions(records=50_000, device="pmem")
+        traced = base.replace(trace="out.trace.json")
+
+    ``sanitizer`` and ``trace`` may carry live objects (a pre-built
+    :class:`~repro.analysis.sanitizer.SimSanitizer`, a
+    :class:`~repro.trace.Tracer` or an export path); frozen-ness only
+    pins *which* objects a run uses, deliberately.
+    """
+
+    #: Records in the generated gensort dataset.
+    records: int = 100_000
+    #: Registry name of the sorting system.
+    system: str = "wiscsort"
+    #: Registry name of the device profile.
+    device: str = "pmem"
+    #: Record geometry (None = default 10B key / 90B value).
+    fmt: Optional[RecordFormat] = None
+    #: Sort tunables (None = defaults).
+    config: Optional[SortConfig] = None
+    #: Dataset seed (and base seed for fault plans / arrival streams).
+    seed: int = 42
+    #: Fault-injection spec string (``--faults`` grammar), or None.
+    faults: Optional[str] = None
+    #: Install the runtime SimSanitizer and check for charge drift.
+    sanitize: bool = False
+    #: Validate the output post-run (untimed).
+    validate: bool = True
+    #: DRAM cap in bytes (None = unbounded; small values force MergePass).
+    dram_budget: Optional[int] = None
+    #: Rate-model memo cache (debug switch; results identical either way).
+    memoize_rates: bool = True
+    #: Pre-built sanitizer instance (advanced; overrides ``sanitize``'s).
+    sanitizer: Optional[Any] = None
+    #: Trace export path or pre-built :class:`~repro.trace.Tracer`.
+    trace: Optional[Any] = None
+    #: Install the sim-time race detector (observe-only).
+    race_detect: bool = False
+    #: Seed for the same-instant schedule permuter (None = FIFO order).
+    schedule_seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.records < 0:
+            raise ConfigError("records must be >= 0")
+        if self.fmt is not None and not isinstance(self.fmt, RecordFormat):
+            raise ConfigError(
+                f"fmt must be a RecordFormat, not {type(self.fmt).__name__}"
+            )
+        if self.config is not None and not isinstance(self.config, SortConfig):
+            raise ConfigError(
+                f"config must be a SortConfig, not {type(self.config).__name__}"
+            )
+
+    def replace(self, **changes) -> "RunOptions":
+        """A copy with the given fields replaced (frozen-safe)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def record_format(self) -> RecordFormat:
+        """The effective record format (default-filled)."""
+        return self.fmt if self.fmt is not None else RecordFormat()
+
+    @property
+    def sort_config(self) -> SortConfig:
+        """The effective sort config (default-filled)."""
+        return self.config if self.config is not None else SortConfig()
+
+
+def _coerce_options(where: str, options, legacy: dict) -> RunOptions:
+    """Resolve the ``(options, **legacy)`` surface to one RunOptions.
+
+    The legacy loose-keyword path (and the ancient ``records`` first
+    positional) still works but warns: it is scheduled to go the way of
+    the SampleSort positional shim.
+    """
+    if isinstance(options, int):
+        # Ancient surface: api.sort(200_000, system=...).
+        legacy = {"records": options, **legacy}
+        options = None
+    if legacy:
+        if options is not None:
+            raise ConfigError(
+                f"api.{where}() takes a RunOptions or legacy keywords, "
+                f"not both"
+            )
+        warnings.warn(
+            f"calling api.{where}() with loose keyword arguments is "
+            f"deprecated; build a repro.api.RunOptions and pass it as "
+            f"the single positional argument (shim scheduled for "
+            f"removal in 2.0)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        try:
+            return RunOptions(**legacy)
+        except TypeError as exc:
+            raise ConfigError(f"api.{where}(): {exc}") from None
+    if options is None:
+        return RunOptions()
+    if not isinstance(options, RunOptions):
+        raise ConfigError(
+            f"api.{where}() takes a RunOptions, not "
+            f"{type(options).__name__}"
+        )
+    return options
+
+
+def _build_machine(o: RunOptions) -> Machine:
     return Machine(
-        profile=get_profile(device)(),
-        dram_budget=dram_budget,
-        memoize_rates=memoize_rates,
+        profile=get_profile(o.device)(),
+        dram_budget=o.dram_budget,
+        memoize_rates=o.memoize_rates,
     )
 
 
-def _probe_op_count(
-    records: int,
-    system: str,
-    device: str,
-    fmt: RecordFormat,
-    config: SortConfig,
-    seed: int,
-    dram_budget: Optional[int],
-    memoize_rates: bool,
-    checkpoint: bool,
-) -> int:
+def _probe_op_count(o: RunOptions, checkpoint: bool) -> int:
     """Fault-free probe run counting timed file ops (resolves crash@N%).
 
     Mirrors the real run exactly -- same dataset, system and (crucially)
@@ -58,9 +175,11 @@ def _probe_op_count(
     """
     from repro.faults import FaultPlan
 
-    machine = _build_machine(device, dram_budget, memoize_rates)
-    data = generate_dataset(machine, "input", records, fmt, seed=seed)
-    probe_system = create_system(system, fmt, config=config)
+    machine = _build_machine(o)
+    data = generate_dataset(machine, "input", o.records, o.record_format,
+                            seed=o.seed)
+    probe_system = create_system(o.system, o.record_format,
+                                 config=o.sort_config)
     if checkpoint:
         probe_system.checkpoint = True
     injector = machine.install_faults(FaultPlan(), count_only=True)
@@ -68,27 +187,11 @@ def _probe_op_count(
     return injector.op_index
 
 
-def sort(
-    records: int = 100_000,
-    system: str = "wiscsort",
-    device: str = "pmem",
-    fmt: Optional[RecordFormat] = None,
-    config: Optional[SortConfig] = None,
-    seed: int = 42,
-    faults: Optional[str] = None,
-    sanitize: bool = False,
-    validate: bool = True,
-    dram_budget: Optional[int] = None,
-    memoize_rates: bool = True,
-    sanitizer=None,
-    trace=None,
-    race_detect: bool = False,
-    schedule_seed: Optional[int] = None,
-) -> SortResult:
+def sort(options: "RunOptions | int | None" = None, /, **legacy) -> SortResult:
     """Sort a generated gensort dataset with a registered system.
 
-    Parameters mirror the CLI flags one-to-one.  ``system`` and
-    ``device`` are registry names
+    Pass one :class:`RunOptions`; its fields mirror the CLI flags
+    one-to-one.  ``system`` and ``device`` are registry names
     (:func:`repro.registry.available` lists them); unknown names raise
     :class:`~repro.errors.UnknownSystemError`.  ``faults`` takes the
     fault-spec grammar of ``--faults`` (e.g. ``"crash@50%"``).
@@ -97,9 +200,9 @@ def sort(
     :class:`~repro.errors.ChargeDriftError` on accounting drift after a
     completed run; advanced callers may instead pass a pre-built
     ``sanitizer`` (e.g. a tracing one for determinism diffing).
-    ``trace`` arms the observe-only :class:`repro.trace.Tracer`: pass a
-    path string to export a Chrome/Perfetto trace JSON there after the
-    run, or a pre-built ``Tracer`` to inspect programmatically.
+    ``trace`` arms the observe-only :class:`repro.trace.Tracer`: a path
+    string exports a Chrome/Perfetto trace JSON there after the run, a
+    pre-built ``Tracer`` is yours to inspect programmatically.
 
     ``race_detect`` installs the observe-only
     :class:`~repro.analysis.race.RaceDetector` (simulated results stay
@@ -116,15 +219,17 @@ def sort(
     tracing), ``race_detector`` (when ``race_detect``) and
     ``fault_report`` (when faults were injected).
     """
-    fmt = fmt if fmt is not None else RecordFormat()
-    config = config if config is not None else SortConfig()
-    machine = _build_machine(device, dram_budget, memoize_rates)
+    o = _coerce_options("sort", options, legacy)
+    fmt = o.record_format
+    config = o.sort_config
+    machine = _build_machine(o)
     race_detector = None
-    if race_detect:
+    if o.race_detect:
         race_detector = machine.install_race_detector()
-    if schedule_seed is not None:
-        machine.install_schedule_fuzz(schedule_seed)
-    if sanitize and sanitizer is None:
+    if o.schedule_seed is not None:
+        machine.install_schedule_fuzz(o.schedule_seed)
+    sanitizer = o.sanitizer
+    if o.sanitize and sanitizer is None:
         from repro.analysis.sanitizer import SimSanitizer
 
         sanitizer = SimSanitizer()
@@ -132,50 +237,42 @@ def sort(
         sanitizer.install(machine)
     tracer = None
     trace_path = None
-    if trace is not None:
+    if o.trace is not None:
         from repro.trace import Tracer
 
-        if isinstance(trace, str):
-            trace_path = trace
+        if isinstance(o.trace, str):
+            trace_path = o.trace
             tracer = Tracer()
-        elif isinstance(trace, Tracer):
-            tracer = trace
+        elif isinstance(o.trace, Tracer):
+            tracer = o.trace
         else:
-            from repro.errors import ConfigError
-
             raise ConfigError(
                 f"trace must be a path string or a repro.trace.Tracer, "
-                f"not {type(trace).__name__}"
+                f"not {type(o.trace).__name__}"
             )
         tracer.install(machine)
-    data = generate_dataset(machine, "input", records, fmt, seed=seed)
-    sort_system = create_system(system, fmt, config=config)
+    data = generate_dataset(machine, "input", o.records, fmt, seed=o.seed)
+    sort_system = create_system(o.system, fmt, config=config)
     fault_report = None
-    if faults is not None:
-        from repro.errors import ConfigError
+    if o.faults is not None:
         from repro.faults import parse_fault_spec, run_with_faults
 
-        plan = parse_fault_spec(faults, seed=seed)
+        plan = parse_fault_spec(o.faults, seed=o.seed)
         if plan.has_crash:
             if not hasattr(sort_system, "checkpoint"):
                 raise ConfigError(
                     f"faults with a crash need a checkpointing system "
-                    f"(wiscsort or ems), not {system!r}"
+                    f"(wiscsort or ems), not {o.system!r}"
                 )
             sort_system.checkpoint = True
         if plan.needs_probe:
-            plan = plan.resolve_fractions(
-                _probe_op_count(
-                    records, system, device, fmt, config, seed,
-                    dram_budget, memoize_rates, plan.has_crash,
-                )
-            )
+            plan = plan.resolve_fractions(_probe_op_count(o, plan.has_crash))
         machine.install_faults(plan)
         result, fault_report = run_with_faults(
-            sort_system, machine, data, validate=validate
+            sort_system, machine, data, validate=o.validate
         )
     else:
-        result = sort_system.run(machine, data, validate=validate)
+        result = sort_system.run(machine, data, validate=o.validate)
     result.extras["machine"] = machine
     if race_detector is not None:
         result.extras["race_detector"] = race_detector
@@ -183,7 +280,7 @@ def sort(
         result.extras["fault_report"] = fault_report
     if sanitizer is not None:
         result.extras["sanitizer"] = sanitizer
-        if sanitize:
+        if o.sanitize:
             sanitizer.check()
     if tracer is not None:
         result.extras["tracer"] = tracer
@@ -192,3 +289,163 @@ def sort(
 
             write_chrome_trace(tracer, trace_path)
     return result
+
+
+def serve(
+    options: Optional[RunOptions] = None,
+    /,
+    *,
+    arrivals: Union[str, Any] = "poisson",
+    rate: float = 100.0,
+    horizon: Optional[float] = None,
+    max_jobs: Optional[int] = None,
+    policy: str = "fifo",
+    shards: int = 2,
+    devices: Optional[Sequence[str]] = None,
+    tenants: int = 2,
+    systems: Optional[Sequence[str]] = None,
+    size_mix: Optional[Sequence] = None,
+    deadline: Optional[float] = None,
+    period: float = 1.0,
+    amplitude: float = 0.8,
+    trace_file: Optional[str] = None,
+    queue_cap: Optional[int] = None,
+    slos: Sequence = (),
+    link_bw: Optional[float] = None,
+    **legacy,
+):
+    """Run the cluster as an open-loop sort *service* and report SLOs.
+
+    The :class:`RunOptions` supplies the per-job defaults (base
+    ``records``, ``system``, ``fmt``/``config``, ``seed``) plus the
+    cluster-level knobs it shares with :func:`sort` (``device``,
+    ``dram_budget``, ``sanitize``, ``trace``, ``race_detect``,
+    ``validate``).  ``arrivals`` is an
+    :class:`~repro.workloads.arrivals.ArrivalProcess` instance or one
+    of the names ``"poisson"`` / ``"bursty"`` / ``"trace"`` (the last
+    needs ``trace_file``); the generative processes are seeded from
+    ``options.seed`` so the whole offered workload is a pure function
+    of the options.
+
+    ``policy`` resolves through :func:`repro.registry.get_policy`
+    (``fifo``/``fair``/``edf``/``backpressure``/``shed``); ``slos``
+    takes :class:`~repro.cluster.service.SLO` objects or spec strings
+    like ``"latency:p99<0.05"``.  Infinite arrival processes need a
+    ``horizon`` (simulated seconds) or ``max_jobs`` bound.
+
+    Returns the :class:`~repro.cluster.service.ServiceReport`; its
+    ``extras`` carries ``cluster``, ``jobs`` and any armed observers.
+    """
+    o = _coerce_options("serve", options, legacy)
+    if o.faults is not None:
+        raise ConfigError(
+            "api.serve() does not support fault injection yet; use "
+            "api.sort() or the cluster --faults path"
+        )
+    if o.schedule_seed is not None:
+        raise ConfigError(
+            "api.serve() does not support schedule fuzzing: the service "
+            "may legally place tied jobs differently per schedule"
+        )
+    from repro.cluster import Cluster
+    from repro.cluster.service import SortService
+    from repro.workloads.arrivals import (
+        ArrivalProcess,
+        BurstyArrivals,
+        PoissonArrivals,
+        TraceArrivals,
+    )
+
+    job_kwargs = dict(
+        records=o.records,
+        size_mix=size_mix,
+        tenants=tenants,
+        systems=tuple(systems) if systems else (o.system,),
+        deadline=deadline,
+    )
+    if isinstance(arrivals, ArrivalProcess):
+        process = arrivals
+    elif arrivals == "poisson":
+        process = PoissonArrivals(rate, seed=o.seed, **job_kwargs)
+    elif arrivals == "bursty":
+        process = BurstyArrivals(
+            rate, seed=o.seed, period=period, amplitude=amplitude,
+            **job_kwargs,
+        )
+    elif arrivals == "trace":
+        if trace_file is None:
+            raise ConfigError('arrivals="trace" needs a trace_file path')
+        process = TraceArrivals.from_file(
+            trace_file, records=o.records, system=o.system, seed=o.seed
+        )
+    else:
+        raise ConfigError(
+            f"unknown arrival process {arrivals!r}; choices: poisson, "
+            f"bursty, trace (or pass an ArrivalProcess instance)"
+        )
+    cluster_kwargs = dict(
+        dram_budget=o.dram_budget,
+        config=o.sort_config,
+        memoize_rates=o.memoize_rates,
+    )
+    if link_bw is not None:
+        # None here means "cluster default", not "no interconnect".
+        cluster_kwargs["link_bw"] = link_bw
+    if devices:
+        cluster = Cluster(profiles=list(devices), **cluster_kwargs)
+    else:
+        cluster = Cluster(
+            shards=shards,
+            profile=get_profile(o.device)(),
+            **cluster_kwargs,
+        )
+    sanitizer = o.sanitizer
+    if o.sanitize and sanitizer is None:
+        from repro.analysis.sanitizer import SimSanitizer
+
+        sanitizer = SimSanitizer()
+    if sanitizer is not None:
+        sanitizer.install_cluster(cluster)
+    race_detector = None
+    if o.race_detect:
+        race_detector = cluster.install_race_detector()
+    tracer = None
+    trace_path = None
+    if o.trace is not None:
+        from repro.trace import Tracer
+
+        if isinstance(o.trace, str):
+            trace_path = o.trace
+            tracer = Tracer()
+        elif isinstance(o.trace, Tracer):
+            tracer = o.trace
+        else:
+            raise ConfigError(
+                f"trace must be a path string or a repro.trace.Tracer, "
+                f"not {type(o.trace).__name__}"
+            )
+        tracer.install_cluster(cluster)
+    service = SortService(
+        cluster,
+        policy=policy,
+        fmt=o.fmt,
+        config=o.config,
+        queue_cap=queue_cap,
+        slos=slos,
+        validate=o.validate,
+    )
+    report = service.serve(process, horizon=horizon, max_jobs=max_jobs)
+    report.extras["cluster"] = cluster
+    if sanitizer is not None:
+        report.extras["sanitizer"] = sanitizer
+        if o.sanitize:
+            sanitizer.check()
+    if race_detector is not None:
+        report.extras["race_detector"] = race_detector
+    if tracer is not None:
+        report.extras["tracer"] = tracer
+        if trace_path is not None:
+            from repro.trace import write_chrome_trace
+
+            write_chrome_trace(tracer, trace_path)
+    return report

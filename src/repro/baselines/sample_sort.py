@@ -25,7 +25,6 @@ real sorted permutation); the ops only account time.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -72,8 +71,9 @@ class SampleSort(SortSystem):
     Accepts the uniform ``(fmt, config=...)`` constructor surface shared
     by every :class:`~repro.core.base.SortSystem`.  The algorithm is
     deliberately concurrency-unaware, so only ``config.validate`` and
-    explicit thread overrides are meaningful -- but the config is now
-    *kept* (previous builds silently dropped the one the CLI passed).
+    explicit thread overrides are meaningful.  Cost-model overrides go
+    through the ``cost=`` keyword (the pre-2.0 positional shim that
+    accepted a cost model as the second argument is gone).
     """
 
     def __init__(
@@ -83,16 +83,13 @@ class SampleSort(SortSystem):
         cost: Optional[SampleSortCostModel] = None,
         output_name: str = "samplesort.out",
     ):
-        if isinstance(config, SampleSortCostModel):
-            # Deprecated positional surface: SampleSort(fmt, cost_model).
-            warnings.warn(
-                "passing SampleSortCostModel as the second positional "
-                "argument of SampleSort is deprecated; use the cost= "
-                "keyword (shim scheduled for removal in 2.0)",
-                DeprecationWarning,
-                stacklevel=2,
+        if config is not None and not isinstance(config, SortConfig):
+            # The pre-2.0 positional surface SampleSort(fmt, cost_model)
+            # was removed; the cost model goes through the cost= keyword.
+            raise ConfigError(
+                f"SampleSort config must be a SortConfig, not "
+                f"{type(config).__name__}; pass a cost model via cost="
             )
-            config, cost = None, config
         self.fmt = fmt if fmt is not None else RecordFormat()
         self.config = config if config is not None else SortConfig()
         self.cost = cost if cost is not None else SampleSortCostModel()

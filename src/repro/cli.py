@@ -7,6 +7,9 @@ Commands
 ``cluster``     run K concurrent sort jobs on an N-shard cluster behind
                 the job scheduler and print queue/service/slowdown and
                 per-shard device statistics.
+``serve``       run the cluster as an open-loop sort *service*: seeded
+                Poisson/bursty/trace arrivals, admission control with
+                load shedding, latency percentiles and SLO verdicts.
 ``calibrate``   run the device microbenchmark suite on a profile.
 ``trace-report``  summarize a Chrome/Perfetto trace JSON produced by
                 ``--trace`` (span and device-class aggregates).
@@ -22,6 +25,8 @@ Examples::
 
     python -m repro sort --records 200000 --system wiscsort --device pmem
     python -m repro cluster --shards 4 --jobs 8 --policy fair
+    python -m repro serve --rate 500 --horizon 0.1 --policy shed \
+        --slo "latency:p99<0.01"
     python -m repro calibrate --device bard-device
     python -m repro bench fig08 --scale 2000
     python -m repro profiles
@@ -49,6 +54,7 @@ from repro.units import fmt_bytes, fmt_seconds
 SYSTEMS = RegistryView("system")
 EXPERIMENTS = RegistryView("experiment")
 PROFILES = RegistryView("profile")
+POLICIES = RegistryView("policy")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,7 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--device", choices=sorted(PROFILES), default="pmem")
     p_cluster.add_argument("--jobs", type=int, default=8,
                            help="number of sort jobs to submit")
-    p_cluster.add_argument("--policy", choices=["fifo", "fair"], default="fifo")
+    p_cluster.add_argument("--policy", choices=sorted(POLICIES),
+                           default="fifo")
     p_cluster.add_argument("--tenants", type=int, default=2,
                            help="jobs are assigned round-robin to this many "
                                 "tenants (fair-share accounting unit)")
@@ -171,6 +178,63 @@ def build_parser() -> argparse.ArgumentParser:
                                 "compare merged-output fingerprints; exit 1 "
                                 "on any byte divergence")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the cluster as an open-loop sort service"
+    )
+    p_serve.add_argument("--arrivals", choices=["poisson", "bursty", "trace"],
+                         default="poisson",
+                         help="arrival process; 'trace' replays --trace-file")
+    p_serve.add_argument("--rate", type=float, default=200.0,
+                         help="offered load in jobs per simulated second "
+                              "(poisson/bursty)")
+    p_serve.add_argument("--horizon", type=float, default=0.25,
+                         help="stop admitting arrivals after this many "
+                              "simulated seconds")
+    p_serve.add_argument("--max-jobs", type=int, default=None,
+                         help="stop after this many arrivals (alternative "
+                              "or additional bound to --horizon)")
+    p_serve.add_argument("--policy", choices=sorted(POLICIES),
+                         default="fifo")
+    p_serve.add_argument("--shards", type=int, default=2,
+                         help="number of homogeneous device shards")
+    p_serve.add_argument(
+        "--devices", default=None, metavar="NAME[,NAME...]",
+        help="heterogeneous cluster: one profile name per shard, "
+             "comma-separated (overrides --shards/--device)")
+    p_serve.add_argument("--device", choices=sorted(PROFILES), default="pmem")
+    p_serve.add_argument("--system", choices=sorted(SYSTEMS),
+                         default="wiscsort")
+    p_serve.add_argument("--records", type=int, default=5_000,
+                         help="records per job")
+    p_serve.add_argument("--tenants", type=int, default=2,
+                         help="arrivals round-robin across this many tenants")
+    p_serve.add_argument("--seed", type=int, default=42,
+                         help="seeds the arrival stream AND every job "
+                              "dataset: one seed pins the whole workload")
+    p_serve.add_argument("--dram-budget", type=int, default=None,
+                         help="cluster-wide DRAM pool in bytes; the knob "
+                              "that makes admission control bite")
+    p_serve.add_argument("--queue-cap", type=int, default=None,
+                         help="pending-queue bound for the 'shed' policy")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="per-job relative deadline in simulated "
+                              "seconds (drives 'edf' and miss accounting)")
+    p_serve.add_argument("--period", type=float, default=1.0,
+                         help="bursty: diurnal period in simulated seconds")
+    p_serve.add_argument("--amplitude", type=float, default=0.8,
+                         help="bursty: modulation depth in [0, 1)")
+    p_serve.add_argument("--trace-file", metavar="PATH", default=None,
+                         help="JSONL arrival trace (one {\"t\": ...} object "
+                              "per line) for --arrivals trace")
+    p_serve.add_argument("--slo", action="append", default=None,
+                         metavar="SPEC",
+                         help="declare an SLO, e.g. 'latency:p99<0.01' or "
+                              "'slowdown:p50<2'; repeatable; any FAIL "
+                              "exits 1")
+    p_serve.add_argument("--report", metavar="PATH", default=None,
+                         help="also write the report as JSON to PATH")
+    p_serve.add_argument("--no-validate", action="store_true")
+
     p_cal = sub.add_parser("calibrate", help="probe a device profile")
     p_cal.add_argument("--device", choices=sorted(PROFILES), default="pmem")
 
@@ -192,26 +256,28 @@ def cmd_sort(args: argparse.Namespace) -> int:
     fmt = RecordFormat(key_size=args.key_size, value_size=args.value_size)
     config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
     prof = SelfPerfProfiler()
+    base = api.RunOptions(
+        records=args.records,
+        system=args.system,
+        device=args.device,
+        fmt=fmt,
+        config=config,
+        seed=args.seed,
+        faults=args.faults,
+        validate=not args.no_validate,
+        dram_budget=args.dram_budget,
+        memoize_rates=not args.no_memoize,
+    )
 
     def run_once(sanitizer=None, trace=None, schedule_seed=None,
                  race_detect=False):
         with prof.phase("sort"):
-            return api.sort(
-                records=args.records,
-                system=args.system,
-                device=args.device,
-                fmt=fmt,
-                config=config,
-                seed=args.seed,
-                faults=args.faults,
-                validate=not args.no_validate,
-                dram_budget=args.dram_budget,
-                memoize_rates=not args.no_memoize,
+            return api.sort(base.replace(
                 sanitizer=sanitizer,
                 trace=trace,
                 schedule_seed=schedule_seed,
                 race_detect=race_detect,
-            )
+            ))
 
     if args.schedule_fuzz is not None:
         if args.schedule_fuzz < 1:
@@ -553,6 +619,50 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+
+    base = api.RunOptions(
+        records=args.records,
+        system=args.system,
+        device=args.device,
+        seed=args.seed,
+        dram_budget=args.dram_budget,
+        validate=not args.no_validate,
+    )
+    devices = None
+    if args.devices:
+        devices = [name.strip() for name in args.devices.split(",")]
+    try:
+        report = api.serve(
+            base,
+            arrivals=args.arrivals,
+            rate=args.rate,
+            horizon=args.horizon,
+            max_jobs=args.max_jobs,
+            policy=args.policy,
+            shards=args.shards,
+            devices=devices,
+            tenants=max(1, args.tenants),
+            queue_cap=args.queue_cap,
+            deadline=args.deadline,
+            period=args.period,
+            amplitude=args.amplitude,
+            trace_file=args.trace_file,
+            slos=args.slo or (),
+        )
+    except ConfigError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    print(report.extras["cluster"].describe())
+    print(report.render())
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"report : {args.report}")
+    return 0 if report.ok else 1
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.trace import load_chrome_trace, render_trace_report
 
@@ -591,6 +701,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "sort": cmd_sort,
         "cluster": cmd_cluster,
+        "serve": cmd_serve,
         "calibrate": cmd_calibrate,
         "trace-report": cmd_trace_report,
         "bench": cmd_bench,

@@ -9,20 +9,32 @@ clock and one DRAM pool.
 * :class:`Cluster` -- owns the engine, the shards and the shared DRAM.
 * :class:`ShardedWiscSort` -- range-partitioning shuffle + per-shard
   WiscSort; merged output is byte-identical to a single-device run.
-* :class:`JobScheduler` -- FIFO / fair-share admission of K concurrent
-  sort jobs with per-job DRAM reservations and queueing metrics.
+* :class:`JobScheduler` -- batch admission of K concurrent sort jobs
+  under a registry-resolved policy, with per-job DRAM reservations and
+  queueing metrics.
+* :class:`SortService` -- the open-loop sort *service*: seeded arrival
+  processes, load shedding, deadline accounting and SLO reports (see
+  :mod:`repro.cluster.service`).
 """
 
 from repro.cluster.cluster import Cluster, ClusterStats, ShardedFile, generate_cluster_dataset
+from repro.cluster.policies import AdmissionPolicy, SchedulingContext
 from repro.cluster.scheduler import Job, JobScheduler
+from repro.cluster.service import SLO, ServiceReport, SortService, parse_slo
 from repro.cluster.sharded import ShardedWiscSort
 
 __all__ = [
+    "AdmissionPolicy",
     "Cluster",
     "ClusterStats",
+    "SLO",
+    "SchedulingContext",
+    "ServiceReport",
     "ShardedFile",
+    "SortService",
     "generate_cluster_dataset",
     "Job",
     "JobScheduler",
     "ShardedWiscSort",
+    "parse_slo",
 ]

@@ -8,15 +8,18 @@ DRAM reservation against the one cluster-wide
 push a concurrent WiscSort into MergePass -- exactly the contention the
 scheduler exists to arbitrate).
 
-Admission policies:
+Admission policies are pluggable objects resolved by name through
+:func:`repro.registry.get_policy` (see
+:mod:`repro.cluster.policies`): ``fifo``, ``fair``, ``edf``,
+``backpressure`` and ``shed``.  The batch scheduler never sheds
+pre-submitted work -- ``on_arrival`` only applies to the open-loop
+:class:`~repro.cluster.service.SortService` -- but the *pick* side of
+every policy works here identically.
 
-* ``fifo`` -- strict submission order with head-of-line blocking: if the
-  oldest pending job's reservation does not fit, nothing younger may
-  jump the queue.
-* ``fair`` -- least-attained-service fair share: among tenants with
-  pending work, admit the next job of the tenant that has accumulated
-  the least service time (ties break by tenant name), stalling when the
-  chosen job does not fit.
+Each job carries a :class:`~repro.api.RunOptions` describing its run
+(system, record count, seed, format/config), the same typed options
+object ``api.sort`` and the CLI use, so a job submitted here is
+specified exactly like a standalone run.
 
 Per-job metrics follow the queueing literature: ``queue_time`` from
 submission to admission, ``service_time`` from admission to completion,
@@ -27,18 +30,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.api import RunOptions
 from repro.core.base import SortConfig
 from repro.errors import ConfigError, DramBudgetError
 from repro.records.format import RecordFormat
 from repro.records.gensort import generate_dataset
 from repro.records.validate import validate_sorted_file
-from repro.registry import create_system
+from repro.registry import create_system, get_policy
 from repro.sim.engine import Now, Spawn
 from repro.sim.primitives import Semaphore
 
 from repro.cluster.cluster import Cluster
-
-POLICIES = ("fifo", "fair")
+from repro.cluster.policies import SchedulingContext
 
 
 class Job:
@@ -52,6 +55,9 @@ class Job:
         n_records: int,
         seed: int,
         dram_bytes: int,
+        seq: int = 0,
+        deadline: Optional[float] = None,
+        options: Optional[RunOptions] = None,
     ):
         self.name = name
         self.tenant = tenant
@@ -60,12 +66,20 @@ class Job:
         self.seed = seed
         #: DRAM reserved for the job's whole residency (IndexMap + buffers).
         self.dram_bytes = dram_bytes
+        #: Submission sequence number: the total tie-break for policies.
+        self.seq = seq
+        #: Absolute deadline in simulated seconds (None = best effort).
+        self.deadline = deadline
+        #: The typed per-run options this job was specified with.
+        self.options = options
         self.shard = None
         self.input_file = None
         self.output_file = None
         self.submit_time: float = 0.0
         self.start_time: Optional[float] = None
         self.finish_time: Optional[float] = None
+        #: Set by the service when the job was dropped at arrival.
+        self.shed = False
 
     @property
     def queue_time(self) -> float:
@@ -80,11 +94,24 @@ class Job:
         return self.finish_time - self.start_time
 
     @property
+    def latency(self) -> float:
+        """Submission-to-completion time (the service SLO metric)."""
+        if self.finish_time is None:
+            return 0.0
+        return self.finish_time - self.submit_time
+
+    @property
     def slowdown(self) -> float:
         service = self.service_time
         if service <= 0.0:
             return 1.0
         return (self.finish_time - self.submit_time) / service
+
+    @property
+    def missed_deadline(self) -> bool:
+        if self.deadline is None or self.finish_time is None:
+            return False
+        return self.finish_time > self.deadline
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Job({self.name!r}, tenant={self.tenant!r}, system={self.system!r})"
@@ -100,34 +127,44 @@ class JobScheduler:
         fmt: Optional[RecordFormat] = None,
         config: Optional[SortConfig] = None,
     ):
-        if policy not in POLICIES:
-            raise ConfigError(
-                f"unknown scheduling policy {policy!r}; choices: "
-                + ", ".join(POLICIES)
-            )
-        self.cluster = cluster
+        #: Policy *name* (kept for display); the object drives decisions.
         self.policy = policy
+        self._policy = get_policy(policy)()
+        self.cluster = cluster
         self.fmt = fmt if fmt is not None else RecordFormat()
         self.config = config if config is not None else cluster.config
         self.jobs: List[Job] = []
         self._rr = 0
+        self._seq = 0
 
     # ------------------------------------------------------------------
     def submit(
         self,
         name: str,
-        system: str = "wiscsort",
-        n_records: int = 100_000,
-        seed: int = 0,
+        system: Optional[str] = None,
+        n_records: Optional[int] = None,
+        seed: Optional[int] = None,
         tenant: str = "default",
         dram_bytes: Optional[int] = None,
+        deadline: Optional[float] = None,
+        options: Optional[RunOptions] = None,
     ) -> Job:
         """Queue one job; its dataset is generated on its shard now.
 
+        ``options`` supplies the run's system/records/seed defaults as a
+        typed :class:`~repro.api.RunOptions`; the loose keywords
+        override individual fields (and keep the historical defaults --
+        ``wiscsort``, 100k records, seed 0 -- when neither is given).
         ``dram_bytes`` defaults to the job's IndexMap footprint plus its
         I/O buffers -- the reservation WiscSort needs resident for an
-        OnePass sort.
+        OnePass sort.  ``deadline`` is an *absolute* simulated time.
         """
+        if system is None:
+            system = options.system if options is not None else "wiscsort"
+        if n_records is None:
+            n_records = options.records if options is not None else 100_000
+        if seed is None:
+            seed = options.seed if options is not None else 0
         if n_records < 1:
             raise ConfigError("a job needs at least one record")
         if dram_bytes is None:
@@ -142,9 +179,20 @@ class JobScheduler:
                 f"job {name!r} reserves {dram_bytes} B but the cluster "
                 f"DRAM budget is {budget} B; it can never be admitted"
             )
+        run_options = (options if options is not None else RunOptions()).replace(
+            system=system,
+            records=n_records,
+            seed=seed,
+            fmt=self.fmt,
+            config=self.config,
+        )
         shard = self.cluster.shards[self._rr % len(self.cluster.shards)]
         self._rr += 1
-        job = Job(name, tenant, system, n_records, seed, dram_bytes)
+        job = Job(
+            name, tenant, system, n_records, seed, dram_bytes,
+            seq=self._seq, deadline=deadline, options=run_options,
+        )
+        self._seq += 1
         job.shard = shard
         job.input_file = generate_dataset(
             shard, f"{name}.in", n_records, self.fmt, seed=seed
@@ -185,6 +233,23 @@ class JobScheduler:
         return self.jobs
 
     # ------------------------------------------------------------------
+    def _context(
+        self,
+        service: Dict[str, float],
+        in_service: Dict[str, int],
+        running: int,
+    ) -> SchedulingContext:
+        dram = self.cluster.dram
+        return SchedulingContext(
+            now=self.cluster.now,
+            fits=lambda job: dram.would_fit(job.dram_bytes),
+            service=service,
+            in_service=in_service,
+            running=running,
+            dram_budget=dram.budget,
+            dram_available=dram.available,
+        )
+
     def _admission(self):
         """The admission loop as one simulated process."""
         pending = list(self.jobs)
@@ -200,12 +265,14 @@ class JobScheduler:
             tracer.counter_sample("scheduler", "queue_depth", float(len(pending)))
         while pending or running:
             while pending:
-                job = self._pick(pending, service, in_service)
-                if not self.cluster.dram.would_fit(job.dram_bytes):
+                ctx = self._context(service, in_service, running)
+                job = self._policy.pick(pending, ctx)
+                if job is None or not ctx.fits(job):
                     if running == 0:
+                        stuck = job if job is not None else pending[0]
                         raise DramBudgetError(
-                            f"job {job.name!r} needs {job.dram_bytes} B but "
-                            f"only {self.cluster.dram.available} B remain "
+                            f"job {stuck.name!r} needs {stuck.dram_bytes} B "
+                            f"but only {self.cluster.dram.available} B remain "
                             f"with no job left to finish"
                         )
                     break
@@ -229,28 +296,6 @@ class JobScheduler:
             yield done.acquire()
             running -= 1
 
-    def _pick(
-        self,
-        pending: List[Job],
-        service: Dict[str, float],
-        in_service: Dict[str, int],
-    ) -> Job:
-        if self.policy == "fifo":
-            return pending[0]
-        # fair: least attained service among tenants with pending work;
-        # ties break toward the tenant with fewer jobs currently being
-        # served (so a burst from one tenant cannot grab every slot
-        # before anyone finishes), then by tenant name.
-        tenants = []
-        for job in pending:
-            if job.tenant not in tenants:
-                tenants.append(job.tenant)
-        chosen = min(tenants, key=lambda t: (service[t], in_service[t], t))
-        for job in pending:
-            if job.tenant == chosen:
-                return job
-        raise AssertionError("unreachable: chosen tenant has pending work")
-
     def _job_body(
         self,
         job: Job,
@@ -258,7 +303,13 @@ class JobScheduler:
         service: Dict[str, float],
         in_service: Dict[str, int],
     ):
-        system = create_system(job.system, self.fmt, config=self.config)
+        options = job.options if job.options is not None else RunOptions(
+            system=job.system, records=job.n_records, seed=job.seed,
+            fmt=self.fmt, config=self.config,
+        )
+        system = create_system(
+            options.system, options.record_format, config=options.sort_config
+        )
         if not hasattr(system, "sort_process"):
             raise ConfigError(
                 f"system {job.system!r} cannot run as a scheduled job "

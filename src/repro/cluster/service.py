@@ -1,0 +1,532 @@
+"""Sort-as-a-service: open-loop arrivals, admission control and SLOs.
+
+The batch :class:`~repro.cluster.scheduler.JobScheduler` answers "how
+fast do K pre-submitted jobs drain?".  The :class:`SortService` answers
+the production question instead: jobs *arrive on their own clock* (an
+:class:`~repro.workloads.arrivals.ArrivalProcess`), queue under an
+admission policy, optionally get *shed* under overload, and the things
+that matter are the latency/slowdown percentiles of the completed jobs
+and the declared :class:`SLO` verdicts -- not the makespan.
+
+The pieces:
+
+* :class:`SLO` -- a declarative objective like ``latency:p99<0.05``
+  (metric, percentile, comparator, threshold in simulated seconds);
+  :func:`parse_slo` parses the string grammar.
+* :class:`SortService` -- drives one arrival stream through the
+  cluster under a registry-resolved policy
+  (``fifo``/``fair``/``edf``/``backpressure``/``shed``) and collects
+  per-job metrics into a :class:`~repro.trace.MetricsRegistry`.
+* :class:`ServiceReport` -- counters, a p50/p99/p999 percentile table
+  and SLO verdicts, with a byte-deterministic :meth:`~ServiceReport.render`
+  and :meth:`~ServiceReport.to_json` (the CI service gate compares the
+  rendered bytes across runs).
+
+Everything is a pure function of the arrival process seed and the
+cluster configuration: same inputs, byte-identical report.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api import RunOptions
+from repro.core.base import SortConfig
+from repro.errors import ConfigError, DramBudgetError
+from repro.records.format import RecordFormat
+from repro.records.gensort import generate_dataset
+from repro.records.validate import validate_sorted_file
+from repro.registry import create_system, get_policy
+from repro.sim.engine import Now, Sleep, Spawn
+from repro.sim.primitives import Semaphore
+from repro.trace.metrics import MetricsRegistry
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.policies import SchedulingContext
+from repro.cluster.scheduler import Job
+from repro.workloads.arrivals import ArrivalProcess, JobSpec
+
+#: Log-spaced latency/queue-time buckets (simulated seconds).
+TIME_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1,
+    1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0,
+)
+
+#: Slowdown buckets (dimensionless, >= 1).
+SLOWDOWN_BUCKETS = (
+    1.0, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0,
+)
+
+#: The percentiles every report tabulates.
+REPORT_PERCENTILES = (("p50", 50.0), ("p99", 99.0), ("p999", 99.9))
+
+#: Metrics an SLO may target -> histogram name in the registry.
+SLO_METRICS = {
+    "latency": "job_latency_seconds",
+    "slowdown": "job_slowdown",
+    "queue": "job_queue_seconds",
+}
+
+_SLO_RE = re.compile(
+    r"^(?P<metric>[a-z]+):p(?P<pct>\d+)(?P<op><=?)(?P<threshold>[0-9.eE+-]+)$"
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective: ``<metric> percentile op threshold``.
+
+    ``metric`` is one of ``latency`` / ``slowdown`` / ``queue``;
+    ``percentile`` is 0-100 (``99.9`` for p999); ``op`` is ``<`` or
+    ``<=``.  Thresholds are simulated seconds for the time metrics and
+    dimensionless for slowdown.
+    """
+
+    metric: str
+    percentile: float
+    threshold: float
+    op: str = "<"
+
+    def __post_init__(self):
+        if self.metric not in SLO_METRICS:
+            raise ConfigError(
+                f"unknown SLO metric {self.metric!r}; choices: "
+                + ", ".join(sorted(SLO_METRICS))
+            )
+        if not 0.0 <= self.percentile <= 100.0:
+            raise ConfigError("SLO percentile must be in [0, 100]")
+        if self.op not in ("<", "<="):
+            raise ConfigError(f"SLO comparator must be < or <=, not {self.op!r}")
+
+    def spec(self) -> str:
+        """Canonical spec string (round-trips through :func:`parse_slo`)."""
+        pct = f"{self.percentile:g}".replace(".", "")
+        return f"{self.metric}:p{pct}{self.op}{self.threshold:g}"
+
+    def check(self, measured: float) -> bool:
+        return measured < self.threshold if self.op == "<" \
+            else measured <= self.threshold
+
+
+def parse_slo(spec: Union[str, SLO]) -> SLO:
+    """Parse ``"latency:p99<0.05"`` grammar into an :class:`SLO`.
+
+    The percentile digits read naturally: ``p50``, ``p99``, ``p999``
+    (= 99.9), ``p9999`` (= 99.99).
+    """
+    if isinstance(spec, SLO):
+        return spec
+    m = _SLO_RE.match(spec.strip())
+    if m is None:
+        raise ConfigError(
+            f"bad SLO spec {spec!r}; expected e.g. latency:p99<0.05 "
+            f"(metrics: {', '.join(sorted(SLO_METRICS))})"
+        )
+    digits = m.group("pct")
+    # p50 -> 50, p999 -> 99.9, p9999 -> 99.99: digits past the first
+    # two go behind the decimal point.
+    pct = float(digits) if len(digits) <= 2 else \
+        float(f"{digits[:2]}.{digits[2:]}")
+    try:
+        threshold = float(m.group("threshold"))
+    except ValueError:
+        raise ConfigError(f"bad SLO threshold in {spec!r}") from None
+    return SLO(
+        metric=m.group("metric"),
+        percentile=pct,
+        threshold=threshold,
+        op=m.group("op"),
+    )
+
+
+@dataclass
+class ServiceReport:
+    """What one open-loop service run produced, rendered deterministically."""
+
+    policy: str
+    jobs_arrived: int = 0
+    jobs_admitted: int = 0
+    jobs_completed: int = 0
+    jobs_shed: int = 0
+    deadline_misses: int = 0
+    offered_rate: float = 0.0
+    achieved_rate: float = 0.0
+    makespan: float = 0.0
+    #: ``{metric: {p50: v, p99: v, p999: v}}``.
+    percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: ``[{"slo": spec, "measured": v, "ok": bool}, ...]``.
+    slo_results: List[dict] = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
+    jobs: List[Job] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every declared SLO held."""
+        return all(r["ok"] for r in self.slo_results)
+
+    def as_dict(self) -> dict:
+        """JSON-safe summary (no live objects)."""
+        return {
+            "policy": self.policy,
+            "jobs_arrived": self.jobs_arrived,
+            "jobs_admitted": self.jobs_admitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_shed": self.jobs_shed,
+            "deadline_misses": self.deadline_misses,
+            "offered_rate": self.offered_rate,
+            "achieved_rate": self.achieved_rate,
+            "makespan": self.makespan,
+            "percentiles": self.percentiles,
+            "slos": self.slo_results,
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON (sorted keys, full float repr)."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """Deterministic plain-text report (the CI gate hashes this)."""
+        lines = [
+            f"sort service report: policy={self.policy} "
+            f"arrived={self.jobs_arrived} admitted={self.jobs_admitted} "
+            f"completed={self.jobs_completed} shed={self.jobs_shed} "
+            f"deadline_misses={self.deadline_misses}",
+            f"offered {self.offered_rate:.6g} jobs/s, achieved "
+            f"{self.achieved_rate:.6g} jobs/s, makespan "
+            f"{self.makespan:.6g} s",
+            f"{'metric':<10} {'p50':>12} {'p99':>12} {'p999':>12}",
+        ]
+        for metric in ("latency", "slowdown", "queue"):
+            row = self.percentiles.get(metric, {})
+            lines.append(
+                f"{metric:<10} "
+                + " ".join(
+                    f"{row.get(p, 0.0):>12.6g}" for p, _q in REPORT_PERCENTILES
+                )
+            )
+        for result in self.slo_results:
+            verdict = "PASS" if result["ok"] else "FAIL"
+            lines.append(
+                f"SLO {result['slo']}  measured {result['measured']:.6g}  "
+                f"{verdict}"
+            )
+        return "\n".join(lines)
+
+
+class SortService:
+    """Open-loop sort service over one cluster.
+
+    Jobs from an :class:`~repro.workloads.arrivals.ArrivalProcess` are
+    materialised on arrival (dataset generated on their round-robin
+    shard), passed to the admission policy's ``on_arrival`` (which may
+    shed them), queued, and admitted by ``pick`` whenever DRAM frees
+    up.  All per-job defaults come from ``base_options``
+    (:class:`~repro.api.RunOptions`); each job stores its own derived
+    options, the same object a standalone ``api.sort`` run would use.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        policy: str = "fifo",
+        fmt: Optional[RecordFormat] = None,
+        config: Optional[SortConfig] = None,
+        queue_cap: Optional[int] = None,
+        slos: Sequence[Union[str, SLO]] = (),
+        validate: bool = True,
+        base_options: Optional[RunOptions] = None,
+    ):
+        self.cluster = cluster
+        #: Policy name (display); the object drives decisions.
+        self.policy = policy
+        self._policy = get_policy(policy)()
+        self.fmt = fmt if fmt is not None else RecordFormat()
+        self.config = config if config is not None else cluster.config
+        self.queue_cap = queue_cap
+        self.slos = [parse_slo(s) for s in slos]
+        self.validate = validate
+        self.base_options = (
+            base_options if base_options is not None else RunOptions()
+        )
+        #: Every job that arrived, shed ones included, in arrival order.
+        self.jobs: List[Job] = []
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        arrivals: ArrivalProcess,
+        horizon: Optional[float] = None,
+        max_jobs: Optional[int] = None,
+    ) -> ServiceReport:
+        """Run the arrival stream to completion and report.
+
+        Infinite (generative) processes need a ``horizon`` in simulated
+        seconds and/or a ``max_jobs`` bound; finite traces run whole by
+        default.  Returns the :class:`ServiceReport`.
+        """
+        if not arrivals.finite and horizon is None and max_jobs is None:
+            raise ConfigError(
+                "an infinite arrival process needs a horizon= or "
+                "max_jobs= bound"
+            )
+        if horizon is not None and horizon <= 0:
+            raise ConfigError("horizon must be > 0 simulated seconds")
+        if max_jobs is not None and max_jobs < 1:
+            raise ConfigError("max_jobs must be >= 1")
+        pending: List[Job] = []
+        state = {
+            "arrived": 0, "shed": 0, "completed": 0,
+            "deadline_misses": 0, "running": 0, "arrivals_done": False,
+            "last_arrival": 0.0, "rr": 0,
+        }
+        service: Dict[str, float] = {}
+        in_service: Dict[str, int] = {}
+        kick = Semaphore(self.cluster.engine, 0, name="service-kick")
+        self.cluster.run(
+            self._service_proc(
+                arrivals, horizon, max_jobs, pending, state,
+                service, in_service, kick,
+            ),
+            name=f"service[{self.policy}]",
+        )
+        if self.validate:
+            for job in self.jobs:
+                if job.output_file is None:
+                    continue
+                validate_sorted_file(job.input_file, job.output_file, self.fmt)
+        return self._report(state, horizon)
+
+    # ------------------------------------------------------------------
+    def _make_job(self, spec: JobSpec) -> Job:
+        dram_bytes = (
+            spec.records * self.fmt.index_entry_size
+            + self.config.read_buffer
+            + self.config.write_buffer
+        )
+        options = self.base_options.replace(
+            system=spec.system,
+            records=spec.records,
+            seed=spec.seed,
+            fmt=self.fmt,
+            config=self.config,
+        )
+        deadline = (
+            spec.arrival_time + spec.deadline
+            if spec.deadline is not None else None
+        )
+        return Job(
+            spec.name, spec.tenant, spec.system, spec.records, spec.seed,
+            dram_bytes, seq=spec.index, deadline=deadline, options=options,
+        )
+
+    def _context(
+        self,
+        service: Dict[str, float],
+        in_service: Dict[str, int],
+        state: dict,
+    ) -> SchedulingContext:
+        dram = self.cluster.dram
+        return SchedulingContext(
+            now=self.cluster.now,
+            fits=lambda job: dram.would_fit(job.dram_bytes),
+            service=service,
+            in_service=in_service,
+            running=state["running"],
+            dram_budget=dram.budget,
+            dram_available=dram.available,
+            queue_cap=self.queue_cap,
+        )
+
+    def _service_proc(
+        self, arrivals, horizon, max_jobs, pending, state,
+        service, in_service, kick,
+    ):
+        yield Spawn(
+            self._arrival_proc(
+                arrivals, horizon, max_jobs, pending, state,
+                service, in_service, kick,
+            ),
+            name="service-arrivals",
+        )
+        yield from self._admission_proc(
+            pending, state, service, in_service, kick
+        )
+
+    def _arrival_proc(
+        self, arrivals, horizon, max_jobs, pending, state,
+        service, in_service, kick,
+    ):
+        budget = self.cluster.dram.budget
+        tracer = self.cluster.engine.tracer
+        count = 0
+        for spec in arrivals.stream():
+            if max_jobs is not None and count >= max_jobs:
+                break
+            if horizon is not None and spec.arrival_time > horizon:
+                break
+            now = yield Now()
+            if spec.arrival_time > now:
+                yield Sleep(spec.arrival_time - now)
+            count += 1
+            state["arrived"] += 1
+            state["last_arrival"] = spec.arrival_time
+            job = self._make_job(spec)
+            job.submit_time = spec.arrival_time
+            service.setdefault(job.tenant, 0.0)
+            in_service.setdefault(job.tenant, 0)
+            oversized = budget is not None and job.dram_bytes > budget
+            ctx = self._context(service, in_service, state)
+            if oversized or not self._policy.on_arrival(job, pending, ctx):
+                job.shed = True
+                state["shed"] += 1
+                self.jobs.append(job)
+                if tracer is not None:
+                    tracer.instant(
+                        "shed", cat="service", track="service",
+                        job=job.name, tenant=job.tenant,
+                    )
+                continue
+            shard = self.cluster.shards[state["rr"] % len(self.cluster.shards)]
+            state["rr"] += 1
+            job.shard = shard
+            job.input_file = generate_dataset(
+                shard, f"{job.name}.in", job.n_records, self.fmt,
+                seed=job.seed,
+            )
+            pending.append(job)
+            self.jobs.append(job)
+            if tracer is not None:
+                tracer.counter_sample(
+                    "service", "queue_depth", float(len(pending))
+                )
+            kick.release()
+        state["arrivals_done"] = True
+        kick.release()
+
+    def _admission_proc(self, pending, state, service, in_service, kick):
+        # Arrivals and completions both funnel through `kick`, so one
+        # wait point covers "new work" and "freed DRAM" alike.
+        tracer = self.cluster.engine.tracer
+        while True:
+            while pending:
+                ctx = self._context(service, in_service, state)
+                job = self._policy.pick(pending, ctx)
+                if job is None or not ctx.fits(job):
+                    if state["running"] == 0 and state["arrivals_done"]:
+                        stuck = job if job is not None else pending[0]
+                        raise DramBudgetError(
+                            f"job {stuck.name!r} needs {stuck.dram_bytes} B "
+                            f"but only {self.cluster.dram.available} B "
+                            f"remain with no job left to finish"
+                        )
+                    break
+                pending.remove(job)
+                self.cluster.dram.allocate(job.dram_bytes)
+                in_service[job.tenant] += 1
+                job.start_time = yield Now()
+                if tracer is not None:
+                    tracer.counter_sample(
+                        "service", "queue_depth", float(len(pending))
+                    )
+                    tracer.instant(
+                        "admit", cat="service", track="service",
+                        job=job.name, tenant=job.tenant,
+                        shard=job.shard.domain,
+                    )
+                yield Spawn(
+                    self._job_body(job, state, service, in_service, kick),
+                    name=f"job:{job.name}",
+                )
+                state["running"] += 1
+            if state["arrivals_done"] and not pending \
+                    and state["running"] == 0:
+                return
+            yield kick.acquire()
+
+    def _job_body(self, job, state, service, in_service, kick):
+        options = job.options
+        system = create_system(
+            options.system, options.record_format, config=options.sort_config
+        )
+        if not hasattr(system, "sort_process"):
+            raise ConfigError(
+                f"system {job.system!r} cannot run as a service job "
+                f"(no sort_process); use a wiscsort variant"
+            )
+        system.output_name = f"{job.name}.out"
+        output = yield from system.sort_process(job.shard, job.input_file)
+        job.output_file = output
+        job.finish_time = yield Now()
+        self.cluster.dram.free(job.dram_bytes)
+        service[job.tenant] += job.service_time
+        in_service[job.tenant] -= 1
+        state["running"] -= 1
+        state["completed"] += 1
+        if job.missed_deadline:
+            state["deadline_misses"] += 1
+        kick.release()
+
+    # ------------------------------------------------------------------
+    def _report(self, state: dict, horizon: Optional[float]) -> ServiceReport:
+        latency = self.metrics.histogram(
+            "job_latency_seconds", buckets=TIME_BUCKETS
+        )
+        slowdown = self.metrics.histogram(
+            "job_slowdown", buckets=SLOWDOWN_BUCKETS
+        )
+        queue = self.metrics.histogram(
+            "job_queue_seconds", buckets=TIME_BUCKETS
+        )
+        completed = [j for j in self.jobs if j.finish_time is not None]
+        for job in completed:
+            latency.observe(job.latency)
+            slowdown.observe(job.slowdown)
+            queue.observe(job.queue_time)
+        self.metrics.counter("jobs_arrived").set_total(state["arrived"])
+        self.metrics.counter("jobs_shed").set_total(state["shed"])
+        self.metrics.counter("jobs_completed").set_total(state["completed"])
+        self.metrics.counter("deadline_misses").set_total(
+            state["deadline_misses"]
+        )
+        hists = {"latency": latency, "slowdown": slowdown, "queue": queue}
+        percentiles = {
+            metric: {
+                p: hist.percentile(q) for p, q in REPORT_PERCENTILES
+            }
+            for metric, hist in hists.items()
+        }
+        slo_results = []
+        for slo in self.slos:
+            measured = hists[slo.metric].percentile(slo.percentile)
+            slo_results.append({
+                "slo": slo.spec(),
+                "measured": measured,
+                "ok": slo.check(measured),
+            })
+        makespan = self.cluster.now
+        span = horizon if horizon is not None else state["last_arrival"]
+        offered = state["arrived"] / span if span and span > 0 else 0.0
+        achieved = (
+            state["completed"] / makespan if makespan > 0 else 0.0
+        )
+        return ServiceReport(
+            policy=self.policy,
+            jobs_arrived=state["arrived"],
+            jobs_admitted=state["arrived"] - state["shed"],
+            jobs_completed=state["completed"],
+            jobs_shed=state["shed"],
+            deadline_misses=state["deadline_misses"],
+            offered_rate=offered,
+            achieved_rate=achieved,
+            makespan=makespan,
+            percentiles=percentiles,
+            slo_results=slo_results,
+            metrics=self.metrics,
+            jobs=list(self.jobs),
+        )

@@ -28,11 +28,13 @@ from repro.errors import ConfigError, UnknownSystemError
 _SYSTEMS: Dict[str, Callable] = {}
 _EXPERIMENTS: Dict[str, Callable] = {}
 _PROFILES: Dict[str, Callable] = {}
+_POLICIES: Dict[str, Callable] = {}
 
 _KINDS = {
     "system": _SYSTEMS,
     "experiment": _EXPERIMENTS,
     "profile": _PROFILES,
+    "policy": _POLICIES,
 }
 
 _builtins_loaded = False
@@ -51,6 +53,7 @@ def _ensure_builtins() -> None:
     import repro.baselines.pmsort  # noqa: F401
     import repro.baselines.sample_sort  # noqa: F401
     import repro.bench  # noqa: F401  (registers the experiment entries)
+    import repro.cluster.policies  # noqa: F401
     import repro.core.natural_runs  # noqa: F401
     import repro.core.wiscsort  # noqa: F401
     from repro.device.profiles import PROFILE_FACTORIES
@@ -93,6 +96,18 @@ def register_profile(name: str) -> Callable:
     return _register(_PROFILES, "profile", name)
 
 
+def register_policy(name: str) -> Callable:
+    """Class/factory decorator: make an admission policy creatable by name.
+
+    The decorated callable must be constructible with no arguments and
+    implement the :class:`repro.cluster.policies.AdmissionPolicy`
+    surface (``on_arrival`` / ``pick``); ``--policy`` names on the CLI,
+    :class:`~repro.cluster.scheduler.JobScheduler` and
+    :class:`~repro.cluster.service.SortService` all resolve here.
+    """
+    return _register(_POLICIES, "policy", name)
+
+
 def _lookup(kind: str, name: str) -> Callable:
     _ensure_builtins()
     table = _KINDS[kind]
@@ -117,6 +132,16 @@ def get_experiment(name: str) -> Callable:
 def get_profile(name: str) -> Callable:
     """The registered device-profile factory."""
     return _lookup("profile", name)
+
+
+def get_policy(name: str) -> Callable:
+    """The registered admission-policy class/factory."""
+    return _lookup("policy", name)
+
+
+def create_policy(name: str):
+    """Instantiate a registered admission policy."""
+    return get_policy(name)()
 
 
 def create_system(name: str, fmt=None, config=None):

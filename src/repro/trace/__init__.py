@@ -11,7 +11,7 @@ Quick start::
 
     from repro import api
 
-    result = api.sort(records=50_000, trace="out.trace.json")
+    result = api.sort(api.RunOptions(records=50_000, trace="out.trace.json"))
     # open out.trace.json in https://ui.perfetto.dev
 
 Programmatic::

@@ -81,7 +81,10 @@ class Gauge:
 class Histogram:
     """Cumulative-bucket histogram (Prometheus-style ``le`` buckets)."""
 
-    __slots__ = ("name", "labels", "buckets", "counts", "total", "count")
+    __slots__ = (
+        "name", "labels", "buckets", "counts", "total", "count",
+        "vmin", "vmax",
+    )
 
     def __init__(
         self,
@@ -97,10 +100,19 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # +inf overflow
         self.total = 0.0
         self.count = 0
+        #: Exact observed extrema: tighten the percentile estimate's
+        #: first/overflow buckets (a bucket edge never over-reports the
+        #: true max, nor under-reports the true min).
+        self.vmin = math.inf
+        self.vmax = -math.inf
 
     def observe(self, value: float) -> None:
         self.total += value
         self.count += 1
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
         for i, edge in enumerate(self.buckets):
             if value <= edge:
                 self.counts[i] += 1
@@ -110,6 +122,39 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (0-100), interpolated in-bucket.
+
+        Linear interpolation between bucket edges, clamped to the exact
+        observed ``[vmin, vmax]`` so degenerate single-bucket and
+        overflow cases stay honest.  Deterministic: the same observation
+        sequence always reproduces the same float.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        cumulative = 0
+        for i, edge in enumerate(self.buckets):
+            n = self.counts[i]
+            if n and cumulative + n >= rank:
+                lo = self.buckets[i - 1] if i else self.vmin
+                lo = max(lo, self.vmin)
+                hi = min(edge, self.vmax)
+                if hi <= lo:
+                    return lo
+                frac = (rank - cumulative) / n
+                return lo + frac * (hi - lo)
+            cumulative += n
+        # Overflow bucket: between the last finite edge and the true max.
+        lo = max(self.buckets[-1], self.vmin) if self.buckets else self.vmin
+        n = self.counts[-1]
+        if n == 0 or self.vmax <= lo:
+            return self.vmax
+        frac = (rank - cumulative) / n
+        return lo + frac * (self.vmax - lo)
 
     def sample(self) -> Dict[str, float]:
         base = _render_key(self.name, self.labels)

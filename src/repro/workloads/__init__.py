@@ -1,6 +1,24 @@
-"""Workload helpers: multi-tenant background clients and dataset builders."""
+"""Workload helpers: multi-tenant background clients, dataset builders
+and the seeded open-loop arrival processes feeding the sort service."""
 
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    JobSpec,
+    PoissonArrivals,
+    TraceArrivals,
+    stream_fingerprint,
+)
 from repro.workloads.background import BackgroundClients
 from repro.workloads.datasets import sortbenchmark_records_for_gb
 
-__all__ = ["BackgroundClients", "sortbenchmark_records_for_gb"]
+__all__ = [
+    "ArrivalProcess",
+    "BackgroundClients",
+    "BurstyArrivals",
+    "JobSpec",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "sortbenchmark_records_for_gb",
+    "stream_fingerprint",
+]

@@ -261,11 +261,11 @@ class TestHappensBefore:
 
 class TestObserveOnly:
     def test_sort_bit_identical_with_detector(self):
-        from repro.api import sort
+        from repro.api import RunOptions, sort
 
-        base = sort(records=8000, system="wiscsort-merge")
-        observed = sort(records=8000, system="wiscsort-merge",
-                        race_detect=True)
+        opts = RunOptions(records=8_000, system="wiscsort-merge")
+        base = sort(opts)
+        observed = sort(opts.replace(race_detect=True))
         assert sort_output_fingerprint(observed) == sort_output_fingerprint(
             base
         )
@@ -275,11 +275,11 @@ class TestObserveOnly:
         det.check()  # clean workload: must not raise
 
     def test_simulated_times_identical_with_detector(self):
-        from repro.api import sort
+        from repro.api import RunOptions, sort
 
-        base = sort(records=8000, system="wiscsort-merge")
-        observed = sort(records=8000, system="wiscsort-merge",
-                        race_detect=True)
+        opts = RunOptions(records=8_000, system="wiscsort-merge")
+        base = sort(opts)
+        observed = sort(opts.replace(race_detect=True))
         assert observed.total_time == base.total_time
 
 

@@ -97,12 +97,12 @@ class TestEngineIntegration:
 
 class TestHarness:
     def test_clean_sort_is_schedule_invariant(self):
-        from repro.api import sort
+        from repro.api import RunOptions, sort
 
+        opts = RunOptions(records=6_000, system="wiscsort-merge")
         report = schedule_fuzz(
             lambda seed: sort_output_fingerprint(
-                sort(records=6000, system="wiscsort-merge",
-                     schedule_seed=seed)
+                sort(opts.replace(schedule_seed=seed))
             ),
             seeds=(1, 2, 3, 4, 5),
         )

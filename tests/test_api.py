@@ -1,27 +1,75 @@
-"""Tests for the programmatic facade ``repro.api.sort``."""
+"""Tests for the programmatic facade: ``RunOptions`` and ``api.sort``."""
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 
 from repro import api
+from repro.api import RunOptions
 from repro.core.base import SortConfig, SortResult
-from repro.errors import UnknownSystemError
+from repro.errors import ConfigError, UnknownSystemError
 from repro.machine import Machine
 from repro.records.format import RecordFormat
 
 
+class TestRunOptions:
+    def test_defaults_mirror_classic_sort(self):
+        o = RunOptions()
+        assert o.records == 100_000
+        assert o.system == "wiscsort"
+        assert o.device == "pmem"
+        assert o.seed == 42
+        assert o.validate is True
+        assert o.faults is None
+
+    def test_frozen(self):
+        o = RunOptions()
+        with pytest.raises(AttributeError):
+            o.records = 1
+
+    def test_replace_derives_variants(self):
+        base = RunOptions(records=5_000, seed=7)
+        traced = base.replace(trace="out.json")
+        assert traced.trace == "out.json"
+        assert traced.records == 5_000
+        assert base.trace is None  # original untouched
+
+    def test_effective_format_and_config_filled(self):
+        o = RunOptions()
+        assert isinstance(o.record_format, RecordFormat)
+        assert isinstance(o.sort_config, SortConfig)
+        fmt = RecordFormat(key_size=8, value_size=24)
+        assert RunOptions(fmt=fmt).record_format is fmt
+
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ConfigError):
+            RunOptions(records=-1)
+        with pytest.raises(ConfigError):
+            RunOptions(fmt="10x90")
+        with pytest.raises(ConfigError):
+            RunOptions(config={"read_buffer": 1})
+
+
 class TestFacade:
     def test_default_sort_validates(self):
-        result = api.sort(records=2_000)
+        result = api.sort(RunOptions(records=2_000))
         assert isinstance(result, SortResult)
         assert result.validated
         assert result.total_time > 0
         assert result.phases  # per-tag breakdown present
         assert isinstance(result.extras["machine"], Machine)
 
+    def test_no_options_means_defaults(self):
+        # api.sort() with nothing at all still runs the classic default.
+        result = api.sort(RunOptions(records=1_000))
+        assert result.validated
+
     def test_system_and_device_by_registry_name(self):
-        result = api.sort(records=1_000, system="ems", device="brd-device")
+        result = api.sort(
+            RunOptions(records=1_000, system="ems", device="brd-device")
+        )
         assert result.validated
         machine = result.extras["machine"]
         assert "brd-device" in machine.profile.describe()
@@ -29,42 +77,73 @@ class TestFacade:
     def test_custom_format_and_config(self):
         fmt = RecordFormat(key_size=8, value_size=24)
         config = SortConfig(read_buffer=1 << 16)
-        result = api.sort(records=1_500, fmt=fmt, config=config, seed=3)
+        result = api.sort(
+            RunOptions(records=1_500, fmt=fmt, config=config, seed=3)
+        )
         assert result.validated
 
     def test_unknown_names_raise(self):
         with pytest.raises(UnknownSystemError):
-            api.sort(records=100, system="bogosort")
+            api.sort(RunOptions(records=100, system="bogosort"))
         with pytest.raises(UnknownSystemError):
-            api.sort(records=100, device="tape-drive")
+            api.sort(RunOptions(records=100, device="tape-drive"))
 
     def test_validate_false_skips_validation(self):
-        result = api.sort(records=1_000, validate=False)
+        result = api.sort(RunOptions(records=1_000, validate=False))
         assert not result.validated
 
     def test_sanitize_runs_clean(self):
-        result = api.sort(records=1_000, sanitize=True)
+        result = api.sort(RunOptions(records=1_000, sanitize=True))
         sanitizer = result.extras["sanitizer"]
         report = sanitizer.audit_report()
         assert report["moved_read"] > 0
         assert report["moved_write"] > 0
 
     def test_deterministic_across_calls(self):
-        a = api.sort(records=2_000, seed=9)
-        b = api.sort(records=2_000, seed=9)
+        a = api.sort(RunOptions(records=2_000, seed=9))
+        b = api.sort(RunOptions(records=2_000, seed=9))
         assert a.total_time == b.total_time
         assert a.phases == b.phases
+
+    def test_non_options_positional_rejected(self):
+        with pytest.raises(ConfigError):
+            api.sort({"records": 100})
+
+
+class TestLegacyShim:
+    def test_loose_keywords_warn_and_match(self):
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            legacy = api.sort(records=2_000, seed=9)
+        modern = api.sort(RunOptions(records=2_000, seed=9))
+        assert legacy.total_time == modern.total_time
+        assert legacy.phases == modern.phases
+
+    def test_records_positional_still_works(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = api.sort(1_000)
+        assert result.validated
+
+    def test_options_plus_keywords_rejected(self):
+        with pytest.raises(ConfigError):
+            api.sort(RunOptions(records=100), seed=1)
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(ConfigError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                api.sort(recordz=100)
 
 
 class TestFacadeFaults:
     def test_crash_spec_recovers(self):
-        result = api.sort(records=10_000, faults="crash@50%")
+        result = api.sort(RunOptions(records=10_000, faults="crash@50%"))
         assert result.validated
         report = result.extras["fault_report"]
         assert report.crashes >= 1
 
     def test_crash_on_non_checkpointing_system_rejected(self):
-        from repro.errors import ConfigError
-
         with pytest.raises(ConfigError):
-            api.sort(records=1_000, system="sample-sort", faults="crash@op:1")
+            api.sort(RunOptions(
+                records=1_000, system="sample-sort", faults="crash@op:1"
+            ))

@@ -129,3 +129,62 @@ class TestFaultsFlag:
         assert rc == 0
         assert "validated" in out
         assert "1 crash(es)" in out
+
+
+class TestServeCommand:
+    def test_serve_runs_and_reports(self, capsys):
+        rc = main([
+            "serve", "--rate", "500", "--horizon", "0.02",
+            "--records", "1000", "--policy", "fifo",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sort service report: policy=fifo" in out
+        assert "p999" in out
+
+    def test_serve_policy_choices_come_from_registry(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--policy", "lifo"])
+        err = capsys.readouterr().err
+        assert "edf" in err and "backpressure" in err
+
+    def test_serve_slo_failure_exits_nonzero(self, capsys):
+        rc = main([
+            "serve", "--rate", "500", "--horizon", "0.02",
+            "--records", "1000", "--slo", "latency:p99<1e-12",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out
+
+    def test_serve_report_json_is_deterministic(self, tmp_path, capsys):
+        args = [
+            "serve", "--rate", "2000", "--horizon", "0.01",
+            "--records", "1000", "--policy", "shed", "--queue-cap", "8",
+            "--dram-budget", "48000000",
+        ]
+        path_a = str(tmp_path / "a.json")
+        path_b = str(tmp_path / "b.json")
+        assert main(args + ["--report", path_a]) == 0
+        assert main(args + ["--report", path_b]) == 0
+        capsys.readouterr()
+        assert open(path_a).read() == open(path_b).read()
+
+    def test_serve_trace_replay(self, tmp_path, capsys):
+        trace = tmp_path / "arrivals.jsonl"
+        trace.write_text('{"t": 0.0}\n{"t": 1e-05}\n', encoding="utf-8")
+        rc = main([
+            "serve", "--arrivals", "trace", "--trace-file", str(trace),
+            "--records", "1000",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "arrived=2" in out
+
+    def test_serve_bad_spec_exits_2(self, capsys):
+        rc = main([
+            "serve", "--rate", "100", "--horizon", "0.01",
+            "--slo", "latency:q99<0.5",
+        ])
+        assert rc == 2
+        assert "serve:" in capsys.readouterr().err

@@ -113,12 +113,50 @@ class TestRoundTrip:
         assert system.config is config
 
 
-class TestDeprecationShim:
-    def test_sample_sort_positional_cost_model_warns(self):
+class TestPolicies:
+    def test_builtin_policies_present(self):
+        assert set(available("policy")) >= {
+            "fifo", "fair", "edf", "backpressure", "shed",
+        }
+
+    def test_unknown_policy_lists_choices(self):
+        from repro.registry import get_policy
+
+        with pytest.raises(UnknownSystemError) as exc:
+            get_policy("round-robin")
+        assert exc.value.name == "round-robin"
+        assert exc.value.kind == "policy"
+        assert "fifo" in exc.value.choices
+
+    def test_create_policy_instantiates(self):
+        from repro.cluster.policies import AdmissionPolicy
+        from repro.registry import create_policy
+
+        for name in available("policy"):
+            policy = create_policy(name)
+            assert isinstance(policy, AdmissionPolicy)
+            assert policy.name == name
+
+    def test_policy_view_backs_the_cli_choices(self):
+        view = RegistryView("policy")
+        assert "edf" in view
+        assert len(view) == len(available("policy"))
+
+
+class TestRemovedShims:
+    def test_sample_sort_positional_cost_model_rejected(self):
+        # The pre-2.0 shim that silently rerouted SampleSort(fmt, cost)
+        # is gone: a non-SortConfig second argument is now a hard error.
         from repro.baselines.sample_sort import SampleSort, SampleSortCostModel
 
         cost = SampleSortCostModel(write_passes=2.0)
-        with pytest.warns(DeprecationWarning, match="removal in 2.0"):
-            system = SampleSort(RecordFormat(), cost)
+        with pytest.raises(ConfigError, match="cost="):
+            SampleSort(RecordFormat(), cost)
+
+    def test_sample_sort_cost_keyword_works(self):
+        from repro.baselines.sample_sort import SampleSort, SampleSortCostModel
+
+        cost = SampleSortCostModel(write_passes=2.0)
+        system = SampleSort(RecordFormat(), cost=cost)
         assert system.cost is cost
         assert isinstance(system.config, SortConfig)

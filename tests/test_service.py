@@ -1,0 +1,288 @@
+"""Tests for the open-loop sort service: determinism, shedding, SLOs.
+
+The small workloads here are sized to finish in seconds of wall clock:
+2k-record jobs sort in ~50 simulated microseconds, so a few hundred
+arrivals exercise real queueing without real waiting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.api import RunOptions
+from repro.cluster import Cluster, SLO, SortService, parse_slo
+from repro.cluster.policies import (
+    BackpressurePolicy,
+    EdfPolicy,
+    SchedulingContext,
+    ShedPolicy,
+)
+from repro.cluster.scheduler import Job, JobScheduler
+from repro.errors import ConfigError
+from repro.workloads.arrivals import PoissonArrivals, TraceArrivals
+
+#: Admits ~3 concurrent 2k-record jobs (each reserves ~15.8 MB).
+BUDGET = 48_000_000
+
+
+def overload_options(seed=3):
+    return RunOptions(records=2_000, seed=seed, dram_budget=BUDGET)
+
+
+def serve_overloaded(policy, seed=3, **kw):
+    """~300 arrivals into a service that drains ~40k jobs/s."""
+    return api.serve(
+        overload_options(seed), rate=80_000.0, horizon=0.004,
+        policy=policy, **kw,
+    )
+
+
+class TestDeterminism:
+    def test_two_runs_render_byte_identical(self):
+        a = serve_overloaded("fifo").render()
+        b = serve_overloaded("fifo").render()
+        assert a == b
+
+    def test_json_report_byte_identical(self):
+        a = serve_overloaded("shed", queue_cap=8).to_json()
+        b = serve_overloaded("shed", queue_cap=8).to_json()
+        assert a == b
+
+    @pytest.mark.parametrize("policy", ["fifo", "backpressure"])
+    def test_scalar_and_vector_kernels_agree(self, monkeypatch, policy):
+        # The vector fluid kernel is pure perf work: the service report
+        # (percentiles included) must match float-for-float.
+        def run(vector):
+            monkeypatch.setenv("REPRO_SIM_VECTOR", "1" if vector else "0")
+            rep = api.serve(
+                overload_options(), rate=40_000.0, horizon=0.002,
+                policy=policy,
+            )
+            return rep.render(), rep.percentiles
+        scalar_render, scalar_pct = run(False)
+        vector_render, vector_pct = run(True)
+        assert scalar_render == vector_render
+        assert scalar_pct == vector_pct
+
+    def test_same_seed_same_job_stream(self):
+        jobs_a = serve_overloaded("fifo").jobs
+        jobs_b = serve_overloaded("fifo").jobs
+        assert [(j.name, j.seed, j.n_records) for j in jobs_a] == \
+            [(j.name, j.seed, j.n_records) for j in jobs_b]
+
+
+class TestAccounting:
+    def test_counts_balance(self):
+        rep = serve_overloaded("shed", queue_cap=8)
+        assert rep.jobs_arrived == rep.jobs_admitted + rep.jobs_shed
+        assert rep.jobs_completed == rep.jobs_admitted  # admitted all finish
+        assert len(rep.jobs) == rep.jobs_arrived
+
+    def test_shed_policy_sheds_under_overload(self):
+        rep = serve_overloaded("shed", queue_cap=8)
+        assert rep.jobs_shed > 0
+        shed_jobs = [j for j in rep.jobs if j.shed]
+        assert len(shed_jobs) == rep.jobs_shed
+        assert all(j.finish_time is None for j in shed_jobs)
+
+    def test_shedding_keeps_p99_flat(self):
+        queueing = serve_overloaded("fifo")
+        shedding = serve_overloaded("shed", queue_cap=8)
+        assert shedding.percentiles["latency"]["p99"] < \
+            queueing.percentiles["latency"]["p99"] / 2
+
+    def test_backpressure_bounds_dram_backlog(self):
+        rep = serve_overloaded("backpressure")
+        assert rep.jobs_shed > 0
+        assert rep.percentiles["latency"]["p99"] < 0.001
+
+    def test_deadline_misses_counted(self):
+        rep = serve_overloaded("fifo", deadline=0.0002)
+        missed = [j for j in rep.jobs if j.missed_deadline]
+        assert rep.deadline_misses == len(missed)
+        assert rep.deadline_misses > 0  # overload makes the tail miss
+
+    def test_no_deadline_no_misses(self):
+        rep = serve_overloaded("fifo")
+        assert rep.deadline_misses == 0
+
+    def test_underload_has_no_queueing(self):
+        rep = api.serve(
+            overload_options(), rate=500.0, horizon=0.02, policy="fifo"
+        )
+        assert rep.jobs_shed == 0
+        assert rep.percentiles["queue"]["p99"] == 0.0
+        assert rep.ok
+
+
+class TestSLO:
+    def test_parse_grammar(self):
+        slo = parse_slo("latency:p99<0.05")
+        assert slo.metric == "latency"
+        assert slo.percentile == 99.0
+        assert slo.threshold == 0.05
+        assert parse_slo("slowdown:p999<=10").percentile == 99.9
+        assert parse_slo("queue:p50<1e-3").threshold == 1e-3
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("latency:p99", "p99<0.5", "latency:q99<0.5",
+                    "throughput:p99<5"):
+            with pytest.raises(ConfigError):
+                parse_slo(bad)
+
+    def test_slo_object_validation(self):
+        with pytest.raises(ConfigError):
+            SLO(metric="latency", percentile=101.0, threshold=1.0)
+        with pytest.raises(ConfigError):
+            SLO(metric="latency", percentile=99.0, threshold=1.0, op=">")
+
+    def test_verdicts_in_report(self):
+        rep = api.serve(
+            overload_options(), rate=500.0, horizon=0.01, policy="fifo",
+            slos=("latency:p99<1.0", "latency:p99<1e-9"),
+        )
+        verdicts = {r["slo"]: r["ok"] for r in rep.slo_results}
+        assert verdicts["latency:p99<1"] is True
+        assert verdicts["latency:p99<1e-09"] is False
+        assert rep.ok is False
+        assert "FAIL" in rep.render()
+
+
+class TestPolicyUnits:
+    def _ctx(self, **kw):
+        defaults = dict(
+            now=0.0, fits=lambda j: True, service={}, in_service={},
+            running=0, dram_budget=None, dram_available=None, queue_cap=None,
+        )
+        defaults.update(kw)
+        return SchedulingContext(**defaults)
+
+    def _job(self, name, seq, deadline=None, dram=1):
+        return Job(name, "t0", "wiscsort", 10, 0, dram, seq=seq,
+                   deadline=deadline)
+
+    def test_edf_picks_earliest_deadline_then_seq(self):
+        jobs = [
+            self._job("late", 0, deadline=2.0),
+            self._job("early", 1, deadline=1.0),
+            self._job("none", 2),
+            self._job("early-tie", 3, deadline=1.0),
+        ]
+        policy = EdfPolicy()
+        assert policy.pick(jobs, self._ctx()).name == "early"
+        jobs.remove(jobs[1])
+        assert policy.pick(jobs, self._ctx()).name == "early-tie"
+        assert policy.pick([self._job("only", 9)], self._ctx()).name == "only"
+
+    def test_shed_policy_respects_service_queue_cap(self):
+        policy = ShedPolicy(queue_cap=64)
+        pending = [self._job(f"j{i}", i) for i in range(3)]
+        assert policy.on_arrival(self._job("x", 9), pending,
+                                 self._ctx(queue_cap=3)) is False
+        assert policy.on_arrival(self._job("x", 9), pending,
+                                 self._ctx(queue_cap=4)) is True
+
+    def test_backpressure_sheds_on_dram_backlog(self):
+        policy = BackpressurePolicy(backlog_factor=2.0)
+        pending = [self._job("a", 0, dram=60), self._job("b", 1, dram=60)]
+        newcomer = self._job("c", 2, dram=60)
+        # backlog = 60 + 60 + 60 = 180 vs 2.0 x budget
+        assert policy.on_arrival(
+            newcomer, pending, self._ctx(dram_budget=80)) is False
+        assert policy.on_arrival(
+            newcomer, pending, self._ctx(dram_budget=1000)) is True
+        assert policy.on_arrival(
+            newcomer, pending, self._ctx(dram_budget=None)) is True
+
+    def test_backpressure_pick_skips_head_of_line(self):
+        whale = self._job("whale", 0, dram=100)
+        minnow = self._job("minnow", 1, dram=1)
+        ctx = self._ctx(fits=lambda j: j.dram_bytes <= 10)
+        assert BackpressurePolicy().pick([whale, minnow], ctx).name == "minnow"
+        assert BackpressurePolicy().pick([whale], ctx) is None
+
+
+class TestServiceSurface:
+    def test_infinite_process_needs_a_bound(self):
+        cluster = Cluster(shards=2)
+        service = SortService(cluster)
+        with pytest.raises(ConfigError, match="horizon"):
+            service.serve(PoissonArrivals(100.0))
+
+    def test_trace_arrivals_run_whole_without_bounds(self):
+        rep = api.serve(
+            RunOptions(records=1_000, seed=5),
+            arrivals=TraceArrivals(
+                [{"t": 0.0}, {"t": 1e-5}, {"t": 2e-5}], records=1_000
+            ),
+        )
+        assert rep.jobs_completed == 3
+
+    def test_unknown_arrivals_name_rejected(self):
+        with pytest.raises(ConfigError, match="poisson"):
+            api.serve(RunOptions(records=100), arrivals="zipf", horizon=0.1)
+
+    def test_faults_and_schedule_fuzz_rejected(self):
+        with pytest.raises(ConfigError):
+            api.serve(RunOptions(records=100, faults="crash@50%"),
+                      horizon=0.01)
+        with pytest.raises(ConfigError):
+            api.serve(RunOptions(records=100, schedule_seed=1), horizon=0.01)
+
+    def test_unknown_policy_lists_choices(self):
+        from repro.errors import UnknownSystemError
+
+        with pytest.raises(UnknownSystemError):
+            api.serve(overload_options(), rate=100.0, horizon=0.01,
+                      policy="lifo")
+
+    def test_oversized_jobs_are_shed_not_fatal(self):
+        # Jobs whose reservation exceeds the whole budget can never be
+        # admitted; the service sheds them instead of deadlocking.
+        rep = api.serve(
+            RunOptions(records=2_000, seed=3, dram_budget=1_000_000),
+            rate=1_000.0, horizon=0.01, policy="fifo",
+        )
+        assert rep.jobs_arrived > 0
+        assert rep.jobs_shed == rep.jobs_arrived
+        assert rep.jobs_completed == 0
+
+
+class TestSchedulerIntegration:
+    """The batch scheduler shares policies and RunOptions with the service."""
+
+    def test_submit_with_run_options(self):
+        cluster = Cluster(shards=2)
+        scheduler = JobScheduler(cluster, policy="fifo")
+        job = scheduler.submit(
+            "j0", options=RunOptions(records=1_000, system="wiscsort", seed=9)
+        )
+        assert job.n_records == 1_000
+        assert job.seed == 9
+        assert job.options.system == "wiscsort"
+        jobs = scheduler.run()
+        assert jobs[0].finish_time is not None
+
+    def test_edf_policy_in_batch_scheduler(self):
+        # Budget fits exactly one job's ~15.7 MB reservation, so
+        # admissions serialize and the EDF order is observable.
+        cluster = Cluster(shards=1, dram_budget=16_000_000)
+        scheduler = JobScheduler(cluster, policy="edf")
+        # Submitted in anti-deadline order: EDF must admit c, b, a.
+        scheduler.submit("a", n_records=1_000, deadline=3.0)
+        scheduler.submit("b", n_records=1_000, deadline=2.0)
+        scheduler.submit("c", n_records=1_000, deadline=1.0)
+        jobs = {j.name: j for j in scheduler.run()}
+        assert jobs["c"].start_time < jobs["b"].start_time
+        assert jobs["b"].start_time < jobs["a"].start_time
+
+    def test_legacy_submit_surface_unchanged(self):
+        cluster = Cluster(shards=2)
+        scheduler = JobScheduler(cluster)
+        job = scheduler.submit("j0", system="wiscsort", n_records=500,
+                               seed=0, tenant="default")
+        assert job.n_records == 500
+        assert job.options.records == 500
+        scheduler.run()
+        assert job.slowdown >= 1.0

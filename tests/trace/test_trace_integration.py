@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro import api
+from repro.api import RunOptions
 from repro.errors import ConfigError
 from repro.trace import Tracer, dumps_chrome_trace
 
@@ -14,21 +15,23 @@ from repro.trace import Tracer, dumps_chrome_trace
 class TestApiSort:
     def test_trace_path_writes_chrome_json(self, tmp_path):
         path = str(tmp_path / "sort.json")
-        result = api.sort(records=2_000, trace=path)
+        result = api.sort(RunOptions(records=2_000, trace=path))
         assert "tracer" in result.extras
         doc = json.loads(open(path).read())
         assert doc["traceEvents"]
 
     def test_trace_rejects_bad_type(self):
         with pytest.raises(ConfigError):
-            api.sort(records=1_000, trace=123)
+            api.sort(RunOptions(records=1_000, trace=123))
 
     def test_mergepass_trace_has_required_content(self, tmp_path):
         """Acceptance criteria: >= one span per sort phase, per-op device
         events with byte/class attribution, counter tracks for read bw /
         write bw / DRAM."""
         tracer = Tracer()
-        result = api.sort(records=8_000, system="wiscsort-merge", trace=tracer)
+        result = api.sort(
+            RunOptions(records=8_000, system="wiscsort-merge", trace=tracer)
+        )
         assert result.extras["tracer"] is tracer
         names = set(tracer.span_names())
         assert "phase:run-generation" in names
@@ -50,10 +53,9 @@ class TestApiSort:
         assert (Tracer.MAIN_TRACK, "dram_used") in series
 
     def test_traced_results_match_untraced(self):
-        untraced = api.sort(records=4_000, system="wiscsort-merge")
-        traced = api.sort(
-            records=4_000, system="wiscsort-merge", trace=Tracer()
-        )
+        base = RunOptions(records=4_000, system="wiscsort-merge")
+        untraced = api.sort(base)
+        traced = api.sort(base.replace(trace=Tracer()))
         assert traced.total_time == untraced.total_time
         assert traced.internal_read == untraced.internal_read
         assert traced.internal_written == untraced.internal_written
@@ -70,13 +72,13 @@ class TestDeterminism:
         def run(san):
             tracer = Tracer()
             tracers.append(tracer)
-            return api.sort(
+            return api.sort(RunOptions(
                 records=3_000,
                 system="wiscsort-merge",
                 seed=7,
                 sanitizer=san,
                 trace=tracer,
-            )
+            ))
 
         report = verify_determinism(run, runs=2)
         assert report.ok
@@ -87,7 +89,7 @@ class TestDeterminism:
 class TestFaultTracing:
     def test_transient_fault_emits_fault_and_retry_instants(self):
         tracer = Tracer()
-        api.sort(records=2_000, faults="transient@op:2", trace=tracer)
+        api.sort(RunOptions(records=2_000, faults="transient@op:2", trace=tracer))
         names = [ev["name"] for ev in tracer.instants]
         assert "fault" in names
         assert "retry" in names
