@@ -263,6 +263,7 @@ def run_workload(
     empty_injector: bool = False,
     sanitize: bool = False,
     race_detect: bool = False,
+    analyze: bool = False,
 ) -> Dict:
     """Run one frozen workload ``spec['reps']`` times; keep the best wall."""
     walls = []
@@ -271,6 +272,13 @@ def run_workload(
     detectors = []
     for _rep in range(spec["reps"]):
         machine = Machine()
+        if analyze:
+            # Observe-only gate for the critical-path analyzer: the
+            # blocked-reason hooks must leave every fingerprint
+            # bit-identical to an untraced run.
+            from repro.trace import Tracer
+
+            Tracer(analyze=True).install(machine)
         if empty_injector:
             # Zero-overhead-when-idle gate: an installed injector with no
             # events must leave the op stream (and so every fingerprint)
@@ -324,6 +332,7 @@ def run_all(
     empty_injector: bool = False,
     sanitize: bool = False,
     race_detect: bool = False,
+    analyze: bool = False,
 ) -> Dict:
     report = {
         "schema": 1,
@@ -337,6 +346,7 @@ def run_all(
               + (", empty injector installed" if empty_injector else "")
               + (", sanitizer installed" if sanitize else "")
               + (", race detector installed" if race_detect else "")
+              + (", analyze tracer installed" if analyze else "")
               + " ...",
               flush=True)
         res = run_workload(
@@ -344,6 +354,7 @@ def run_all(
             empty_injector=empty_injector,
             sanitize=sanitize,
             race_detect=race_detect,
+            analyze=analyze,
         )
         base = PRE_PR_BASELINE[name]
         problems = compare_fingerprints(res["fingerprint"], base["fingerprint"])
@@ -496,6 +507,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "still match the frozen baselines (observe-only guarantee of "
         "repro.analysis.race)",
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="install an analyze-armed Tracer (critical-path "
+        "blocked-reason hooks) before every run; fingerprints must "
+        "still match the frozen baselines (observe-only guarantee of "
+        "repro.trace.analyze)",
+    )
     args = parser.parse_args(argv)
     if args.compare is not None:
         failures = compare_reports(args.compare[0], args.compare[1])
@@ -508,6 +527,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         empty_injector=args.empty_injector,
         sanitize=args.sanitize,
         race_detect=args.race_detect,
+        analyze=args.analyze,
     )
     failures = 0
     if args.check is not None:

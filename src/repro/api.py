@@ -87,6 +87,9 @@ class RunOptions:
     sanitizer: Optional[Any] = None
     #: Trace export path or pre-built :class:`~repro.trace.Tracer`.
     trace: Optional[Any] = None
+    #: Also record analyze-mode wait/process records for the
+    #: critical-path analyzer (implies tracing; observe-only).
+    analyze: bool = False
     #: Install the sim-time race detector (observe-only).
     race_detect: bool = False
     #: Seed for the same-instant schedule permuter (None = FIFO order).
@@ -156,6 +159,39 @@ def _coerce_options(where: str, options, legacy: dict) -> RunOptions:
             f"{type(options).__name__}"
         )
     return options
+
+
+def _resolve_tracer(o: RunOptions):
+    """Resolve ``(o.trace, o.analyze)`` to ``(tracer, export_path)``.
+
+    ``analyze=True`` arms the analyze-mode record streams on whatever
+    tracer the run uses -- creating one if the options carry no
+    ``trace`` at all (the records live on the Tracer object; nothing is
+    exported unless a path was given).
+    """
+    tracer = None
+    trace_path = None
+    if o.trace is not None:
+        from repro.trace import Tracer
+
+        if isinstance(o.trace, str):
+            trace_path = o.trace
+            tracer = Tracer()
+        elif isinstance(o.trace, Tracer):
+            tracer = o.trace
+        else:
+            raise ConfigError(
+                f"trace must be a path string or a repro.trace.Tracer, "
+                f"not {type(o.trace).__name__}"
+            )
+    if o.analyze:
+        if tracer is None:
+            from repro.trace import Tracer
+
+            tracer = Tracer(analyze=True)
+        else:
+            tracer.analyze = True
+    return tracer, trace_path
 
 
 def _build_machine(o: RunOptions) -> Machine:
@@ -235,21 +271,8 @@ def sort(options: "RunOptions | int | None" = None, /, **legacy) -> SortResult:
         sanitizer = SimSanitizer()
     if sanitizer is not None:
         sanitizer.install(machine)
-    tracer = None
-    trace_path = None
-    if o.trace is not None:
-        from repro.trace import Tracer
-
-        if isinstance(o.trace, str):
-            trace_path = o.trace
-            tracer = Tracer()
-        elif isinstance(o.trace, Tracer):
-            tracer = o.trace
-        else:
-            raise ConfigError(
-                f"trace must be a path string or a repro.trace.Tracer, "
-                f"not {type(o.trace).__name__}"
-            )
+    tracer, trace_path = _resolve_tracer(o)
+    if tracer is not None:
         tracer.install(machine)
     data = generate_dataset(machine, "input", o.records, fmt, seed=o.seed)
     sort_system = create_system(o.system, fmt, config=config)
@@ -312,6 +335,7 @@ def serve(
     queue_cap: Optional[int] = None,
     slos: Sequence = (),
     link_bw: Optional[float] = None,
+    monitor: Optional[Any] = None,
     **legacy,
 ):
     """Run the cluster as an open-loop sort *service* and report SLOs.
@@ -330,8 +354,12 @@ def serve(
     ``policy`` resolves through :func:`repro.registry.get_policy`
     (``fifo``/``fair``/``edf``/``backpressure``/``shed``); ``slos``
     takes :class:`~repro.cluster.service.SLO` objects or spec strings
-    like ``"latency:p99<0.05"``.  Infinite arrival processes need a
-    ``horizon`` (simulated seconds) or ``max_jobs`` bound.
+    like ``"latency:p99<0.05"``; ``monitor`` takes an
+    :class:`~repro.cluster.service.SLOMonitor` for live error-budget
+    burn-rate tracking (windows and alerts land in the report's
+    ``burn`` section, and as ``slo_alert`` trace instants when
+    tracing).  Infinite arrival processes need a ``horizon`` (simulated
+    seconds) or ``max_jobs`` bound.
 
     Returns the :class:`~repro.cluster.service.ServiceReport`; its
     ``extras`` carries ``cluster``, ``jobs`` and any armed observers.
@@ -409,21 +437,8 @@ def serve(
     race_detector = None
     if o.race_detect:
         race_detector = cluster.install_race_detector()
-    tracer = None
-    trace_path = None
-    if o.trace is not None:
-        from repro.trace import Tracer
-
-        if isinstance(o.trace, str):
-            trace_path = o.trace
-            tracer = Tracer()
-        elif isinstance(o.trace, Tracer):
-            tracer = o.trace
-        else:
-            raise ConfigError(
-                f"trace must be a path string or a repro.trace.Tracer, "
-                f"not {type(o.trace).__name__}"
-            )
+    tracer, trace_path = _resolve_tracer(o)
+    if tracer is not None:
         tracer.install_cluster(cluster)
     service = SortService(
         cluster,
@@ -433,6 +448,7 @@ def serve(
         queue_cap=queue_cap,
         slos=slos,
         validate=o.validate,
+        monitor=monitor,
     )
     report = service.serve(process, horizon=horizon, max_jobs=max_jobs)
     report.extras["cluster"] = cluster

@@ -10,6 +10,13 @@ Commands
 ``serve``       run the cluster as an open-loop sort *service*: seeded
                 Poisson/bursty/trace arrivals, admission control with
                 load shedding, latency percentiles and SLO verdicts.
+``analyze``     run one sort with the critical-path analyzer armed and
+                print the per-phase device-busy / queueing / DRAM-stall
+                / net / cpu decomposition, blame tables and optional
+                ``--what-if`` projections.
+``trace-diff``  compare two schema-stamped report JSONs (analysis
+                reports, selfperf baselines or service reports) and
+                flag per-row regressions; exit 1 on any regression.
 ``calibrate``   run the device microbenchmark suite on a profile.
 ``trace-report``  summarize a Chrome/Perfetto trace JSON produced by
                 ``--trace`` (span and device-class aggregates).
@@ -24,6 +31,9 @@ available to every command here without touching this module.
 Examples::
 
     python -m repro sort --records 200000 --system wiscsort --device pmem
+    python -m repro analyze --records 50000 --dram-budget 600000 \
+        --what-if 'write_bw*2'
+    python -m repro trace-diff baseline.json current.json --threshold 0.05
     python -m repro cluster --shards 4 --jobs 8 --policy fair
     python -m repro serve --rate 500 --horizon 0.1 --policy shed \
         --slo "latency:p99<0.01"
@@ -120,6 +130,53 @@ def build_parser() -> argparse.ArgumentParser:
                              "permutations of same-instant scheduling ties "
                              "and compare output fingerprints; exit 1 on "
                              "any byte divergence")
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="sort with the critical-path analyzer armed: where did "
+             "the simulated time go?",
+    )
+    p_analyze.add_argument("--records", type=int, default=100_000)
+    p_analyze.add_argument("--key-size", type=int, default=10)
+    p_analyze.add_argument("--value-size", type=int, default=90)
+    p_analyze.add_argument("--system", choices=sorted(SYSTEMS),
+                           default="wiscsort")
+    p_analyze.add_argument("--device", choices=sorted(PROFILES),
+                           default="pmem")
+    p_analyze.add_argument(
+        "--concurrency",
+        choices=[m.value for m in ConcurrencyModel],
+        default=ConcurrencyModel.NO_IO_OVERLAP.value,
+    )
+    p_analyze.add_argument("--seed", type=int, default=42)
+    p_analyze.add_argument("--dram-budget", type=int, default=None,
+                           help="DRAM cap in bytes (forces MergePass when "
+                                "small)")
+    p_analyze.add_argument("--no-validate", action="store_true")
+    p_analyze.add_argument("--what-if", action="append", default=None,
+                           metavar="EXPR",
+                           help="project the critical path under a "
+                                "hypothetical change, e.g. 'write_bw*2', "
+                                "'braid.read_bw*1.5', 'net_bw*4' or "
+                                "'dram+4GiB'; repeatable")
+    p_analyze.add_argument("--blame-rows", type=int, default=6,
+                           help="blame-table rows to print per phase")
+    p_analyze.add_argument("--json", metavar="PATH", default=None,
+                           help="also write the analysis report (canonical "
+                                "byte-deterministic JSON) to PATH")
+    p_analyze.add_argument("--trace", metavar="PATH", default=None,
+                           help="also export the underlying Chrome/Perfetto "
+                                "trace JSON to PATH")
+
+    p_diff = sub.add_parser(
+        "trace-diff",
+        help="diff two schema-stamped report JSONs for regressions",
+    )
+    p_diff.add_argument("report_a", help="baseline report JSON")
+    p_diff.add_argument("report_b", help="candidate report JSON")
+    p_diff.add_argument("--threshold", type=float, default=0.05,
+                        help="relative growth that counts as a regression "
+                             "(default 0.05 = 5%%)")
 
     p_cluster = sub.add_parser(
         "cluster", help="run concurrent sort jobs on a multi-device cluster"
@@ -231,6 +288,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="declare an SLO, e.g. 'latency:p99<0.01' or "
                               "'slowdown:p50<2'; repeatable; any FAIL "
                               "exits 1")
+    p_serve.add_argument("--burn-window", type=float, metavar="SECONDS",
+                         default=None,
+                         help="arm the live SLO burn-rate monitor with this "
+                              "rollup window (simulated seconds); needs at "
+                              "least one --slo")
+    p_serve.add_argument("--burn-alert", type=float, metavar="RATE",
+                         default=2.0,
+                         help="burn-rate multiple that fires an alert "
+                              "(default 2.0 = burning error budget twice "
+                              "as fast as allowed)")
     p_serve.add_argument("--report", metavar="PATH", default=None,
                          help="also write the report as JSON to PATH")
     p_serve.add_argument("--no-validate", action="store_true")
@@ -633,6 +700,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     devices = None
     if args.devices:
         devices = [name.strip() for name in args.devices.split(",")]
+    monitor = None
+    if args.burn_window is not None:
+        if not args.slo:
+            print("serve: --burn-window needs at least one --slo",
+                  file=sys.stderr)
+            return 2
+        from repro.cluster.service import SLOMonitor
+
+        monitor = SLOMonitor(args.slo, window=args.burn_window,
+                             burn_threshold=args.burn_alert)
     try:
         report = api.serve(
             base,
@@ -650,6 +727,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             amplitude=args.amplitude,
             trace_file=args.trace_file,
             slos=args.slo or (),
+            monitor=monitor,
         )
     except ConfigError as exc:
         print(f"serve: {exc}", file=sys.stderr)
@@ -661,6 +739,76 @@ def cmd_serve(args: argparse.Namespace) -> int:
             fh.write(report.to_json() + "\n")
         print(f"report : {args.report}")
     return 0 if report.ok else 1
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.trace import Tracer, analyze_tracer
+    from repro.trace.analyze import parse_what_if
+
+    hypotheses = []
+    for expr in args.what_if or ():
+        try:
+            hypotheses.append(parse_what_if(expr))
+        except ConfigError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+    fmt = RecordFormat(key_size=args.key_size, value_size=args.value_size)
+    config = SortConfig(concurrency=ConcurrencyModel(args.concurrency))
+    tracer = Tracer(analyze=True)
+    result = api.sort(api.RunOptions(
+        records=args.records,
+        system=args.system,
+        device=args.device,
+        fmt=fmt,
+        config=config,
+        seed=args.seed,
+        validate=not args.no_validate,
+        dram_budget=args.dram_budget,
+        trace=tracer,
+    ))
+    report = analyze_tracer(tracer)
+    machine = result.extras["machine"]
+    print(f"device : {machine.profile.describe()}")
+    print(f"system : {result.system}")
+    print(f"total  : {fmt_seconds(result.total_time)} (simulated)")
+    print()
+    print(report.render(blame_rows=args.blame_rows))
+    for wi in hypotheses:
+        print()
+        print(report.render_what_if(report.what_if(wi)))
+    if args.json:
+        from repro.trace import write_report_json
+
+        write_report_json(report, args.json)
+        print(f"\nreport : {args.json}")
+    if args.trace:
+        from repro.trace import write_chrome_trace
+
+        write_chrome_trace(tracer, args.trace)
+        print(f"trace  : {args.trace} "
+              f"({len(tracer.spans)} spans, {len(tracer.ops)} ops)")
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.errors import SchemaMismatchError
+    from repro.trace import diff_reports, load_report_json, render_diff
+
+    docs = []
+    for path in (args.report_a, args.report_b):
+        try:
+            docs.append(load_report_json(path))
+        except (OSError, ValueError) as exc:
+            print(f"trace-diff: {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        diff = diff_reports(docs[0], docs[1], threshold=args.threshold)
+    except SchemaMismatchError as exc:
+        print(f"trace-diff: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(diff))
+    return 1 if diff["regressions"] else 0
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:
@@ -700,6 +848,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "sort": cmd_sort,
+        "analyze": cmd_analyze,
+        "trace-diff": cmd_trace_diff,
         "cluster": cmd_cluster,
         "serve": cmd_serve,
         "calibrate": cmd_calibrate,

@@ -235,8 +235,10 @@ class Cluster:
     def now(self) -> float:
         return self.engine.now
 
-    def semaphore(self, count: int = 1, name: str = "") -> Semaphore:
-        return Semaphore(self.engine, count, name=name)
+    def semaphore(
+        self, count: int = 1, name: str = "", reason: Optional[str] = None
+    ) -> Semaphore:
+        return Semaphore(self.engine, count, name=name, reason=reason)
 
     # ------------------------------------------------------------------
     # Interconnect

@@ -142,6 +142,134 @@ def parse_slo(spec: Union[str, SLO]) -> SLO:
     )
 
 
+#: Version stamp on every JSON report this module (and the trace
+#: analyzer) emits; ``repro trace-diff`` refuses to compare documents
+#: whose schemas disagree.
+REPORT_SCHEMA = 1
+
+
+class SLOMonitor:
+    """Windowed error-budget burn-rate tracking for declared SLOs.
+
+    SRE-style accounting: an SLO like ``latency:p99<0.05`` grants an
+    *error budget* of 1% of jobs over threshold.  The monitor buckets
+    completions into fixed sim-time windows and, at each window close,
+    computes the burn rate -- the window's violation fraction divided
+    by the budget fraction -- per SLO.  A burn rate of 1.0 consumes the
+    budget exactly as fast as the SLO allows; ``burn_threshold`` (a
+    multiple of that) raises a deterministic alert, recorded in
+    :attr:`alerts` and, when a tracer is attached, as an ``slo_alert``
+    instant in the trace.
+
+    Everything is a pure function of the observation stream: same jobs,
+    byte-identical windows and alerts.  Observe-only -- attaching a
+    monitor never changes simulated results.
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[Union[str, SLO]],
+        window: float = 1.0,
+        burn_threshold: float = 2.0,
+    ):
+        if window <= 0:
+            raise ConfigError("SLO monitor window must be > 0 sim seconds")
+        if burn_threshold <= 0:
+            raise ConfigError("burn threshold must be > 0")
+        self.slos = [parse_slo(s) for s in slos]
+        self.window = window
+        self.burn_threshold = burn_threshold
+        #: Optional tracer; alerts also become ``slo_alert`` instants.
+        self.tracer = None
+        #: Closed windows: ``{"window", "t0", "t1", "slos": {spec:
+        #: {"total", "violations", "burn"}}}`` in time order.
+        self.windows: List[dict] = []
+        #: Raised alerts: ``{"t", "window", "slo", "burn",
+        #: "violations", "total"}`` in time order.
+        self.alerts: List[dict] = []
+        self._cur_idx: Optional[int] = None
+        self._cur: Dict[str, List[int]] = {}
+
+    def _budget(self, slo: SLO) -> float:
+        # A p100 SLO has zero nominal budget; the tiny floor keeps the
+        # burn rate finite (and deterministic) instead of dividing by 0.
+        return max(1.0 - slo.percentile / 100.0, 1e-9)
+
+    def observe(self, t: float, values: Dict[str, float]) -> None:
+        """Record one completion at sim-time ``t``.
+
+        ``values`` maps metric names (``latency``/``slowdown``/
+        ``queue``) to the job's measured values; metrics without a
+        declared SLO are ignored.
+        """
+        idx = int(t // self.window)
+        if idx != self._cur_idx:
+            self._close_window()
+            self._cur_idx = idx
+            self._cur = {slo.spec(): [0, 0] for slo in self.slos}
+        for slo in self.slos:
+            value = values.get(slo.metric)
+            if value is None:
+                continue
+            counts = self._cur[slo.spec()]
+            counts[0] += 1
+            if not slo.check(value):
+                counts[1] += 1
+
+    def finalize(self) -> None:
+        """Close the trailing window (call once, after the last job)."""
+        self._close_window()
+        self._cur_idx = None
+        self._cur = {}
+
+    def _close_window(self) -> None:
+        if self._cur_idx is None or not any(
+            self._cur[slo.spec()][0] for slo in self.slos
+        ):
+            return
+        idx = self._cur_idx
+        t0 = idx * self.window
+        t1 = (idx + 1) * self.window
+        row: dict = {"window": idx, "t0": t0, "t1": t1, "slos": {}}
+        for slo in self.slos:
+            spec = slo.spec()
+            total, violations = self._cur[spec]
+            burn = 0.0
+            if total:
+                burn = (violations / total) / self._budget(slo)
+            row["slos"][spec] = {
+                "total": total,
+                "violations": violations,
+                "burn": burn,
+            }
+            if total and burn >= self.burn_threshold:
+                alert = {
+                    "t": t1,
+                    "window": idx,
+                    "slo": spec,
+                    "burn": burn,
+                    "violations": violations,
+                    "total": total,
+                }
+                self.alerts.append(alert)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "slo_alert", cat="service", track="service",
+                        slo=spec, burn=burn, window=idx,
+                        violations=violations, total=total,
+                    )
+        self.windows.append(row)
+
+    def summary(self) -> dict:
+        """JSON-safe summary embedded in :meth:`ServiceReport.as_dict`."""
+        return {
+            "window": self.window,
+            "burn_threshold": self.burn_threshold,
+            "windows": self.windows,
+            "alerts": self.alerts,
+        }
+
+
 @dataclass
 class ServiceReport:
     """What one open-loop service run produced, rendered deterministically."""
@@ -162,6 +290,8 @@ class ServiceReport:
     metrics: Optional[MetricsRegistry] = None
     jobs: List[Job] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
+    #: :meth:`SLOMonitor.summary` when a monitor was attached.
+    burn: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -170,7 +300,8 @@ class ServiceReport:
 
     def as_dict(self) -> dict:
         """JSON-safe summary (no live objects)."""
-        return {
+        out = {
+            "schema": REPORT_SCHEMA,
             "policy": self.policy,
             "jobs_arrived": self.jobs_arrived,
             "jobs_admitted": self.jobs_admitted,
@@ -184,6 +315,9 @@ class ServiceReport:
             "slos": self.slo_results,
             "ok": self.ok,
         }
+        if self.burn is not None:
+            out["burn"] = self.burn
+        return out
 
     def to_json(self) -> str:
         """Deterministic JSON (sorted keys, full float repr)."""
@@ -215,6 +349,18 @@ class ServiceReport:
                 f"SLO {result['slo']}  measured {result['measured']:.6g}  "
                 f"{verdict}"
             )
+        if self.burn is not None:
+            lines.append(
+                f"burn monitor: window {self.burn['window']:.6g} s, "
+                f"alert at {self.burn['burn_threshold']:.6g}x, "
+                f"{len(self.burn['alerts'])} alert(s)"
+            )
+            for alert in self.burn["alerts"]:
+                lines.append(
+                    f"ALERT t={alert['t']:.6g} {alert['slo']}  burn "
+                    f"{alert['burn']:.6g}x ({alert['violations']}/"
+                    f"{alert['total']} in window {alert['window']})"
+                )
         return "\n".join(lines)
 
 
@@ -240,6 +386,7 @@ class SortService:
         slos: Sequence[Union[str, SLO]] = (),
         validate: bool = True,
         base_options: Optional[RunOptions] = None,
+        monitor: Optional[SLOMonitor] = None,
     ):
         self.cluster = cluster
         #: Policy name (display); the object drives decisions.
@@ -253,6 +400,9 @@ class SortService:
         self.base_options = (
             base_options if base_options is not None else RunOptions()
         )
+        #: Optional live burn-rate monitor (off by default, so reports
+        #: and fingerprints are byte-identical without one).
+        self.monitor = monitor
         #: Every job that arrived, shed ones included, in arrival order.
         self.jobs: List[Job] = []
         self.metrics = MetricsRegistry()
@@ -287,7 +437,13 @@ class SortService:
         }
         service: Dict[str, float] = {}
         in_service: Dict[str, int] = {}
-        kick = Semaphore(self.cluster.engine, 0, name="service-kick")
+        # Admission waits here for new work *and* freed DRAM; the
+        # reason tag lets the trace analyzer bill those stalls to DRAM.
+        kick = Semaphore(
+            self.cluster.engine, 0, name="service-kick", reason="dram"
+        )
+        if self.monitor is not None:
+            self.monitor.tracer = self.cluster.engine.tracer
         self.cluster.run(
             self._service_proc(
                 arrivals, horizon, max_jobs, pending, state,
@@ -470,6 +626,15 @@ class SortService:
         state["completed"] += 1
         if job.missed_deadline:
             state["deadline_misses"] += 1
+        if self.monitor is not None:
+            self.monitor.observe(
+                job.finish_time,
+                {
+                    "latency": job.latency,
+                    "slowdown": job.slowdown,
+                    "queue": job.queue_time,
+                },
+            )
         kick.release()
 
     # ------------------------------------------------------------------
@@ -509,6 +674,10 @@ class SortService:
                 "measured": measured,
                 "ok": slo.check(measured),
             })
+        burn = None
+        if self.monitor is not None:
+            self.monitor.finalize()
+            burn = self.monitor.summary()
         makespan = self.cluster.now
         span = horizon if horizon is not None else state["last_arrival"]
         offered = state["arrived"] / span if span and span > 0 else 0.0
@@ -529,4 +698,5 @@ class SortService:
             slo_results=slo_results,
             metrics=self.metrics,
             jobs=list(self.jobs),
+            burn=burn,
         )

@@ -480,7 +480,7 @@ class ShardedWiscSort(SortSystem):
         winner is identical across runs and kernels.
         """
         engine = cluster.engine
-        done = Semaphore(engine, 0, name="sort-done")
+        done = Semaphore(engine, 0, name="sort-done", reason="barrier")
         state = {
             "winner": {},  # d -> "primary" | "spec"
             "durations": {},  # d -> completed-partition duration

@@ -91,7 +91,7 @@ class WritePoolArbiter:
         controller = ThreadPoolController(shard, self._cluster.config)
         self._controllers[shard.domain] = controller
         self._slots[shard.domain] = shard.semaphore(
-            1, name=f"write-pool:{shard.domain}"
+            1, name=f"write-pool:{shard.domain}", reason="write-slot"
         )
 
     def ensure(self, domain: str) -> None:

@@ -77,6 +77,15 @@ class ConfigError(ReproError, ValueError):
     """
 
 
+class SchemaMismatchError(ConfigError):
+    """Two JSON reports cannot be compared (``repro trace-diff``).
+
+    Raised when a document lacks the ``"schema"`` version stamp, when
+    the two documents' schema versions disagree, or when their document
+    kinds differ (an analysis report against a selfperf baseline).
+    """
+
+
 class UnknownSystemError(ConfigError):
     """A name was looked up in a :mod:`repro.registry` that has no entry.
 

@@ -351,8 +351,15 @@ class Machine:
     def barrier(self, parties: int, name: str = "") -> Barrier:
         return Barrier(self.engine, parties, name=name)
 
-    def semaphore(self, count: int = 1, name: str = "") -> Semaphore:
-        return Semaphore(self.engine, count, name=name)
+    def semaphore(
+        self, count: int = 1, name: str = "", reason: Optional[str] = None
+    ) -> Semaphore:
+        return Semaphore(self.engine, count, name=name, reason=reason)
 
-    def queue(self, maxsize: Optional[int] = None, name: str = "") -> SimQueue:
-        return SimQueue(self.engine, maxsize, name=name)
+    def queue(
+        self,
+        maxsize: Optional[int] = None,
+        name: str = "",
+        reason: Optional[str] = None,
+    ) -> SimQueue:
+        return SimQueue(self.engine, maxsize, name=name, reason=reason)

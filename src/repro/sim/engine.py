@@ -220,8 +220,12 @@ class Engine:
             # Spawn edge: the child inherits the spawner's clock (the
             # detector reads its own _current to find the spawner).
             self.race.on_spawn(proc)
-        if self.tracer is not None and self.tracer.detail:
-            self.tracer.sched_event("spawn", proc)
+        tracer = self.tracer
+        if tracer is not None:
+            if tracer.analyze:
+                tracer.analyze_spawn(proc)
+            if tracer.detail:
+                tracer.sched_event("spawn", proc)
         return proc
 
     def resume(
@@ -246,12 +250,18 @@ class Engine:
             # Resume edge, before blocked_on clears: the waker's clock
             # (and, for primitives/joins, the resource's) merges in.
             self.race.on_resume(proc, proc.blocked_on)
+        tracer = self.tracer
+        if tracer is not None:
+            if tracer.analyze:
+                # Before blocked_on clears: the wait record snapshots
+                # what the process was parked on.
+                tracer.wait_end(proc)
+            if tracer.detail:
+                tracer.sched_event("resume", proc)
         proc.blocked_on = None
         self._blocked -= 1
         if self.sanitizer is not None:
             self.sanitizer.on_wake(proc)
-        if self.tracer is not None and self.tracer.detail:
-            self.tracer.sched_event("resume", proc)
         proc._resume_value = value
         proc._resume_exc = exc
         self._ready.append(proc)
@@ -284,8 +294,17 @@ class Engine:
             self.race.on_block(proc, resource, verb)
         if self.sanitizer is not None and proc is not None:
             self.sanitizer.on_wait(proc, resource, verb)
-        if self.tracer is not None and self.tracer.detail and proc is not None:
-            self.tracer.sched_event(f"block:{verb}", proc)
+        tracer = self.tracer
+        if tracer is not None and proc is not None:
+            if tracer.analyze:
+                tracer.wait_begin(
+                    proc,
+                    "primitive",
+                    reason=getattr(resource, "reason", None) or verb,
+                    resource=resource,
+                )
+            if tracer.detail:
+                tracer.sched_event(f"block:{verb}", proc)
 
     def call_at(self, t: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at absolute simulated time ``t``."""
@@ -325,6 +344,11 @@ class Engine:
             if proc.done:
                 continue
             proc.cancelled = True
+            if self.tracer is not None and self.tracer.analyze:
+                # Close any open wait record while blocked_on is still
+                # set, then stamp the process's end time.
+                self.tracer.wait_end(proc)
+                self.tracer.analyze_finish(proc)
             blocked = proc.blocked_on
             proc.blocked_on = None
             if blocked is not None:
@@ -511,6 +535,8 @@ class Engine:
                     continue
                 if self.race is not None:
                     self.race.on_resume(item, item.blocked_on)
+                if self.tracer is not None and self.tracer.analyze:
+                    self.tracer.wait_end(item)
                 item.blocked_on = None
                 self._blocked -= 1
                 if self.sanitizer is not None:
@@ -562,6 +588,10 @@ class Engine:
             self.race.on_block(proc, ops, "parallel")
         if self.sanitizer is not None:
             self.sanitizer.on_wait(proc, ops, "parallel")
+        if self.tracer is not None and self.tracer.analyze:
+            # Begun before carriers issue: a zero-work carrier can
+            # resume the process from inside the issue loop below.
+            self.tracer.wait_begin(proc, "parallel")
         results: list[Any] = [None] * len(ops)
         pending = [len(groups) + len(other_items)]
         state = {"failed": False}
@@ -684,6 +714,8 @@ class Engine:
                     self.sanitizer.on_proc_finish(proc, self.now)
                 if race is not None:
                     race.on_finish(proc, self.now)
+                if tracer is not None and tracer.analyze:
+                    tracer.analyze_finish(proc)
                 proc._finish(stop.value)
                 return
             self._dispatch(command, proc)
@@ -700,6 +732,8 @@ class Engine:
             self._blocked += 1
             if self.sanitizer is not None:
                 self.sanitizer.on_wait(proc, command, "io")
+            if self.tracer is not None and self.tracer.analyze:
+                self.tracer.wait_begin(proc, "io")
             self.fluid.add(command, self.now)
             if command.finished_at is not None:
                 # Zero-work op completed instantly.
@@ -709,6 +743,8 @@ class Engine:
             self._blocked += 1
             if self.sanitizer is not None:
                 self.sanitizer.on_wait(proc, command, "sleep")
+            if self.tracer is not None and self.tracer.analyze:
+                self.tracer.wait_begin(proc, "sleep")
             heapq.heappush(self._heap, (self.now + command.dt, next(self._seq), proc))
         elif isinstance(command, Spawn):
             child = self.spawn(command.gen, command.name)
@@ -738,6 +774,8 @@ class Engine:
         self._blocked += 1
         if self.sanitizer is not None:
             self.sanitizer.on_wait(proc, command, "join")
+        if self.tracer is not None and self.tracer.analyze:
+            self.tracer.wait_begin(proc, "join")
         remaining = {"n": len(pending)}
 
         def on_done(_finished: Process) -> None:

@@ -50,12 +50,21 @@ class Semaphore:
     ``sem.release()`` is a plain call and wakes one waiter if any.
     """
 
-    def __init__(self, engine, count: int = 1, name: str = ""):
+    def __init__(
+        self,
+        engine,
+        count: int = 1,
+        name: str = "",
+        reason: Optional[str] = None,
+    ):
         if count < 0:
             raise ValueError("semaphore count must be >= 0")
         self._engine = engine
         self._count = count
         self.name = name
+        #: Blocked-reason tag read by the trace analyzer when a process
+        #: parks here (e.g. ``"write-slot"``, ``"dram"``); observe-only.
+        self.reason = reason
         self._waiters: deque = deque()
 
     @property
@@ -113,12 +122,20 @@ class _BarrierCommand:
 class Barrier:
     """Cyclic barrier for a fixed number of parties."""
 
-    def __init__(self, engine, parties: int, name: str = ""):
+    def __init__(
+        self,
+        engine,
+        parties: int,
+        name: str = "",
+        reason: Optional[str] = "barrier",
+    ):
         if parties < 1:
             raise ValueError("barrier needs at least one party")
         self._engine = engine
         self.parties = parties
         self.name = name
+        #: Blocked-reason tag for the trace analyzer (see Semaphore).
+        self.reason = reason
         self.generation = 0
         self._arrived = 0
         self._waiters: list = []
@@ -181,12 +198,20 @@ class SimQueue:
     empty.  ``maxsize=None`` means unbounded.
     """
 
-    def __init__(self, engine, maxsize: Optional[int] = None, name: str = ""):
+    def __init__(
+        self,
+        engine,
+        maxsize: Optional[int] = None,
+        name: str = "",
+        reason: Optional[str] = None,
+    ):
         if maxsize is not None and maxsize < 1:
             raise ValueError("maxsize must be >= 1 or None")
         self._engine = engine
         self.maxsize = maxsize
         self.name = name
+        #: Blocked-reason tag for the trace analyzer (see Semaphore).
+        self.reason = reason
         self._items: deque = deque()
         self._get_waiters: deque = deque()
         self._put_waiters: deque = deque()

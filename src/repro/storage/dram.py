@@ -26,6 +26,11 @@ class DramTracker:
         #: allocate/free; the tracing layer uses it for a DRAM counter
         #: track.  Observe-only.
         self.on_change = None
+        #: Optional observer called as ``on_pressure(requested, used)``
+        #: whenever :meth:`would_fit` rejects a reservation -- the
+        #: signal behind the trace analyzer's DRAM-stall attribution.
+        #: Observe-only.
+        self.on_pressure = None
 
     @property
     def available(self) -> Optional[int]:
@@ -37,7 +42,10 @@ class DramTracker:
     def would_fit(self, nbytes: int) -> bool:
         if self.budget is None:
             return True
-        return self.used + nbytes <= self.budget
+        fits = self.used + nbytes <= self.budget
+        if not fits and self.on_pressure is not None:
+            self.on_pressure(nbytes, self.used)
+        return fits
 
     def allocate(self, nbytes: int) -> None:
         if nbytes < 0:

@@ -22,16 +22,32 @@ Programmatic::
     tracer.install(machine)      # or tracer.install_cluster(cluster)
     ... run the workload ...
     json_text = dumps_chrome_trace(tracer)
+
+``Tracer(analyze=True)`` additionally records blocked-wait and
+process-lifetime records for the critical-path analyzer
+(:func:`analyze_tracer`, ``python -m repro analyze``), still
+observe-only: simulated results stay bit-identical.
 """
 
+from repro.trace.analyze import (
+    AnalysisReport,
+    PhaseBreakdown,
+    analyze_tracer,
+    diff_reports,
+    parse_what_if,
+    render_diff,
+)
+from repro.trace.critical_path import CATEGORIES, CriticalPath, blame_table
 from repro.trace.export import (
     chrome_trace_events,
     dumps_chrome_trace,
     load_chrome_trace,
+    load_report_json,
     render_phase_rollup,
     render_trace_report,
     spans_jsonl,
     write_chrome_trace,
+    write_report_json,
     write_spans_jsonl,
 )
 from repro.trace.metrics import (
@@ -39,6 +55,8 @@ from repro.trace.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    WindowedSeries,
+    counter_windows,
     snapshot_cluster,
     snapshot_machine,
     tracer_histograms,
@@ -46,7 +64,18 @@ from repro.trace.metrics import (
 from repro.trace.tracer import Span, Tracer
 
 __all__ = [
+    "AnalysisReport",
+    "CATEGORIES",
     "Counter",
+    "CriticalPath",
+    "PhaseBreakdown",
+    "WindowedSeries",
+    "analyze_tracer",
+    "blame_table",
+    "counter_windows",
+    "diff_reports",
+    "parse_what_if",
+    "render_diff",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -55,6 +84,7 @@ __all__ = [
     "chrome_trace_events",
     "dumps_chrome_trace",
     "load_chrome_trace",
+    "load_report_json",
     "render_phase_rollup",
     "render_trace_report",
     "snapshot_cluster",
@@ -62,5 +92,6 @@ __all__ = [
     "spans_jsonl",
     "tracer_histograms",
     "write_chrome_trace",
+    "write_report_json",
     "write_spans_jsonl",
 ]

@@ -188,6 +188,31 @@ def write_chrome_trace(tracer: Tracer, path: str) -> None:
         fh.write("\n")
 
 
+def write_report_json(doc, path: str) -> None:
+    """Write a schema-stamped report as canonical byte-deterministic JSON.
+
+    ``doc`` may be a plain dict or anything with an ``as_dict()`` (an
+    :class:`~repro.trace.analyze.AnalysisReport`, a
+    :class:`~repro.cluster.service.ServiceReport`).  The canonical form
+    -- sorted keys, no whitespace, trailing newline -- is what the CI
+    byte-identity gates ``cmp`` against.
+    """
+    if hasattr(doc, "as_dict"):
+        doc = doc.as_dict()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc, **_JSON_KW))
+        fh.write("\n")
+
+
+def load_report_json(path: str) -> dict:
+    """Load a report JSON document (for :func:`repro.trace.diff_reports`)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object report document")
+    return doc
+
+
 def spans_jsonl(tracer: Tracer) -> str:
     """One JSON object per span, issue order, sorted keys per line."""
     return "\n".join(

@@ -242,6 +242,119 @@ class MetricsRegistry:
 
 
 # ----------------------------------------------------------------------
+# Windowed time-series rollups (sim-time windows)
+# ----------------------------------------------------------------------
+class WindowedSeries:
+    """Event observations bucketed into fixed sim-time windows.
+
+    Each window keeps its own :class:`Histogram`, so rolling p50/p99
+    come straight from the same interpolation the registry uses
+    elsewhere.  Deterministic: the same ``(t, value)`` stream always
+    produces the same rows.  This is the rollup surface behind the SLO
+    burn-rate monitor and the ``analyze`` CLI's service view.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window: float,
+        buckets: Sequence[float] = _DEFAULT_BUCKETS,
+    ):
+        if window <= 0:
+            raise ValueError(f"series {name!r} window must be > 0")
+        self.name = name
+        self.window = window
+        self.buckets = tuple(buckets)
+        self._windows: Dict[int, Histogram] = {}
+
+    def observe(self, t: float, value: float) -> None:
+        idx = int(t // self.window)
+        hist = self._windows.get(idx)
+        if hist is None:
+            hist = Histogram(self.name, buckets=self.buckets)
+            self._windows[idx] = hist
+        hist.observe(value)
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def rows(
+        self, percentiles: Sequence[float] = (50.0, 99.0)
+    ) -> List[dict]:
+        """One dict per non-empty window, in time order."""
+        out = []
+        for idx in sorted(self._windows):
+            hist = self._windows[idx]
+            row = {
+                "t0": idx * self.window,
+                "t1": (idx + 1) * self.window,
+                "count": hist.count,
+                "mean": hist.mean,
+            }
+            for q in percentiles:
+                row[f"p{q:g}".replace(".", "_")] = hist.percentile(q)
+            out.append(row)
+        return out
+
+
+def counter_windows(
+    counters: Sequence[Tuple[float, str, str, float]],
+    track: str,
+    series: str,
+    window: float,
+    t_end: Optional[float] = None,
+) -> List[dict]:
+    """Time-weighted rollup of one counter track into sim-time windows.
+
+    Counter samples are change-points of a step function (utilization,
+    queue depth); this integrates that step function per window and
+    reports the time-weighted mean plus the max level seen.  ``t_end``
+    bounds the final sample's reach (defaults to the last sample time).
+    Returns ``{"t0", "t1", "avg", "max"}`` rows for covered windows.
+    """
+    if window <= 0:
+        raise ValueError("window must be > 0")
+    points = [
+        (t, value) for (t, trk, ser, value) in counters
+        if trk == track and ser == series
+    ]
+    if not points:
+        return []
+    points.sort(key=lambda p: p[0])
+    end = t_end if t_end is not None else points[-1][0]
+    acc: Dict[int, List[float]] = {}  # idx -> [integral, max]
+    for i, (t0, value) in enumerate(points):
+        t1 = points[i + 1][0] if i + 1 < len(points) else end
+        if t1 <= t0:
+            continue
+        lo = t0
+        while lo < t1:
+            idx = int(lo // window)
+            hi = min((idx + 1) * window, t1)
+            slot = acc.get(idx)
+            if slot is None:
+                slot = [0.0, value]
+                acc[idx] = slot
+            slot[0] += (hi - lo) * value
+            if value > slot[1]:
+                slot[1] = value
+            lo = hi
+    out = []
+    for idx in sorted(acc):
+        integral, peak = acc[idx]
+        lo = idx * window
+        hi = min((idx + 1) * window, end)
+        covered = hi - lo
+        out.append({
+            "t0": lo,
+            "t1": idx * window + window,
+            "avg": integral / covered if covered > 0 else 0.0,
+            "max": peak,
+        })
+    return out
+
+
+# ----------------------------------------------------------------------
 # Bridges from the existing ad-hoc stat surfaces
 # ----------------------------------------------------------------------
 def _bridge_kernel(registry: MetricsRegistry, counters: Dict[str, float],

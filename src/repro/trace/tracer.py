@@ -41,19 +41,22 @@ from repro.sim.fluid import (
     OBS_IO_READ,
     OBS_IO_WRITE,
     OBS_NET,
+    FluidOp,
     observer_code,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine import Machine
     from repro.sim.engine import Engine, Process
-    from repro.sim.fluid import FluidOp
 
 
 class Span:
     """One named sim-time interval; ``t1`` is ``None`` while open."""
 
-    __slots__ = ("sid", "parent", "name", "cat", "track", "proc", "t0", "t1", "args")
+    __slots__ = (
+        "sid", "parent", "name", "cat", "track", "proc", "pid", "t0", "t1",
+        "args",
+    )
 
     def __init__(
         self,
@@ -65,6 +68,7 @@ class Span:
         proc: str,
         t0: float,
         args: Optional[dict],
+        pid: Optional[int] = None,
     ):
         self.sid = sid
         self.parent = parent
@@ -72,6 +76,10 @@ class Span:
         self.cat = cat
         self.track = track
         self.proc = proc
+        #: Owning engine pid (None for spans opened outside the engine
+        #: and for retrospective spans); consumed by the critical-path
+        #: analyzer, deliberately absent from :meth:`as_dict`.
+        self.pid = pid
         self.t0 = t0
         self.t1: Optional[float] = None
         self.args = args
@@ -111,20 +119,36 @@ class Tracer:
     ``detail=True`` additionally records engine scheduling events
     (spawn/block/resume) and fluid re-rates; these are high-volume and
     off by default.
+
+    ``analyze=True`` arms the blocked-reason hooks consumed by
+    :mod:`repro.trace.analyze`: one *wait record* per blocking engine
+    command (why each coroutine waited, and on what) and one *process
+    record* per spawned coroutine.  Like every other hook these are
+    observe-only -- simulated results are bit-identical either way --
+    and cost nothing when off (one extra attribute test per block
+    site).
     """
 
     #: Track key used for a standalone machine (cluster shards use
     #: their domain keys instead).
     MAIN_TRACK = "machine"
 
-    def __init__(self, detail: bool = False):
+    def __init__(self, detail: bool = False, analyze: bool = False):
         self.detail = detail
+        self.analyze = analyze
         self.spans: List[Span] = []
         self.ops: List[dict] = []
         self.instants: List[dict] = []
         #: ``(t, track, series, value)`` rows, change-suppressed per
         #: ``(track, series)`` so constant stretches cost one sample.
         self.counters: List[Tuple[float, str, str, float]] = []
+        #: Closed wait records (``analyze`` mode), in engine-event
+        #: order: one dict per blocking command with a positive
+        #: duration; see :meth:`wait_end` for the schema.
+        self.waits: List[dict] = []
+        #: Process lifecycle records (``analyze`` mode):
+        #: ``{pid, name, parent, t0, t1}`` per spawned coroutine.
+        self.procs: List[dict] = []
         self._sid = itertools.count(1)
         self._oid = itertools.count(1)
         #: Per-process span stacks; key 0 is "outside the engine".
@@ -135,6 +159,11 @@ class Tracer:
         #: Track key -> machine, for profile/host lookups at op issue.
         self._machines: Dict[str, "Machine"] = {}
         self._last_counter: Dict[Tuple[str, str], float] = {}
+        #: Timestamp of the last *emitted* sample per (track, series);
+        #: lets the root-span flush skip tracks already current.
+        self._counter_t: Dict[Tuple[str, str], float] = {}
+        self._proc_index: Dict[int, dict] = {}
+        self._open_waits: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # Installation
@@ -221,6 +250,17 @@ class Tracer:
             self.counter_sample(_key, "dram_used", float(used))
 
         dram.on_change = on_change
+        if self.analyze:
+            def on_pressure(requested: int, used: int, _key: str = key) -> None:
+                self.instant(
+                    "dram_pressure",
+                    cat="analyze",
+                    track=_key,
+                    requested=requested,
+                    used=used,
+                )
+
+            dram.on_pressure = on_pressure
         # Emit the initial level so the DRAM track exists even for runs
         # that never allocate (OnePass consults would_fit only).
         self._last_counter.pop((key, "dram_used"), None)
@@ -324,6 +364,7 @@ class Tracer:
             proc=proc.name if proc is not None else "main",
             t0=self.now,
             args=args or None,
+            pid=proc.pid if proc is not None else None,
         )
         stack.append(span)
         self.spans.append(span)
@@ -339,6 +380,19 @@ class Tracer:
                 stack.pop()
             elif span in stack:
                 stack.remove(span)
+        if span.parent is None and key == 0 and not self._stacks.get(0):
+            # The root span (e.g. ``sort:wiscsort``) just closed: emit a
+            # terminal sample for every counter track.  Samples are
+            # change-suppressed, so a track whose value went flat before
+            # the end would otherwise stop short of the run's end time.
+            self._flush_counters(span.t1)
+
+    def _flush_counters(self, t: float) -> None:
+        for skey in sorted(self._last_counter):
+            last_t = self._counter_t.get(skey)
+            if last_t is None or last_t < t:
+                self._counter_t[skey] = t
+                self.counters.append((t, skey[0], skey[1], self._last_counter[skey]))
 
     @contextmanager
     def span(
@@ -412,9 +466,9 @@ class Tracer:
         if last is not None and last == value:
             return
         self._last_counter[skey] = value
-        self.counters.append(
-            (self.now if t is None else t, track, series, value)
-        )
+        t_sample = self.now if t is None else t
+        self._counter_t[skey] = t_sample
+        self.counters.append((t_sample, track, series, value))
 
     # ------------------------------------------------------------------
     # Engine / fluid hooks (called only when installed)
@@ -515,6 +569,94 @@ class Tracer:
                 "args": None,
             }
         )
+
+    # ------------------------------------------------------------------
+    # Blocked-reason hooks (``analyze`` mode only; see caller gates)
+    # ------------------------------------------------------------------
+    def analyze_spawn(self, proc: "Process") -> None:
+        """Record a process's birth; parent is the spawning coroutine
+        (None for processes spawned from outside the engine)."""
+        parent = self._current
+        rec = {
+            "pid": proc.pid,
+            "name": proc.name,
+            "parent": parent.pid if parent is not None else None,
+            "t0": self.now,
+            "t1": None,
+        }
+        self._proc_index[proc.pid] = rec
+        self.procs.append(rec)
+
+    def analyze_finish(self, proc: "Process") -> None:
+        rec = self._proc_index.get(proc.pid)
+        if rec is not None and rec["t1"] is None:
+            rec["t1"] = self.now
+
+    def wait_begin(
+        self,
+        proc: "Process",
+        kind: str,
+        reason: Optional[str] = None,
+        resource: Any = None,
+    ) -> None:
+        """Open a wait record for ``proc`` at the current instant.
+
+        ``kind`` is one of ``io`` / ``parallel`` / ``sleep`` / ``join``
+        / ``primitive``; for primitives ``reason`` carries the
+        resource's blocked-reason tag (or the verb) and ``resource``
+        the primitive itself (its name is recorded).
+        """
+        self._open_waits[proc.pid] = {
+            "pid": proc.pid,
+            "t0": self.now,
+            "t1": None,
+            "kind": kind,
+            "reason": reason,
+            "resource": getattr(resource, "name", None) or None,
+        }
+
+    def wait_end(self, proc: "Process") -> None:
+        """Close ``proc``'s open wait record (no-op without one).
+
+        Must run while ``proc.blocked_on`` is still set: the record
+        snapshots what the process was parked on -- the waited-for op's
+        kind/track/direction (``io``), each carrier's snapshot plus its
+        finish time (``parallel``), or the joined pids (``join``).
+        Zero-duration waits are dropped; they contribute nothing to any
+        decomposition.
+        """
+        rec = self._open_waits.pop(proc.pid, None)
+        if rec is None:
+            return
+        t1 = self.now
+        if t1 <= rec["t0"]:
+            return
+        rec["t1"] = t1
+        blocked = proc.blocked_on
+        kind = rec["kind"]
+        if kind == "io" and isinstance(blocked, FluidOp):
+            rec["op"] = self._op_snapshot(blocked)
+        elif kind == "parallel" and isinstance(blocked, list):
+            rec["members"] = [
+                self._op_snapshot(op) for op in blocked if isinstance(op, FluidOp)
+            ]
+        elif kind == "join" and blocked is not None:
+            targets = getattr(blocked, "targets", None)
+            if targets is not None:
+                rec["targets"] = [t.pid for t in targets]
+        self.waits.append(rec)
+
+    def _op_snapshot(self, op: FluidOp) -> dict:
+        attrs = op.attrs
+        domain = None if attrs is None else attrs.get("domain")
+        snap: dict = {
+            "kind": op.kind,
+            "track": domain if domain is not None else self.MAIN_TRACK,
+            "t1": op.finished_at,
+        }
+        if op.kind == "io" and attrs is not None:
+            snap["direction"] = attrs.get("direction")
+        return snap
 
     # ------------------------------------------------------------------
     # Summaries

@@ -188,3 +188,124 @@ class TestServeCommand:
         ])
         assert rc == 2
         assert "serve:" in capsys.readouterr().err
+
+
+class TestAnalyzeCommand:
+    def test_analyze_prints_decomposition_and_blame(self, capsys):
+        rc = main([
+            "analyze", "--records", "5000", "--dram-budget", "30000",
+            "--no-validate",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "critical-path decomposition" in out
+        assert "device_busy" in out and "dram_stall" in out
+        assert "blame" in out
+        assert "phase:run-generation" in out
+        assert "phase:final-merge" in out
+
+    def test_analyze_what_if_projection(self, capsys):
+        rc = main([
+            "analyze", "--records", "5000", "--no-validate",
+            "--what-if", "write_bw*2", "--what-if", "dram+4GiB",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "what-if write_bw*2" in out
+        assert "what-if dram+4GiB" in out
+        assert "speedup" in out
+
+    def test_analyze_bad_what_if_exits_2(self, capsys):
+        rc = main([
+            "analyze", "--records", "1000", "--what-if", "bogus*2",
+        ])
+        assert rc == 2
+        assert "what-if" in capsys.readouterr().err
+
+    def test_analyze_json_report_is_byte_deterministic(self, tmp_path,
+                                                       capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            rc = main([
+                "analyze", "--records", "2000", "--no-validate",
+                "--json", str(path),
+            ])
+            assert rc == 0
+        capsys.readouterr()
+        blobs = [p.read_bytes() for p in paths]
+        assert blobs[0] == blobs[1]
+        import json as _json
+
+        doc = _json.loads(blobs[0])
+        assert doc["schema"] == 1 and doc["kind"] == "analysis"
+
+
+class TestTraceDiffCommand:
+    def _report(self, tmp_path, name, records="2000"):
+        path = tmp_path / name
+        rc = main([
+            "analyze", "--records", records, "--no-validate",
+            "--json", str(path),
+        ])
+        assert rc == 0
+        return path
+
+    def test_self_diff_is_clean_exit_0(self, tmp_path, capsys):
+        a = self._report(tmp_path, "a.json")
+        capsys.readouterr()
+        rc = main(["trace-diff", str(a), str(a)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 regression(s)" in out
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        import json as _json
+
+        a = self._report(tmp_path, "a.json")
+        doc = _json.loads(a.read_text())
+        doc["phases"][0]["duration"] *= 2.0
+        b = tmp_path / "b.json"
+        b.write_text(_json.dumps(doc))
+        capsys.readouterr()
+        rc = main(["trace-diff", str(a), str(b)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSION" in out
+
+    def test_kind_mismatch_exits_2(self, tmp_path, capsys):
+        import json as _json
+
+        a = self._report(tmp_path, "a.json")
+        b = tmp_path / "selfperf.json"
+        b.write_text(_json.dumps({"schema": 1, "workloads": {}}))
+        capsys.readouterr()
+        rc = main(["trace-diff", str(a), str(b)])
+        assert rc == 2
+        assert "kinds differ" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main([
+            "trace-diff", str(tmp_path / "no.json"), str(tmp_path / "no.json"),
+        ])
+        assert rc == 2
+
+
+class TestServeBurnMonitor:
+    def test_burn_window_reports_monitor(self, capsys):
+        rc = main([
+            "serve", "--records", "2000", "--rate", "500", "--horizon",
+            "0.01", "--slo", "latency:p99<1e-9", "--burn-window", "0.01",
+            "--burn-alert", "1.0",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1  # the impossible SLO fails the run
+        assert "burn monitor" in out
+        assert "ALERT" in out
+
+    def test_burn_window_requires_slo(self, capsys):
+        rc = main([
+            "serve", "--records", "2000", "--horizon", "0.01",
+            "--burn-window", "0.01",
+        ])
+        assert rc == 2
+        assert "--slo" in capsys.readouterr().err

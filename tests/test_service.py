@@ -286,3 +286,112 @@ class TestSchedulerIntegration:
         assert job.options.records == 500
         scheduler.run()
         assert job.slowdown >= 1.0
+
+
+class TestSLOMonitor:
+    """Windowed error-budget burn-rate monitoring."""
+
+    def _monitor(self, **kw):
+        from repro.cluster.service import SLOMonitor
+
+        kw.setdefault("window", 1.0)
+        kw.setdefault("burn_threshold", 1.0)
+        return SLOMonitor(["latency:p50<1.0"], **kw)
+
+    def test_constructor_validation(self):
+        from repro.cluster.service import SLOMonitor
+
+        with pytest.raises(ConfigError):
+            SLOMonitor(["latency:p99<0.05"], window=0.0)
+        with pytest.raises(ConfigError):
+            SLOMonitor(["latency:p99<0.05"], burn_threshold=0.0)
+        with pytest.raises(ConfigError):
+            SLOMonitor(["latency:q99<0.05"])  # bad SLO grammar
+
+    def test_burn_rate_accounting(self):
+        mon = self._monitor()
+        # Window 0: 4 jobs, 2 violations.  p50 budget is 0.5, so the
+        # burn rate is (2/4) / 0.5 = 1.0 -- exactly at the threshold.
+        for t, latency in ((0.1, 0.5), (0.2, 2.0), (0.3, 0.5), (0.4, 2.0)):
+            mon.observe(t, {"latency": latency})
+        mon.finalize()
+        assert len(mon.windows) == 1
+        row = mon.windows[0]["slos"]["latency:p50<1"]
+        assert row == {"total": 4, "violations": 2, "burn": 1.0}
+        assert len(mon.alerts) == 1
+        alert = mon.alerts[0]
+        assert alert["window"] == 0 and alert["t"] == 1.0
+        assert alert["burn"] == 1.0
+
+    def test_no_alert_below_threshold(self):
+        mon = self._monitor(burn_threshold=2.0)
+        for t, latency in ((0.1, 0.5), (0.2, 2.0), (0.3, 0.5), (0.4, 0.5)):
+            mon.observe(t, {"latency": latency})
+        mon.finalize()
+        assert mon.windows[0]["slos"]["latency:p50<1"]["burn"] == 0.5
+        assert mon.alerts == []
+
+    def test_observation_in_later_window_closes_earlier(self):
+        mon = self._monitor()
+        mon.observe(0.5, {"latency": 2.0})
+        assert mon.windows == []  # still open
+        mon.observe(1.5, {"latency": 0.5})
+        assert len(mon.windows) == 1
+        mon.finalize()
+        assert [w["window"] for w in mon.windows] == [0, 1]
+
+    def test_unknown_metrics_are_ignored(self):
+        mon = self._monitor()
+        mon.observe(0.1, {"slowdown": 99.0})
+        mon.finalize()
+        assert mon.windows == []  # nothing counted, window not emitted
+
+    def test_tracer_gets_alert_instants(self):
+        from repro.trace import Tracer
+
+        mon = self._monitor()
+        mon.tracer = Tracer()
+        mon.observe(0.1, {"latency": 5.0})
+        mon.finalize()
+        events = [ev for ev in mon.tracer.instants if ev["name"] == "slo_alert"]
+        assert len(events) == 1
+        assert events[0]["args"]["slo"] == "latency:p50<1"
+
+    def test_served_report_carries_burn_and_schema(self):
+        from repro.cluster.service import SLOMonitor
+
+        mon = SLOMonitor(["latency:p99<1e-9"], window=0.01,
+                         burn_threshold=1.0)
+        rep = api.serve(
+            overload_options(), rate=500.0, horizon=0.01, policy="fifo",
+            monitor=mon,
+        )
+        doc = rep.as_dict()
+        assert doc["schema"] == 1
+        assert doc["burn"]["window"] == 0.01
+        assert doc["burn"]["alerts"]  # impossible SLO: every job violates
+        assert "ALERT" in rep.render()
+        assert "burn monitor" in rep.render()
+
+    def test_monitor_is_observe_only(self):
+        from repro.cluster.service import SLOMonitor
+
+        base = api.serve(overload_options(), rate=500.0, horizon=0.01,
+                         policy="fifo")
+        mon = SLOMonitor(["latency:p99<0.05"], window=0.01)
+        watched = api.serve(overload_options(), rate=500.0, horizon=0.01,
+                            policy="fifo", monitor=mon)
+        assert watched.makespan == base.makespan
+        assert watched.jobs_completed == base.jobs_completed
+
+    def test_windows_and_alerts_are_deterministic(self):
+        from repro.cluster.service import SLOMonitor
+
+        def run():
+            mon = SLOMonitor(["latency:p99<1e-9"], window=0.01,
+                             burn_threshold=1.0)
+            api.serve(overload_options(), rate=500.0, horizon=0.01,
+                      policy="fifo", monitor=mon)
+            return mon.windows, mon.alerts
+
+        assert run() == run()

@@ -118,3 +118,136 @@ class TestBridges:
         assert snap["op_bytes{direction=read,track=machine}.sum"] == float(
             1 << 20
         )
+
+
+class TestPercentileEdgeCases:
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("x")
+        assert h.percentile(0.0) == 0.0
+        assert h.percentile(50.0) == 0.0
+        assert h.percentile(99.9) == 0.0
+
+    def test_out_of_range_raises(self):
+        h = Histogram("x")
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+    def test_single_sample_returns_that_value(self):
+        h = Histogram("x")
+        h.observe(0.005)
+        for q in (0.0, 1.0, 50.0, 99.9, 100.0):
+            assert h.percentile(q) == 0.005
+
+    def test_all_samples_in_one_bucket_clamp_to_extrema(self):
+        h = Histogram("x", buckets=(1.0, 10.0))
+        for v in (2.0, 4.0, 9.0):
+            h.observe(v)
+        # Interpolation is clamped to the exact observed [vmin, vmax],
+        # never the raw bucket edges (1.0, 10.0).
+        assert h.percentile(100.0) == 9.0
+        assert h.percentile(0.0) >= 2.0
+        assert 2.0 <= h.percentile(50.0) <= 9.0
+
+    def test_p999_interpolates_at_bucket_boundary(self):
+        h = Histogram("x", buckets=(1.0, 2.0, 3.0))
+        for _ in range(999):
+            h.observe(1.0)
+        h.observe(3.0)
+        # rank(99.9) sits a float ulp past the 999 samples in the first
+        # bucket, so the estimate lands on the next bucket's lower edge.
+        assert h.percentile(99.9) == pytest.approx(2.0)
+        # Half a sample further interpolates inside the last bucket:
+        # lo = previous edge (2.0), hi = vmax (3.0), frac = 0.5.
+        assert h.percentile(99.95) == pytest.approx(2.5)
+        # And everything below the boundary stays in the first bucket.
+        assert h.percentile(99.0) == 1.0
+
+    def test_overflow_bucket_interpolates_to_true_max(self):
+        h = Histogram("x", buckets=(1.0,))
+        h.observe(5.0)
+        h.observe(7.0)
+        assert h.percentile(100.0) == 7.0
+        assert 1.0 <= h.percentile(50.0) <= 7.0
+
+
+class TestWindowedSeries:
+    def test_rows_bucket_by_sim_time(self):
+        from repro.trace.metrics import WindowedSeries
+
+        s = WindowedSeries("latency", window=1.0)
+        s.observe(0.1, 0.005)
+        s.observe(0.9, 0.005)
+        s.observe(1.5, 0.020)
+        rows = s.rows()
+        assert len(s) == 2 and len(rows) == 2
+        assert rows[0]["t0"] == 0.0 and rows[0]["t1"] == 1.0
+        assert rows[0]["count"] == 2
+        assert rows[0]["mean"] == pytest.approx(0.005)
+        assert rows[1]["count"] == 1
+        assert "p50" in rows[0] and "p99" in rows[0]
+
+    def test_custom_percentile_key_rendering(self):
+        from repro.trace.metrics import WindowedSeries
+
+        s = WindowedSeries("latency", window=1.0)
+        s.observe(0.5, 0.01)
+        row = s.rows(percentiles=(99.9,))[0]
+        assert "p99_9" in row
+
+    def test_window_must_be_positive(self):
+        from repro.trace.metrics import WindowedSeries
+
+        with pytest.raises(ValueError):
+            WindowedSeries("x", window=0.0)
+
+    def test_deterministic_rows(self):
+        from repro.trace.metrics import WindowedSeries
+
+        def build():
+            s = WindowedSeries("x", window=0.5)
+            for i in range(20):
+                s.observe(i * 0.13, (i % 7) * 1e-3)
+            return s.rows()
+
+        assert build() == build()
+
+
+class TestCounterWindows:
+    def test_step_function_integration(self):
+        from repro.trace.metrics import counter_windows
+
+        counters = [
+            (0.0, "m", "queue", 2.0),
+            (1.0, "m", "queue", 4.0),
+            (0.0, "m", "other", 99.0),
+        ]
+        rows = counter_windows(counters, "m", "queue", 1.0, t_end=2.0)
+        assert len(rows) == 2
+        assert rows[0]["avg"] == pytest.approx(2.0)
+        assert rows[0]["max"] == 2.0
+        assert rows[1]["avg"] == pytest.approx(4.0)
+
+    def test_sample_spanning_windows_is_split(self):
+        from repro.trace.metrics import counter_windows
+
+        counters = [(0.5, "m", "q", 10.0)]
+        rows = counter_windows(counters, "m", "q", 1.0, t_end=1.5)
+        assert [r["t0"] for r in rows] == [0.0, 1.0]
+        # Time before the first sample counts as level zero, so the
+        # first window averages 10.0 over half its span.
+        assert rows[0]["avg"] == pytest.approx(5.0)
+        assert rows[1]["avg"] == pytest.approx(10.0)
+
+    def test_missing_track_is_empty(self):
+        from repro.trace.metrics import counter_windows
+
+        assert counter_windows([], "m", "q", 1.0) == []
+        assert counter_windows([(0.0, "x", "q", 1.0)], "m", "q", 1.0) == []
+
+    def test_window_must_be_positive(self):
+        from repro.trace.metrics import counter_windows
+
+        with pytest.raises(ValueError):
+            counter_windows([(0.0, "m", "q", 1.0)], "m", "q", 0.0)

@@ -163,3 +163,48 @@ class TestObserveOnly:
         assert machine.now == base.now
         names = {ev["name"] for ev in tracer.instants}
         assert "spawn" in names
+
+
+class TestCounterTerminalFlush:
+    """Regression: counter tracks must not stop short of the run's end.
+
+    Samples are change-suppressed, so a track whose value went flat
+    before the end of the run used to miss a final sample; closing the
+    root span now flushes a terminal sample for every counter track.
+    """
+
+    def test_every_track_gets_a_sample_at_root_close(self, pmem):
+        machine = Machine(profile=pmem)
+        tracer = machine.install_tracer()
+        with tracer.span("root", cat="sort"):
+            machine.run(_read_write_job(machine))
+        root = next(s for s in tracer.spans if s.name == "root")
+        assert root.t1 is not None and root.t1 > 0
+        last_t = {}
+        for t, track, name, _value in tracer.counters:
+            last_t[(track, name)] = t
+        assert last_t  # bandwidth + dram tracks exist
+        for key, t in last_t.items():
+            assert t == root.t1, f"{key} stops at {t}, run ends {root.t1}"
+
+    def test_flush_repeats_last_value_not_a_new_one(self, pmem):
+        machine = Machine(profile=pmem)
+        tracer = machine.install_tracer()
+        with tracer.span("root", cat="sort"):
+            machine.run(_read_write_job(machine))
+        series = [
+            (t, v) for t, trk, name, v in tracer.counters
+            if name == "dram_used"
+        ]
+        # dram_used went back to its resting value before the run ended;
+        # the terminal sample re-states that value at the end time.
+        assert series[-1][1] == series[-2][1]
+
+    def test_no_duplicate_flush_at_same_time(self, pmem):
+        machine = Machine(profile=pmem)
+        tracer = machine.install_tracer()
+        with tracer.span("root", cat="sort"):
+            pass
+        # Install samples dram_used=0 at t=0; the root closes at t=0 too,
+        # so the terminal flush must not append a same-time duplicate.
+        assert len(tracer.counters) == 1
